@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks for the planners: planning a whole network
+//! must stay interactive (the paper's planning is an offline compile step;
+//! ours should still be snappy enough for NAS-in-the-loop use).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vmcu::prelude::*;
+use vmcu::vmcu_graph::zoo;
+use vmcu::vmcu_plan::headroom::{max_image_scale, tinyengine_budget};
+use vmcu::vmcu_plan::planner::named_ib_layers;
+
+fn bench_planning(c: &mut Criterion) {
+    let device = Device::stm32_f767zi();
+    let layers = named_ib_layers(&zoo::mcunet_320kb_imagenet());
+    let mut g = c.benchmark_group("plan-imagenet-17-modules");
+    g.bench_function("vmcu", |b| {
+        let p = VmcuPlanner::default();
+        b.iter(|| p.plan(black_box(&layers), &device))
+    });
+    g.bench_function("tinyengine", |b| {
+        b.iter(|| TinyEnginePlanner.plan(black_box(&layers), &device))
+    });
+    g.bench_function("hmcos", |b| {
+        b.iter(|| HmcosPlanner.plan(black_box(&layers), &device))
+    });
+    g.finish();
+}
+
+fn bench_headroom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("headroom");
+    g.sample_size(10);
+    let p = zoo::mcunet_5fps_vww()[0].params;
+    let budget = tinyengine_budget(&p);
+    g.bench_function("image-scale-S1", |b| {
+        let planner = VmcuPlanner::default();
+        b.iter(|| max_image_scale(black_box(&p), &planner, budget))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_planning, bench_headroom);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks for the footprint solvers: the analytic
+//! lex-decomposition must stay orders of magnitude faster than the exact
+//! scan while returning the same answer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vmcu::vmcu_solver::{analytic, closed_form, enumerate, FootprintProblem};
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver");
+    for (m, n, k) in [(64, 8, 8), (400, 16, 16), (1600, 32, 32)] {
+        let p = FootprintProblem::gemm(m, n, k);
+        g.bench_with_input(
+            BenchmarkId::new("enumerate", format!("{m}x{n}x{k}")),
+            &p,
+            |b, p| b.iter(|| enumerate::min_distance(black_box(p))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("analytic", format!("{m}x{n}x{k}")),
+            &p,
+            |b, p| b.iter(|| analytic::min_distance(black_box(p))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("closed_form", format!("{m}x{n}x{k}")),
+            &(m, n, k),
+            |b, &(m, n, k)| b.iter(|| closed_form::gemm_min_distance(m, n, k)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_conv_problems(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver-conv");
+    let p = FootprintProblem::conv2d(20, 20, 16, 16, 3, 3, 1, 1);
+    g.bench_function("enumerate-conv-20x20", |b| {
+        b.iter(|| enumerate::min_distance(black_box(&p)))
+    });
+    g.bench_function("analytic-conv-20x20", |b| {
+        b.iter(|| analytic::min_distance(black_box(&p)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_conv_problems);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Ablation: PixelWindow vs RowBuffer fused workspace schemes.
+fn main() {
+    let ok = vmcu_bench::report(&vmcu_bench::experiments::ablations::ablation_ib_scheme());
+    std::process::exit(i32::from(!ok));
+}

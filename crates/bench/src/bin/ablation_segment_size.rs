@@ -1,0 +1,5 @@
+//! Ablation: segment-size selection trade-off (§5.3).
+fn main() {
+    let ok = vmcu_bench::report(&vmcu_bench::experiments::ablations::ablation_segment_size());
+    std::process::exit(i32::from(!ok));
+}

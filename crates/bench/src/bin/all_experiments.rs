@@ -1,0 +1,30 @@
+//! Runs every experiment, prints the tables, writes `EXPERIMENTS.md` and
+//! `results/*.json`, and exits non-zero if any shape check fails.
+//!
+//! Pass `--light` to skip the simulated executions (Figure 8, Table 3,
+//! ablations) and only run the planning experiments.
+
+use std::path::Path;
+
+fn main() {
+    let heavy = !std::env::args().any(|a| a == "--light");
+    let results = vmcu_bench::experiments::run_all(heavy);
+    let mut all_ok = true;
+    for r in &results {
+        all_ok &= vmcu_bench::report(r);
+        println!();
+        if let Err(e) = vmcu_bench::write_json(Path::new("results"), r) {
+            eprintln!("warning: could not write results JSON: {e}");
+        }
+    }
+    match vmcu_bench::write_experiments_md(Path::new("EXPERIMENTS.md"), &results) {
+        Ok(()) => println!("wrote EXPERIMENTS.md ({} experiments)", results.len()),
+        Err(e) => {
+            eprintln!("error writing EXPERIMENTS.md: {e}");
+            all_ok = false;
+        }
+    }
+    let passed = results.iter().filter(|r| r.passed()).count();
+    println!("shape checks: {passed}/{} experiments green", results.len());
+    std::process::exit(i32::from(!all_ok));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 10 (MCUNet-320KB-ImageNet RAM on STM32-F767ZI).
+fn main() {
+    let ok = vmcu_bench::report(&vmcu_bench::experiments::fig9_10::fig10());
+    std::process::exit(i32::from(!ok));
+}

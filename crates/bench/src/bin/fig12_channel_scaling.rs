@@ -1,0 +1,5 @@
+//! Regenerates Figure 12 (channel headroom at equal RAM).
+fn main() {
+    let ok = vmcu_bench::report(&vmcu_bench::experiments::fig11_12::fig12());
+    std::process::exit(i32::from(!ok));
+}

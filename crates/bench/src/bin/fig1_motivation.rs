@@ -1,0 +1,5 @@
+//! Regenerates the Figure 1(c) motivational example.
+fn main() {
+    let ok = vmcu_bench::report(&vmcu_bench::experiments::fig1::fig1());
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 7 (single-layer RAM on STM32-F411RE).
+fn main() {
+    let ok = vmcu_bench::report(&vmcu_bench::experiments::fig7::fig7());
+    std::process::exit(i32::from(!ok));
+}

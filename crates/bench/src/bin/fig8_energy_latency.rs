@@ -1,0 +1,5 @@
+//! Regenerates Figure 8 (single-layer energy/latency on STM32-F767ZI).
+fn main() {
+    let ok = vmcu_bench::report(&vmcu_bench::experiments::fig8::fig8());
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 9 (MCUNet-5fps-VWW RAM on STM32-F411RE).
+fn main() {
+    let ok = vmcu_bench::report(&vmcu_bench::experiments::fig9_10::fig9());
+    std::process::exit(i32::from(!ok));
+}

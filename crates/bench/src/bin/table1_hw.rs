@@ -1,0 +1,5 @@
+//! Regenerates Table 1 (hardware landscape).
+fn main() {
+    let ok = vmcu_bench::report(&vmcu_bench::experiments::tables::table1());
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 2 (inverted-bottleneck configurations).
+fn main() {
+    let ok = vmcu_bench::report(&vmcu_bench::experiments::tables::table2());
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 3 (inverted-bottleneck latency, STM32-F411RE).
+fn main() {
+    let ok = vmcu_bench::report(&vmcu_bench::experiments::table3::table3());
+    std::process::exit(i32::from(!ok));
+}

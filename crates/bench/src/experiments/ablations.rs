@@ -1,0 +1,159 @@
+//! Ablations beyond the paper's figures: the fused-workspace scheme
+//! trade-off (DESIGN.md) and the §5.3 segment-size sweep.
+
+use crate::result::{Check, ExpResult};
+use crate::table::{kb, Table};
+
+use vmcu::prelude::*;
+use vmcu::vmcu_graph::zoo;
+use vmcu::vmcu_kernels::fused_ib::{ib_exec_footprint, ib_workspace_bytes};
+use vmcu::vmcu_solver::closed_form::gemm_min_footprint;
+use vmcu::vmcu_tensor::random;
+
+/// PixelWindow (paper's 11-segment workspace, recompute) vs RowBuffer
+/// (R-row ring, compute-once): memory and latency per VWW module.
+pub fn ablation_ib_scheme() -> ExpResult {
+    let device = Device::stm32_f411re();
+    let mut t = Table::new(&[
+        "module",
+        "RowBuffer KB",
+        "Window KB",
+        "RowBuffer ms",
+        "SlidingWindow ms",
+        "PixelWindow ms",
+        "sliding extra MACs",
+    ]);
+    let mut checks = Vec::new();
+    for m in zoo::mcunet_5fps_vww() {
+        let p = m.params;
+        let layer = LayerDesc::Ib(p);
+        let w = LayerWeights::random(&layer, 41);
+        let input = random::tensor_i8(&layer.in_shape(), 42);
+        let run = |scheme: IbScheme| {
+            let (_, rep) = Engine::new(device.clone())
+                .planner(PlannerKind::Vmcu(scheme))
+                .run_layer(m.name, &layer, &w, &input)
+                .expect("VWW fits under both schemes");
+            rep
+        };
+        let rb = run(IbScheme::RowBuffer);
+        let sw = run(IbScheme::SlidingWindow);
+        let pw = run(IbScheme::PixelWindow);
+        let rb_bytes = ib_exec_footprint(&p, IbScheme::RowBuffer)
+            + ib_workspace_bytes(&p, IbScheme::RowBuffer);
+        let pw_bytes = ib_exec_footprint(&p, IbScheme::PixelWindow)
+            + ib_workspace_bytes(&p, IbScheme::PixelWindow);
+        t.row(vec![
+            m.name.to_owned(),
+            kb(rb_bytes),
+            kb(pw_bytes),
+            format!("{:.1}", rb.exec.latency_ms),
+            format!("{:.1}", sw.exec.latency_ms),
+            format!("{:.1}", pw.exec.latency_ms),
+            format!(
+                "{:.2}x",
+                sw.exec.counters.macs as f64 / rb.exec.counters.macs as f64
+            ),
+        ]);
+        checks.push(Check::new(
+            format!("{}: window workspace never exceeds the row ring", m.name),
+            ib_workspace_bytes(&p, IbScheme::PixelWindow)
+                <= ib_workspace_bytes(&p, IbScheme::RowBuffer),
+            format!("{pw_bytes} vs {rb_bytes} total (window pool span can be slightly larger)"),
+        ));
+        checks.push(Check::new(
+            format!("{}: PixelWindow costs more MACs", m.name),
+            pw.exec.counters.macs > rb.exec.counters.macs,
+            "recompute tax",
+        ));
+        checks.push(Check::new(
+            format!("{}: SlidingWindow sits between the extremes", m.name),
+            rb.exec.counters.macs <= sw.exec.counters.macs
+                && sw.exec.counters.macs <= pw.exec.counters.macs,
+            "column-entry recompute only",
+        ));
+    }
+    ExpResult {
+        id: "ablation-ib-scheme".into(),
+        title: "Fused inverted-bottleneck workspace scheme trade-off".into(),
+        paper_claim: "the paper's 11-segment workspace implies recomputation; a row ring \
+                      trades a few KB for compute-once (DESIGN.md)"
+            .into(),
+        table: t,
+        checks,
+        notes: vec![],
+    }
+}
+
+/// §5.3: segment size vs footprint and latency for a pointwise layer.
+pub fn ablation_segment_size() -> ExpResult {
+    let device = Device::stm32_f767zi();
+    let case = zoo::fig7_cases()[5].clone(); // H/W20,C48,K24 — modest size
+    let (c, k, pixels) = (case.params.c, case.params.k, case.params.pixels());
+    let mut t = Table::new(&[
+        "seg elems",
+        "affine footprint B",
+        "overlap slack B",
+        "latency ms",
+        "modulo ops",
+    ]);
+    let mut checks = Vec::new();
+    let mut latencies = Vec::new();
+    for seg in [1usize, 2, 4, 8, 12, 24] {
+        // Affine footprint in bytes at this segment size (paper
+        // formulation: segments of `seg` elements).
+        let fp_segs = gemm_min_footprint(
+            pixels as i64,
+            (k / seg.min(k)) as i64,
+            (c / seg.min(c)) as i64,
+        );
+        let fp_bytes = fp_segs as usize * seg;
+        let slack_bytes = (c.min(k) / seg.min(c.min(k))).saturating_sub(1) * seg;
+        let mut params = case.params;
+        params.seg = seg;
+        let layer = LayerDesc::Pointwise(params);
+        let w = LayerWeights::random(&layer, 51);
+        let input = random::tensor_i8(&layer.in_shape(), 52);
+        let (_, rep) = Engine::new(device.clone())
+            .run_layer(&case.name, &layer, &w, &input)
+            .expect("fits F767ZI");
+        t.row(vec![
+            seg.to_string(),
+            fp_bytes.to_string(),
+            slack_bytes.to_string(),
+            format!("{:.2}", rep.exec.latency_ms),
+            rep.exec.counters.modulo_ops.to_string(),
+        ]);
+        latencies.push(rep.exec.latency_ms);
+    }
+    // Smaller segments must cost latency (more boundary checks): seg=1
+    // should be the slowest, the largest seg the fastest.
+    checks.push(Check::new(
+        "seg=1 is slowest (modulo per element)",
+        latencies[0] >= *latencies.last().unwrap(),
+        format!("{:.2} ms vs {:.2} ms", latencies[0], latencies.last().unwrap()),
+    ));
+    checks.push(Check::new(
+        "latency improves from seg=1 to seg=24",
+        latencies.windows(2).filter(|w| w[1] <= w[0] * 1.02).count() >= 3,
+        "mostly monotone",
+    ));
+    ExpResult {
+        id: "ablation-segment-size".into(),
+        title: "Segment-size selection trade-off (§5.3)".into(),
+        paper_claim: "smaller segments shrink footprint but modulo overhead hurts latency; \
+                      the paper picks seg = min(C, K)"
+            .into(),
+        table: t,
+        checks,
+        notes: vec![
+            "our pool tracks liveness per byte, so the footprint is nearly \
+             segment-insensitive here (only the affine plan's empty-segment \
+             headroom varies); the paper's footprint sensitivity comes from \
+             coarse segment-granular freeing, while the latency sensitivity — \
+             the boundary-check overhead that motivates seg = min(C, K) — \
+             reproduces directly"
+                .into(),
+        ],
+    }
+}

@@ -1,0 +1,53 @@
+//! The Figure 1(c) motivational example: tensor-level vs segment-level
+//! management of a fully-connected layer (2×3 input segments, 2×2 output
+//! segments).
+
+use crate::result::{Check, ExpResult};
+use crate::table::Table;
+use vmcu::vmcu_solver::{analytic, enumerate, FootprintProblem};
+
+/// Regenerates the motivational example.
+pub fn fig1() -> ExpResult {
+    let problem = FootprintProblem::gemm(2, 2, 3);
+    let exact = enumerate::solve(&problem);
+    let fast = analytic::solve(&problem);
+    let disjoint = problem.in_size + problem.out_size;
+
+    let mut t = Table::new(&["management", "segments", "empty segments ahead"]);
+    t.row(vec![
+        "tensor-level (disjoint)".into(),
+        disjoint.to_string(),
+        "-".into(),
+    ]);
+    t.row(vec![
+        "vMCU segment-level".into(),
+        exact.footprint.to_string(),
+        exact.min_distance.to_string(),
+    ]);
+
+    ExpResult {
+        id: "fig1".into(),
+        title: "Motivational example: FC layer, K=3, N=2, M=2".into(),
+        paper_claim: "tensor-level needs 10 segments; segment-level needs 7".into(),
+        checks: vec![
+            Check::new("disjoint = 10", disjoint == 10, format!("{disjoint}")),
+            Check::new(
+                "segment-level = 7",
+                exact.footprint == 7,
+                format!("{}", exact.footprint),
+            ),
+            Check::new(
+                "one empty segment ahead",
+                exact.min_distance == 1,
+                format!("{}", exact.min_distance),
+            ),
+            Check::new(
+                "analytic solver agrees",
+                fast == exact,
+                format!("{fast:?} vs {exact:?}"),
+            ),
+        ],
+        table: t,
+        notes: vec![],
+    }
+}

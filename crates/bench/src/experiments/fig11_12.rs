@@ -1,0 +1,81 @@
+//! Figures 11 and 12: NAS headroom at equal RAM — how much larger an image
+//! or channel count vMCU affords within the RAM TinyEngine needs.
+
+use crate::result::{Check, ExpResult};
+use crate::table::Table;
+use vmcu::prelude::*;
+use vmcu::vmcu_graph::zoo;
+use vmcu::vmcu_plan::headroom::{max_channel_scale, max_image_scale, tinyengine_budget};
+
+fn scaling(
+    id: &str,
+    title: &str,
+    paper_claim: &str,
+    paper_band: (f64, f64),
+    f: impl Fn(&IbParams, &VmcuPlanner, usize) -> f64,
+) -> ExpResult {
+    let planner = VmcuPlanner::default();
+    let mut t = Table::new(&["module", "TinyEngine budget KB", "scale at equal RAM"]);
+    let mut checks = Vec::new();
+    let mut scales = Vec::new();
+    for m in zoo::mcunet_5fps_vww() {
+        let budget = tinyengine_budget(&m.params);
+        let r = f(&m.params, &planner, budget);
+        scales.push(r);
+        t.row(vec![
+            m.name.to_owned(),
+            crate::table::kb(budget),
+            format!("{r:.2}x"),
+        ]);
+        checks.push(Check::in_range(
+            format!("{} scale exceeds 1x", m.name),
+            r,
+            1.05,
+            4.5,
+        ));
+    }
+    let lo = scales.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = scales.iter().cloned().fold(0.0f64, f64::max);
+    checks.push(Check::in_range(
+        format!("min scale near paper {:.2}x", paper_band.0),
+        lo,
+        paper_band.0 - 0.25,
+        paper_band.0 + 0.45,
+    ));
+    checks.push(Check::in_range(
+        format!("max scale near paper {:.2}x", paper_band.1),
+        hi,
+        paper_band.1 - 0.80,
+        paper_band.1 + 0.80,
+    ));
+    ExpResult {
+        id: id.into(),
+        title: title.into(),
+        paper_claim: paper_claim.into(),
+        table: t,
+        checks,
+        notes: vec![],
+    }
+}
+
+/// Regenerates Figure 11 (image-size headroom).
+pub fn fig11() -> ExpResult {
+    scaling(
+        "fig11",
+        "Image-size increase at TinyEngine-equal RAM (MCUNet-5fps-VWW)",
+        "image size (H and W) can grow 1.29x-2.58x",
+        (1.29, 2.58),
+        |p, planner, budget| max_image_scale(p, planner, budget),
+    )
+}
+
+/// Regenerates Figure 12 (channel headroom).
+pub fn fig12() -> ExpResult {
+    scaling(
+        "fig12",
+        "Channel increase at TinyEngine-equal RAM (MCUNet-5fps-VWW)",
+        "channel sizes can grow 1.26x-3.17x",
+        (1.26, 3.17),
+        |p, planner, budget| max_channel_scale(p, planner, budget),
+    )
+}

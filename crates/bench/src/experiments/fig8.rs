@@ -1,0 +1,98 @@
+//! Figure 8: single-layer energy and latency on STM32-F767ZI.
+//!
+//! Both implementations execute the same nine pointwise layers on the
+//! simulated Cortex-M7; outputs are asserted identical, so the energy and
+//! latency deltas come purely from policy (im2col traffic, unrolling
+//! stalls, modulo checks).
+
+use crate::result::{Check, ExpResult};
+use crate::table::{pct, Table};
+use vmcu::prelude::*;
+use vmcu::vmcu_graph::zoo;
+use vmcu::vmcu_tensor::random;
+
+/// Regenerates Figure 8.
+pub fn fig8() -> ExpResult {
+    let device = Device::stm32_f767zi();
+    let mut t = Table::new(&[
+        "case",
+        "TE mJ",
+        "vMCU mJ",
+        "energy cut",
+        "TE ms",
+        "vMCU ms",
+        "latency cut",
+    ]);
+    let mut checks = Vec::new();
+    let mut e_cuts = Vec::new();
+    let mut l_cuts = Vec::new();
+    for case in zoo::fig7_cases() {
+        let layer = LayerDesc::Pointwise(case.params);
+        let w = LayerWeights::random(&layer, 21);
+        let input = random::tensor_i8(&layer.in_shape(), 22);
+        let (out_t, rep_t) = Engine::new(device.clone())
+            .planner(PlannerKind::TinyEngine)
+            .run_layer(&case.name, &layer, &w, &input)
+            .expect("F767ZI fits all cases");
+        let (out_v, rep_v) = Engine::new(device.clone())
+            .run_layer(&case.name, &layer, &w, &input)
+            .expect("F767ZI fits all cases");
+        assert_eq!(out_t, out_v, "implementations must agree bit-exact");
+        let e_cut = 1.0 - rep_v.exec.energy_mj / rep_t.exec.energy_mj;
+        let l_cut = 1.0 - rep_v.exec.latency_ms / rep_t.exec.latency_ms;
+        e_cuts.push(e_cut);
+        l_cuts.push(l_cut);
+        t.row(vec![
+            case.name.clone(),
+            format!("{:.2}", rep_t.exec.energy_mj),
+            format!("{:.2}", rep_v.exec.energy_mj),
+            pct(e_cut),
+            format!("{:.2}", rep_t.exec.latency_ms),
+            format!("{:.2}", rep_v.exec.latency_ms),
+            pct(l_cut),
+        ]);
+        checks.push(Check::in_range(
+            format!("{} energy reduction positive band", case.name),
+            e_cut,
+            0.05,
+            0.60,
+        ));
+        checks.push(Check::in_range(
+            format!("{} latency reduction positive band", case.name),
+            l_cut,
+            0.05,
+            0.55,
+        ));
+    }
+    let span = |v: &[f64]| {
+        (
+            v.iter().cloned().fold(f64::INFINITY, f64::min),
+            v.iter().cloned().fold(0.0f64, f64::max),
+        )
+    };
+    let (e_lo, e_hi) = span(&e_cuts);
+    let (l_lo, l_hi) = span(&l_cuts);
+    checks.push(Check::in_range("min energy cut (paper 20.6%)", e_lo, 0.08, 0.35));
+    checks.push(Check::in_range("max energy cut (paper 53.0%)", e_hi, 0.30, 0.60));
+    checks.push(Check::in_range("min latency cut (paper 18.5%)", l_lo, 0.08, 0.32));
+    checks.push(Check::in_range("max latency cut (paper 40.0%)", l_hi, 0.25, 0.55));
+
+    ExpResult {
+        id: "fig8".into(),
+        title: "Single-layer energy and latency on STM32-F767ZI".into(),
+        paper_claim: "vMCU cuts energy 20.6%-53.0% and latency 18.5%-40.0% vs TinyEngine".into(),
+        table: t,
+        checks,
+        notes: vec![
+            "absolute mJ/ms are calibrated by the simulator's cost/energy models; \
+             the reductions come from counted work (im2col traffic, column-pair \
+             input re-reads, unroll stalls, modulo checks)"
+                .into(),
+            "our top-end energy cut (~37%) is conservative versus the paper's 53%: \
+             we model only the traffic/stall mechanisms the paper names, not \
+             board-level effects (flash wait-state inflation under the baseline's \
+             access pattern) we cannot justify from first principles"
+                .into(),
+        ],
+    }
+}

@@ -1,0 +1,84 @@
+//! Table 3: latency and throughput of the VWW inverted bottlenecks.
+
+use crate::result::{Check, ExpResult};
+use crate::table::Table;
+use vmcu::prelude::*;
+use vmcu::vmcu_graph::zoo;
+use vmcu::vmcu_tensor::random;
+
+/// Paper latencies (ms) for vMCU and TinyEngine per module S1–S8.
+pub const PAPER_VMCU_MS: [f64; 8] = [37.0, 37.0, 33.0, 28.0, 22.0, 20.0, 34.0, 27.0];
+/// Paper TinyEngine latencies (ms).
+pub const PAPER_TE_MS: [f64; 8] = [37.0, 37.0, 35.0, 29.0, 24.0, 19.0, 36.0, 28.0];
+
+/// Regenerates Table 3 on STM32-F411RE.
+pub fn table3() -> ExpResult {
+    let device = Device::stm32_f411re();
+    let mut t = Table::new(&[
+        "module",
+        "vMCU ms",
+        "throughput img/s",
+        "TinyEngine ms",
+        "ratio",
+        "paper ratio",
+    ]);
+    let mut checks = Vec::new();
+    let mut ratios = Vec::new();
+    for (i, m) in zoo::mcunet_5fps_vww().iter().enumerate() {
+        let layer = LayerDesc::Ib(m.params);
+        let w = LayerWeights::random(&layer, 31);
+        let input = random::tensor_i8(&layer.in_shape(), 32);
+        // The paper's measured latency parity corresponds to the
+        // sliding-window fused kernel (its 11-segment workspace with
+        // column-entry recomputation); see the scheme ablation.
+        let (out_v, rep_v) = Engine::new(device.clone())
+            .planner(PlannerKind::Vmcu(IbScheme::SlidingWindow))
+            .run_layer(m.name, &layer, &w, &input)
+            .expect("VWW fits F411RE under vMCU");
+        let (out_t, rep_t) = Engine::new(device.clone())
+            .planner(PlannerKind::TinyEngine)
+            .run_layer(m.name, &layer, &w, &input)
+            .expect("VWW fits F411RE under TinyEngine");
+        assert_eq!(out_v, out_t, "module outputs must agree bit-exact");
+        let ratio = rep_v.exec.latency_ms / rep_t.exec.latency_ms;
+        ratios.push(ratio);
+        t.row(vec![
+            m.name.to_owned(),
+            format!("{:.1}", rep_v.exec.latency_ms),
+            format!("{:.0}", 1000.0 / rep_v.exec.latency_ms),
+            format!("{:.1}", rep_t.exec.latency_ms),
+            format!("{ratio:.2}x"),
+            format!("{:.2}x", PAPER_VMCU_MS[i] / PAPER_TE_MS[i]),
+        ]);
+        checks.push(Check::in_range(
+            format!("{} latency comparable to TinyEngine", m.name),
+            ratio,
+            0.55,
+            1.45,
+        ));
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    checks.push(Check::in_range(
+        "mean vMCU/TinyEngine latency ratio (paper 1.03x)",
+        mean,
+        0.70,
+        1.30,
+    ));
+
+    ExpResult {
+        id: "table3".into(),
+        title: "Latency of inverted bottlenecks in MCUNet-5fps-VWW".into(),
+        paper_claim: "vMCU latency is comparable to TinyEngine (1.03x overall)".into(),
+        table: t,
+        checks,
+        notes: vec![
+            "absolute ms depend on the simulator's calibration; the check is the \
+             ratio, which the paper reports as ~1.03x"
+                .into(),
+            "the RowBuffer fused kernel (the memory-default) runs ~1.5x faster than \
+             TinyEngine by never recomputing expanded pixels — see the \
+             ablation_ib_scheme experiment for the full memory/latency spectrum"
+                .into(),
+        ],
+    }
+}

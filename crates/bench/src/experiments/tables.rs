@@ -1,0 +1,67 @@
+//! Table 1 (hardware landscape) and Table 2 (module configurations).
+
+use crate::result::{Check, ExpResult};
+use crate::table::Table;
+use vmcu::vmcu_graph::zoo;
+use vmcu::vmcu_sim::TABLE1_PLATFORMS;
+
+/// Regenerates Table 1.
+pub fn table1() -> ExpResult {
+    let mut t = Table::new(&["Hardware", "Memory", "Storage", "SW Support"]);
+    for p in TABLE1_PLATFORMS {
+        t.row(vec![
+            p.hardware.to_owned(),
+            p.memory.to_owned(),
+            p.storage.to_owned(),
+            p.sw_support.to_owned(),
+        ]);
+    }
+    ExpResult {
+        id: "table1".into(),
+        title: "Features of accelerators, mobile devices, and MCUs".into(),
+        paper_claim: "MCU memory is 2-5 orders of magnitude below mobile/cloud, with no OS".into(),
+        checks: vec![Check::new(
+            "three platform classes",
+            t.rows.len() == 3,
+            format!("{} rows", t.rows.len()),
+        )],
+        table: t,
+        notes: vec![],
+    }
+}
+
+/// Regenerates Table 2.
+pub fn table2() -> ExpResult {
+    let mut t = Table::new(&["Name", "H/W", "C_in", "C_mid", "C_out", "R/S", "strides", "residual"]);
+    for m in zoo::mcunet_5fps_vww().iter().chain(&zoo::mcunet_320kb_imagenet()) {
+        let p = &m.params;
+        t.row(vec![
+            m.name.to_owned(),
+            p.hw.to_string(),
+            p.c_in.to_string(),
+            p.c_mid.to_string(),
+            p.c_out.to_string(),
+            p.rs.to_string(),
+            format!("{},{},{}", p.s1, p.s2, p.s3),
+            if p.has_residual() { "yes" } else { "no" }.to_owned(),
+        ]);
+    }
+    let rows = t.rows.len();
+    ExpResult {
+        id: "table2".into(),
+        title: "Configurations of inverted bottlenecks".into(),
+        paper_claim: "8 VWW modules + 17 measured ImageNet modules".into(),
+        checks: vec![
+            Check::new("8 + 17 modules", rows == 25, format!("{rows} rows")),
+            Check::new(
+                "B2 expanded tensor totals 247.8 KB with its input",
+                zoo::mcunet_320kb_imagenet()[1].params.in_bytes()
+                    + zoo::mcunet_320kb_imagenet()[1].params.mid_bytes()
+                    == 247_808,
+                "A+B at B2",
+            ),
+        ],
+        table: t,
+        notes: vec![],
+    }
+}

@@ -1,0 +1,162 @@
+//! Experiment result container and shape checks.
+//!
+//! Every experiment produces an [`ExpResult`]: the regenerated table, the
+//! paper's expectation for it, and machine-checked *shape criteria* (who
+//! wins, by roughly what factor). `all_experiments` aggregates them into
+//! `EXPERIMENTS.md` and exits non-zero if any shape check fails.
+
+use crate::table::Table;
+use serde::Serialize;
+use std::fmt;
+
+/// One machine-checked shape criterion.
+#[derive(Debug, Clone, Serialize)]
+pub struct Check {
+    /// What is being checked.
+    pub name: String,
+    /// Whether it held.
+    pub passed: bool,
+    /// Measured-vs-expected detail.
+    pub detail: String,
+}
+
+impl Check {
+    /// Creates a check result.
+    pub fn new(name: impl Into<String>, passed: bool, detail: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            passed,
+            detail: detail.into(),
+        }
+    }
+
+    /// Checks that `value` lies within `[lo, hi]`.
+    pub fn in_range(name: impl Into<String>, value: f64, lo: f64, hi: f64) -> Self {
+        Self::new(
+            name,
+            (lo..=hi).contains(&value),
+            format!("value {value:.2} expected in [{lo:.2}, {hi:.2}]"),
+        )
+    }
+}
+
+impl fmt::Display for Check {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} — {}",
+            if self.passed { "PASS" } else { "FAIL" },
+            self.name,
+            self.detail
+        )
+    }
+}
+
+/// A regenerated table/figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExpResult {
+    /// Experiment id (`fig7`, `table3`, …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// What the paper reports for this experiment.
+    pub paper_claim: String,
+    /// The regenerated table.
+    pub table: Table,
+    /// Shape checks.
+    pub checks: Vec<Check>,
+    /// Free-form notes (substitutions, calibration caveats).
+    pub notes: Vec<String>,
+}
+
+impl ExpResult {
+    /// Whether every shape check passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Renders the experiment as a markdown section.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {} — {}\n\n", self.id, self.title);
+        out.push_str(&format!("**Paper claim**: {}\n\n", self.paper_claim));
+        out.push_str(&self.table.to_markdown());
+        out.push_str("\nShape checks:\n\n");
+        for c in &self.checks {
+            out.push_str(&format!(
+                "- {} **{}** — {}\n",
+                if c.passed { "✅" } else { "❌" },
+                c.name,
+                c.detail
+            ));
+        }
+        if !self.notes.is_empty() {
+            out.push_str("\nNotes:\n\n");
+            for n in &self.notes {
+                out.push_str(&format!("- {n}\n"));
+            }
+        }
+        out.push('\n');
+        out
+    }
+}
+
+impl fmt::Display for ExpResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} — {} ===", self.id, self.title)?;
+        writeln!(f, "paper: {}", self.paper_claim)?;
+        writeln!(f)?;
+        write!(f, "{}", self.table)?;
+        writeln!(f)?;
+        for c in &self.checks {
+            writeln!(f, "{c}")?;
+        }
+        for n in &self.notes {
+            writeln!(f, "note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExpResult {
+        let mut t = Table::new(&["case", "v"]);
+        t.row(vec!["a".into(), "1".into()]);
+        ExpResult {
+            id: "figX".into(),
+            title: "sample".into(),
+            paper_claim: "something".into(),
+            table: t,
+            checks: vec![
+                Check::in_range("band", 0.5, 0.0, 1.0),
+                Check::new("flag", true, "ok"),
+            ],
+            notes: vec!["calibrated".into()],
+        }
+    }
+
+    #[test]
+    fn passes_when_all_checks_pass() {
+        assert!(sample().passed());
+        let mut bad = sample();
+        bad.checks.push(Check::in_range("oops", 2.0, 0.0, 1.0));
+        assert!(!bad.passed());
+    }
+
+    #[test]
+    fn markdown_contains_sections() {
+        let md = sample().to_markdown();
+        assert!(md.contains("## figX"));
+        assert!(md.contains("**Paper claim**"));
+        assert!(md.contains("✅"));
+        assert!(md.contains("note") || md.contains("calibrated"));
+    }
+
+    #[test]
+    fn display_shows_pass_fail() {
+        let s = sample().to_string();
+        assert!(s.contains("[PASS]"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Fixed-width table rendering for experiment output.
+
+use serde::Serialize;
+use std::fmt;
+
+/// A printable result table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (stringified).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, "{:<width$}  ", c, width = w[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        writeln!(f, "{}", "-".repeat(w.iter().sum::<usize>() + 2 * w.len()))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats bytes as decimal kilobytes (the paper's unit).
+pub fn kb(bytes: usize) -> String {
+    format!("{:.1}", bytes as f64 / 1000.0)
+}
+
+/// Formats a reduction fraction as a percentage.
+pub fn pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["short".into(), "1".into()]);
+        t.row(vec!["much-longer-name".into(), "22".into()]);
+        let s = t.to_string();
+        assert!(s.contains("much-longer-name"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn markdown_has_separator() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("|---|---|"));
+        assert!(md.starts_with("| a | b |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn unit_helpers() {
+        assert_eq!(kb(247_808), "247.8");
+        assert_eq!(pct(0.615), "61.5%");
+    }
+}

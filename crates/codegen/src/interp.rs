@@ -1,0 +1,422 @@
+//! Kernel IR interpreter.
+//!
+//! Executes a [`Kernel`] against the simulated machine and circular pool —
+//! the same substrate the hand-written kernels use — so a kernel authored
+//! through the builder DSL can be validated bit-exact against the
+//! reference operators *before* emitting C for it. This closes the §6
+//! loop: DSL → IR → {C text, simulated execution}.
+
+use std::collections::HashMap;
+use std::fmt;
+use vmcu_ir::expr::Expr;
+use vmcu_ir::stmt::{DType, Kernel, Stmt};
+use vmcu_pool::{PoolError, SegmentPool};
+use vmcu_sim::{Machine, MemError};
+use vmcu_tensor::Requant;
+
+/// Interpreter failure.
+#[derive(Debug)]
+pub enum InterpError {
+    /// Unbound scalar variable.
+    Unbound(String),
+    /// Register array used before allocation.
+    UnknownReg(String),
+    /// Register access out of bounds.
+    RegOutOfRange {
+        /// Register name.
+        reg: String,
+        /// Offending index.
+        index: i64,
+        /// Register length.
+        len: usize,
+    },
+    /// Negative or oversized length operand.
+    BadLength(i64),
+    /// Pool violation.
+    Pool(PoolError),
+    /// Raw memory violation.
+    Mem(MemError),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::Unbound(v) => write!(f, "unbound variable `{v}`"),
+            InterpError::UnknownReg(r) => write!(f, "unknown register array `{r}`"),
+            InterpError::RegOutOfRange { reg, index, len } => {
+                write!(f, "register `{reg}` index {index} out of range (len {len})")
+            }
+            InterpError::BadLength(l) => write!(f, "bad length operand {l}"),
+            InterpError::Pool(e) => write!(f, "pool error: {e}"),
+            InterpError::Mem(e) => write!(f, "memory error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+impl From<PoolError> for InterpError {
+    fn from(e: PoolError) -> Self {
+        InterpError::Pool(e)
+    }
+}
+
+impl From<MemError> for InterpError {
+    fn from(e: MemError) -> Self {
+        InterpError::Mem(e)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RegArray {
+    dtype: DType,
+    data: Vec<i32>,
+}
+
+/// Interpreter state over one kernel invocation.
+struct Interp<'a> {
+    machine: &'a mut Machine,
+    pool: &'a mut SegmentPool,
+    vars: HashMap<String, i64>,
+    regs: HashMap<String, RegArray>,
+}
+
+impl Interp<'_> {
+    fn eval(&self, e: &Expr) -> Result<i64, InterpError> {
+        e.eval_with(&|name| self.vars.get(name).copied())
+            .map_err(|err| InterpError::Unbound(err.name))
+    }
+
+    fn eval_len(&self, e: &Expr) -> Result<usize, InterpError> {
+        let v = self.eval(e)?;
+        if !(0..=1 << 24).contains(&v) {
+            return Err(InterpError::BadLength(v));
+        }
+        Ok(v as usize)
+    }
+
+    fn reg(&self, name: &str) -> Result<&RegArray, InterpError> {
+        self.regs
+            .get(name)
+            .ok_or_else(|| InterpError::UnknownReg(name.to_owned()))
+    }
+
+    fn reg_slice(&self, name: &str, off: i64, len: usize) -> Result<Vec<i32>, InterpError> {
+        let r = self.reg(name)?;
+        let end = off + len as i64;
+        if off < 0 || end > r.data.len() as i64 {
+            return Err(InterpError::RegOutOfRange {
+                reg: name.to_owned(),
+                index: off.max(end - 1),
+                len: r.data.len(),
+            });
+        }
+        Ok(r.data[off as usize..end as usize].to_vec())
+    }
+
+    fn reg_write(
+        &mut self,
+        name: &str,
+        off: i64,
+        values: &[i32],
+    ) -> Result<(), InterpError> {
+        let r = self
+            .regs
+            .get_mut(name)
+            .ok_or_else(|| InterpError::UnknownReg(name.to_owned()))?;
+        let end = off + values.len() as i64;
+        if off < 0 || end > r.data.len() as i64 {
+            return Err(InterpError::RegOutOfRange {
+                reg: name.to_owned(),
+                index: off.max(end - 1),
+                len: r.data.len(),
+            });
+        }
+        r.data[off as usize..end as usize].copy_from_slice(values);
+        Ok(())
+    }
+
+    fn exec(&mut self, stmt: &Stmt) -> Result<(), InterpError> {
+        match stmt {
+            Stmt::Seq(v) => v.iter().try_for_each(|s| self.exec(s)),
+            Stmt::Let { name, value } => {
+                let v = self.eval(value)?;
+                self.vars.insert(name.clone(), v);
+                Ok(())
+            }
+            Stmt::For {
+                var,
+                extent,
+                step,
+                body,
+                ..
+            } => {
+                let bound = self.eval(extent)?;
+                let mut i = 0i64;
+                let shadow = self.vars.get(var).copied();
+                while i < bound {
+                    self.vars.insert(var.clone(), i);
+                    self.exec(body)?;
+                    self.machine.charge_branches(1);
+                    i += step;
+                }
+                match shadow {
+                    Some(v) => self.vars.insert(var.clone(), v),
+                    None => self.vars.remove(var),
+                };
+                Ok(())
+            }
+            Stmt::RegAlloc {
+                name,
+                len,
+                dtype,
+                init,
+            } => {
+                self.regs.insert(
+                    name.clone(),
+                    RegArray {
+                        dtype: *dtype,
+                        data: vec![*init; *len],
+                    },
+                );
+                Ok(())
+            }
+            Stmt::RamLoad {
+                dst,
+                dst_off,
+                addr,
+                len,
+            } => {
+                let off = self.eval(dst_off)?;
+                let a = self.eval(addr)?;
+                let n = self.eval_len(len)?;
+                let mut buf = vec![0u8; n];
+                self.pool.load(self.machine, a, &mut buf)?;
+                let vals: Vec<i32> = buf.iter().map(|&b| i32::from(b as i8)).collect();
+                self.reg_write(dst, off, &vals)
+            }
+            Stmt::FlashLoad {
+                dst,
+                dst_off,
+                addr,
+                len,
+            } => {
+                let off = self.eval(dst_off)?;
+                let a = self.eval(addr)?;
+                let n = self.eval_len(len)?;
+                let mut buf = vec![0u8; n];
+                self.machine.flash_load(a as usize, &mut buf)?;
+                let vals: Vec<i32> = buf.iter().map(|&b| i32::from(b as i8)).collect();
+                self.reg_write(dst, off, &vals)
+            }
+            Stmt::Dot {
+                acc,
+                acc_off,
+                a,
+                a_off,
+                b,
+                b_off,
+                ki,
+                ni,
+            } => {
+                let ao = self.eval(a_off)?;
+                let bo = self.eval(b_off)?;
+                let co = self.eval(acc_off)?;
+                let av = self.reg_slice(a, ao, *ki)?;
+                let bv = self.reg_slice(b, bo, ki * ni)?;
+                let mut accv = self.reg_slice(acc, co, *ni)?;
+                for (k, &x) in av.iter().enumerate() {
+                    for n in 0..*ni {
+                        accv[n] += x * bv[k * ni + n];
+                    }
+                }
+                self.machine.charge_macs((*ki * *ni) as u64, true);
+                self.reg_write(acc, co, &accv)
+            }
+            Stmt::RamStore {
+                src,
+                src_off,
+                addr,
+                len,
+            } => {
+                let off = self.eval(src_off)?;
+                let a = self.eval(addr)?;
+                let n = self.eval_len(len)?;
+                let vals = self.reg_slice(src, off, n)?;
+                let bytes: Vec<u8> = vals.iter().map(|&v| (v as i8) as u8).collect();
+                self.pool.store(self.machine, &bytes, a)?;
+                Ok(())
+            }
+            Stmt::RamFree { addr, len } => {
+                let a = self.eval(addr)?;
+                let n = self.eval_len(len)?;
+                self.pool.free(a, n)?;
+                Ok(())
+            }
+            Stmt::Broadcast {
+                dst,
+                dst_off,
+                value,
+                len,
+            } => {
+                let off = self.eval(dst_off)?;
+                let v = self.eval(value)? as i32;
+                self.machine.charge_cycles((*len as u64).div_ceil(4));
+                self.reg_write(dst, off, &vec![v; *len])
+            }
+            Stmt::Requant {
+                dst,
+                dst_off,
+                src,
+                src_off,
+                len,
+                mult,
+                shift,
+                zp,
+            } => {
+                let so = self.eval(src_off)?;
+                let doff = self.eval(dst_off)?;
+                let vals = self.reg_slice(src, so, *len)?;
+                let rq = Requant {
+                    mult: *mult,
+                    shift: *shift,
+                    zp: *zp,
+                };
+                let out: Vec<i32> = vals.iter().map(|&v| i32::from(rq.apply(v))).collect();
+                self.machine
+                    .charge_cycles(*len as u64 * crate::REQUANT_CYCLES_PER_ELEM);
+                self.reg_write(dst, doff, &out)
+            }
+        }
+    }
+}
+
+/// Runs a kernel with the given scalar arguments against a machine and
+/// pool.
+///
+/// # Errors
+///
+/// Returns [`InterpError`] on unbound variables, register misuse, pool
+/// violations, or memory errors.
+pub fn interpret(
+    kernel: &Kernel,
+    args: &[(&str, i64)],
+    machine: &mut Machine,
+    pool: &mut SegmentPool,
+) -> Result<(), InterpError> {
+    let mut interp = Interp {
+        machine,
+        pool,
+        vars: args.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
+        regs: HashMap::new(),
+    };
+    for p in &kernel.params {
+        if !interp.vars.contains_key(p) {
+            return Err(InterpError::Unbound(p.clone()));
+        }
+    }
+    interp.exec(&kernel.body)?;
+    // DType is carried for the C backend; the interpreter stores
+    // everything as i32 and narrows at memory boundaries.
+    let _ = interp.regs.values().map(|r| r.dtype).count();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmcu_ir::KernelBuilder;
+    use vmcu_sim::Device;
+
+    fn setup(pool_len: usize) -> (Machine, SegmentPool) {
+        let m = Machine::new(Device::stm32_f411re());
+        let pool = SegmentPool::new(&m, 0, pool_len, 4).unwrap();
+        (m, pool)
+    }
+
+    #[test]
+    fn copies_through_registers() {
+        let (mut m, mut pool) = setup(16);
+        pool.host_fill_live(&mut m, 0, &[1, 2, 3, 4]).unwrap();
+        let mut kb = KernelBuilder::new("copy");
+        kb.param("src").param("dst");
+        kb.reg_alloc_i8("r", 4, 0);
+        kb.ram_load("r", 0, Expr::var("src"), 4);
+        kb.ram_store("r", 0, Expr::var("dst"), 4);
+        let k = kb.finish();
+        interpret(&k, &[("src", 0), ("dst", 8)], &mut m, &mut pool).unwrap();
+        assert_eq!(pool.host_read(&m, 8, 4).unwrap(), vec![1, 2, 3, 4]);
+        assert!(m.counters.ram_read_bytes >= 4);
+    }
+
+    #[test]
+    fn loops_bind_and_restore_variables() {
+        let (mut m, mut pool) = setup(16);
+        pool.host_fill_live(&mut m, 0, &[9; 8]).unwrap();
+        let mut kb = KernelBuilder::new("loop");
+        kb.reg_alloc_i8("r", 1, 0);
+        kb.for_("i", 8, |kb| {
+            kb.ram_load("r", 0, Expr::var("i"), 1);
+        });
+        interpret(&kb.finish(), &[], &mut m, &mut pool).unwrap();
+        assert_eq!(m.counters.branches, 8);
+    }
+
+    #[test]
+    fn dot_accumulates_like_reference() {
+        let (mut m, mut pool) = setup(16);
+        let mut kb = KernelBuilder::new("dot");
+        kb.reg_alloc_i32("acc", 2, 0);
+        kb.reg_alloc_i8("a", 2, 0);
+        kb.reg_alloc_i8("b", 4, 0);
+        kb.broadcast("a", 0, 3, 2); // a = [3, 3]
+        kb.broadcast("b", 0, 2, 4); // b = [[2,2],[2,2]]
+        kb.dot("acc", 0, "a", 0, "b", 0, 2, 2);
+        interpret(&kb.finish(), &[], &mut m, &mut pool).unwrap();
+        assert_eq!(m.counters.macs, 4);
+    }
+
+    #[test]
+    fn requant_matches_shared_arithmetic() {
+        let (mut m, mut pool) = setup(16);
+        let rq = Requant::from_scale(0.25, 1);
+        let mut kb = KernelBuilder::new("rq");
+        kb.reg_alloc_i32("acc", 1, 100);
+        kb.reg_alloc_i8("out", 1, 0);
+        kb.requant("out", 0, "acc", 0, 1, rq.mult, rq.shift, rq.zp);
+        kb.ram_store("out", 0, 0, 1);
+        interpret(&kb.finish(), &[], &mut m, &mut pool).unwrap();
+        let got = pool.host_read(&m, 0, 1).unwrap()[0] as i8;
+        assert_eq!(got, rq.apply(100));
+    }
+
+    #[test]
+    fn missing_argument_is_reported() {
+        let (mut m, mut pool) = setup(16);
+        let mut kb = KernelBuilder::new("k");
+        kb.param("base");
+        let err = interpret(&kb.finish(), &[], &mut m, &mut pool).unwrap_err();
+        assert!(matches!(err, InterpError::Unbound(p) if p == "base"));
+    }
+
+    #[test]
+    fn register_bounds_are_enforced() {
+        let (mut m, mut pool) = setup(16);
+        let mut kb = KernelBuilder::new("k");
+        kb.reg_alloc_i8("r", 2, 0);
+        kb.broadcast("r", 1, 0, 4); // writes past the end
+        let err = interpret(&kb.finish(), &[], &mut m, &mut pool).unwrap_err();
+        assert!(matches!(err, InterpError::RegOutOfRange { .. }));
+    }
+
+    #[test]
+    fn pool_violations_surface() {
+        let (mut m, mut pool) = setup(8);
+        pool.host_fill_live(&mut m, 0, &[1; 8]).unwrap();
+        let mut kb = KernelBuilder::new("k");
+        kb.reg_alloc_i8("r", 4, 0);
+        kb.ram_store("r", 0, 0, 4); // clobbers live input
+        let err = interpret(&kb.finish(), &[], &mut m, &mut pool).unwrap_err();
+        assert!(matches!(err, InterpError::Pool(PoolError::Clobber { .. })));
+    }
+}

@@ -1,0 +1,279 @@
+//! Pre-built IR kernels mirroring the paper's pseudo code.
+//!
+//! [`build_fc_kernel`] is Figure 4 written in the builder DSL: two-level
+//! tiling, segment loads/stores through the circular pool, full unrolling
+//! of the inner reduction, per-row `RAMFree`. The interpreter executes it
+//! bit-exact against the reference operator and the C backend emits it as
+//! a library function.
+
+use vmcu_ir::expr::Expr;
+use vmcu_ir::stmt::Kernel;
+use vmcu_ir::KernelBuilder;
+use vmcu_tensor::Requant;
+
+/// Geometry and quantization of an IR fully-connected kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FcIrSpec {
+    /// Rows.
+    pub m: usize,
+    /// Reduction size.
+    pub k: usize,
+    /// Output features.
+    pub n: usize,
+    /// Segment size in elements; must divide both `k` and `n`.
+    pub seg: usize,
+    /// Requantization of the accumulator.
+    pub rq: Requant,
+}
+
+impl FcIrSpec {
+    /// Minimal executable pointer distance `bIn − bOut` in bytes for the
+    /// generated kernel (stores of row `m` precede the free of input row
+    /// `m`, so the bound is `max_m (m·(N−K) + N)`).
+    pub fn exec_distance(&self) -> i64 {
+        (0..self.m as i64)
+            .map(|m| m * (self.n as i64 - self.k as i64) + self.n as i64)
+            .max()
+            .expect("m >= 1")
+    }
+
+    /// Pool window for the kernel at the minimal distance.
+    pub fn window_bytes(&self) -> usize {
+        let d = self.exec_distance().max(0) as usize;
+        (self.m * self.k + d).max(self.m * self.n)
+    }
+}
+
+/// Builds the Figure 4 fully-connected kernel as IR.
+///
+/// Parameters of the generated kernel: `in_base`, `out_base` (pool
+/// logical addresses) and `w_base` (flash address of `W[K,N]`).
+///
+/// # Panics
+///
+/// Panics unless `seg` divides both `k` and `n` (the §5.3 default
+/// `seg = min(K, N)` satisfies this whenever the smaller divides the
+/// larger; ragged tiling is handled by the native kernel, not the IR
+/// demo).
+pub fn build_fc_kernel(spec: &FcIrSpec) -> Kernel {
+    assert!(
+        spec.k % spec.seg == 0 && spec.n % spec.seg == 0,
+        "IR kernel requires seg | K and seg | N"
+    );
+    let (m, k, n, seg) = (
+        spec.m as i64,
+        spec.k as i64,
+        spec.n as i64,
+        spec.seg as i64,
+    );
+    let mut kb = KernelBuilder::new("vmcu_fc");
+    kb.param("in_base").param("out_base").param("w_base");
+    kb.for_("m", m, |kb| {
+        let mi = Expr::var("m");
+        kb.for_step("n0", n, spec.seg as i64, false, |kb| {
+            let n0 = Expr::var("n0");
+            kb.reg_alloc_i32("acc", spec.seg, 0);
+            kb.reg_alloc_i8("a_reg", spec.seg, 0);
+            kb.reg_alloc_i8("w_tile", spec.seg * spec.seg, 0);
+            kb.for_step("k0", k, spec.seg as i64, false, |kb| {
+                let k0 = Expr::var("k0");
+                kb.ram_load(
+                    "a_reg",
+                    0,
+                    Expr::var("in_base") + mi.clone() * k + k0.clone(),
+                    seg,
+                );
+                kb.for_unrolled("kk", seg, |kb| {
+                    let kk = Expr::var("kk");
+                    kb.flash_load(
+                        "w_tile",
+                        kk.clone() * seg,
+                        Expr::var("w_base") + (k0.clone() + kk) * n + n0.clone(),
+                        seg,
+                    );
+                });
+                kb.dot("acc", 0, "a_reg", 0, "w_tile", 0, spec.seg, spec.seg);
+            });
+            kb.reg_alloc_i8("out_reg", spec.seg, 0);
+            kb.requant(
+                "out_reg",
+                0,
+                "acc",
+                0,
+                spec.seg,
+                spec.rq.mult,
+                spec.rq.shift,
+                spec.rq.zp,
+            );
+            kb.ram_store(
+                "out_reg",
+                0,
+                Expr::var("out_base") + mi.clone() * n + n0,
+                seg,
+            );
+        });
+        kb.ram_free(Expr::var("in_base") + mi * k, k);
+    });
+    let kernel = kb.finish();
+    vmcu_ir::validate::validate(&kernel).expect("generated FC kernel is well-formed");
+    kernel
+}
+
+
+/// Geometry of an IR pointwise-convolution kernel (Figure 5 with a 1×1
+/// window — the single-layer workload of the paper's evaluation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PwIrSpec {
+    /// Image height.
+    pub h: usize,
+    /// Image width.
+    pub w: usize,
+    /// Input channels.
+    pub c: usize,
+    /// Output channels.
+    pub k: usize,
+    /// Segment size in elements; must divide both `c` and `k`.
+    pub seg: usize,
+    /// Requantization of the accumulator.
+    pub rq: Requant,
+}
+
+impl PwIrSpec {
+    /// The equivalent FC view (`M = H·W`).
+    pub fn as_fc(&self) -> FcIrSpec {
+        FcIrSpec {
+            m: self.h * self.w,
+            k: self.c,
+            n: self.k,
+            seg: self.seg,
+            rq: self.rq,
+        }
+    }
+}
+
+/// Builds the pointwise-convolution kernel as IR by lowering to the
+/// Figure 4 loop nest over `H·W` pixels — the same reduction the paper's
+/// Figure 5 performs with `R = S = 1`.
+pub fn build_pointwise_kernel(spec: &PwIrSpec) -> Kernel {
+    let mut kernel = build_fc_kernel(&spec.as_fc());
+    kernel.name = "vmcu_pointwise".to_owned();
+    kernel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cgen::emit_kernel;
+    use crate::interp::interpret;
+    use vmcu_pool::SegmentPool;
+    use vmcu_sim::{Device, Machine};
+    use vmcu_tensor::{random, reference, Tensor, NO_CLAMP};
+
+    fn run_ir_fc(spec: &FcIrSpec) -> Tensor<i8> {
+        let mut m = Machine::new(Device::stm32_f411re());
+        let input = random::tensor_i8(&[spec.m, spec.k], 81);
+        let weight = random::tensor_i8(&[spec.k, spec.n], 82);
+        let w_base = m.host_program_flash(&weight.as_bytes()).unwrap() as i64;
+        let d = spec.exec_distance();
+        let mut pool = SegmentPool::new(&m, 0, spec.window_bytes(), spec.seg).unwrap();
+        pool.host_fill_live(&mut m, 0, &input.as_bytes()).unwrap();
+        let kernel = build_fc_kernel(spec);
+        interpret(
+            &kernel,
+            &[("in_base", 0), ("out_base", -d), ("w_base", w_base)],
+            &mut m,
+            &mut pool,
+        )
+        .unwrap();
+        let out = pool.host_read(&m, -d, spec.m * spec.n).unwrap();
+        Tensor::from_bytes(&[spec.m, spec.n], &out)
+    }
+
+    #[test]
+    fn ir_fc_matches_reference() {
+        let spec = FcIrSpec {
+            m: 5,
+            k: 8,
+            n: 4,
+            seg: 4,
+            rq: Requant::from_scale(1.0 / 32.0, 0),
+        };
+        let got = run_ir_fc(&spec);
+        let input = random::tensor_i8(&[spec.m, spec.k], 81);
+        let weight = random::tensor_i8(&[spec.k, spec.n], 82);
+        let want = reference::dense(&input, &weight, None, spec.rq, NO_CLAMP);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn ir_fc_matches_reference_wide() {
+        let spec = FcIrSpec {
+            m: 3,
+            k: 4,
+            n: 12,
+            seg: 4,
+            rq: Requant::from_scale(1.0 / 16.0, 2),
+        };
+        assert_eq!(
+            run_ir_fc(&spec),
+            reference::dense(
+                &random::tensor_i8(&[spec.m, spec.k], 81),
+                &random::tensor_i8(&[spec.k, spec.n], 82),
+                None,
+                spec.rq,
+                NO_CLAMP
+            )
+        );
+    }
+
+    #[test]
+    fn ir_pointwise_matches_reference() {
+        let spec = PwIrSpec {
+            h: 4,
+            w: 4,
+            c: 8,
+            k: 8,
+            seg: 8,
+            rq: Requant::from_scale(1.0 / 32.0, 1),
+        };
+        let fc = spec.as_fc();
+        let mut m = Machine::new(Device::stm32_f411re());
+        let input = random::tensor_i8(&[spec.h, spec.w, spec.c], 91);
+        let weight = random::tensor_i8(&[spec.c, spec.k], 92);
+        let w_base = m.host_program_flash(&weight.as_bytes()).unwrap() as i64;
+        let d = fc.exec_distance();
+        let mut pool = SegmentPool::new(&m, 0, fc.window_bytes(), spec.seg).unwrap();
+        pool.host_fill_live(&mut m, 0, &input.as_bytes()).unwrap();
+        let kernel = build_pointwise_kernel(&spec);
+        assert_eq!(kernel.name, "vmcu_pointwise");
+        interpret(
+            &kernel,
+            &[("in_base", 0), ("out_base", -d), ("w_base", w_base)],
+            &mut m,
+            &mut pool,
+        )
+        .unwrap();
+        let out = pool.host_read(&m, -d, spec.h * spec.w * spec.k).unwrap();
+        let out = Tensor::from_bytes(&[spec.h, spec.w, spec.k], &out);
+        let expected =
+            reference::pointwise(&input, &weight, None, 1, spec.rq, NO_CLAMP);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn generated_c_has_figure4_structure() {
+        let spec = FcIrSpec {
+            m: 4,
+            k: 8,
+            n: 8,
+            seg: 8,
+            rq: Requant::identity(),
+        };
+        let c = emit_kernel(&build_fc_kernel(&spec));
+        assert!(c.contains("void vmcu_fc(int64_t in_base, int64_t out_base, int64_t w_base)"));
+        // Outer tiling loops stay rolled; inner flash row loop unrolls.
+        assert!(c.contains("for (int64_t m = 0; m < 4; m += 1)"));
+        assert!(c.contains("fully unrolled loop kk"));
+        assert!(c.contains("vmcu_dot(acc + 0"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # vmcu-codegen — compiler support (§6)
+//!
+//! The paper lowers a Python-authored kernel description to C for ARM
+//! MCUs. Here the same pipeline is: builder DSL (`vmcu-ir`) → IR →
+//! either [C emission](cgen) (ACLE `__SMLAD`/`__SXTB16`/`__PKHBT`
+//! intrinsics with scalar fallbacks, circular-buffer modulo addressing,
+//! full unrolling of constant reduction loops) or [interpretation](interp)
+//! on the simulated machine, which validates generated kernels bit-exact
+//! against the reference operators.
+//!
+//! [`kernels_ir`] contains pre-built IR mirroring the paper's Figure 4
+//! pseudo code.
+//!
+//! # Examples
+//!
+//! ```
+//! use vmcu_codegen::kernels_ir::{build_fc_kernel, FcIrSpec};
+//! use vmcu_codegen::cgen::emit_library;
+//! use vmcu_tensor::Requant;
+//!
+//! let spec = FcIrSpec { m: 4, k: 8, n: 8, seg: 8, rq: Requant::identity() };
+//! let lib = emit_library(&[build_fc_kernel(&spec)]);
+//! assert!(lib.contains("void vmcu_fc"));
+//! assert!(lib.contains("__smlad"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cgen;
+pub mod interp;
+pub mod kernels_ir;
+
+pub use cgen::{emit_kernel, emit_library, prelude};
+pub use interp::{interpret, InterpError};
+
+/// Cycles charged per element by the requantization epilogue (kept in
+/// sync with the native kernels' intrinsic cost).
+pub const REQUANT_CYCLES_PER_ELEM: u64 = 3;

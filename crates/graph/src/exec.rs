@@ -1,0 +1,82 @@
+//! Reference graph executor.
+//!
+//! Runs a whole [`Graph`] through the oracle operators on plain host
+//! tensors — no simulator, no memory planning. This is the ground truth
+//! every planned/simulated execution is compared against.
+
+use crate::graph::Graph;
+use crate::layer::{LayerDesc, LayerWeights};
+use vmcu_kernels::fused_ib::ib_reference;
+use vmcu_tensor::{reference, Tensor};
+
+/// Runs the graph on `input`, returning every intermediate activation
+/// (the last entry is the graph output).
+///
+/// # Panics
+///
+/// Panics if `weights` does not match the graph or shapes mismatch
+/// (construction via [`Graph::linear`] and [`Graph::random_weights`]
+/// guarantees both).
+pub fn run_reference(graph: &Graph, weights: &[LayerWeights], input: &Tensor<i8>) -> Vec<Tensor<i8>> {
+    assert_eq!(weights.len(), graph.len(), "weights/layers mismatch");
+    let mut acts = Vec::with_capacity(graph.len());
+    let mut cur = input.clone();
+    for (layer, w) in graph.layers().iter().zip(weights) {
+        cur = match (layer, w) {
+            (LayerDesc::Pointwise(p), LayerWeights::Pointwise(wt)) => {
+                reference::pointwise(&cur, wt, None, 1, p.rq, p.clamp)
+            }
+            (LayerDesc::Conv2d(p), LayerWeights::Conv2d(wt)) => {
+                reference::conv2d(&cur, wt, None, p.stride, p.pad, p.rq, p.clamp)
+            }
+            (LayerDesc::Depthwise(p), LayerWeights::Depthwise(wt)) => {
+                reference::depthwise(&cur, wt, None, p.stride, p.pad, p.rq, p.clamp)
+            }
+            (LayerDesc::Dense(p), LayerWeights::Dense(wt)) => {
+                reference::dense(&cur, wt, None, p.rq, p.clamp)
+            }
+            (LayerDesc::Ib(p), LayerWeights::Ib { w1, wdw, w2 }) => {
+                ib_reference(p, &cur, w1, wdw, w2)
+            }
+            (l, w) => panic!("layer/weights kind mismatch: {l:?} vs {w:?}"),
+        };
+        acts.push(cur.clone());
+    }
+    acts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::demo_linear_net;
+    use vmcu_tensor::random;
+
+    #[test]
+    fn demo_net_runs_end_to_end() {
+        let g = demo_linear_net();
+        let weights = g.random_weights(7);
+        let input = random::tensor_i8(&g.in_shape(), 1);
+        let acts = run_reference(&g, &weights, &input);
+        assert_eq!(acts.len(), g.len());
+        assert_eq!(acts.last().unwrap().shape(), g.out_shape().as_slice());
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let g = demo_linear_net();
+        let weights = g.random_weights(7);
+        let input = random::tensor_i8(&g.in_shape(), 1);
+        let a = run_reference(&g, &weights, &input);
+        let b = run_reference(&g, &weights, &input);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_weights_change_output() {
+        let g = demo_linear_net();
+        let input = random::tensor_i8(&g.in_shape(), 1);
+        let a = run_reference(&g, &g.random_weights(7), &input);
+        let b = run_reference(&g, &g.random_weights(8), &input);
+        assert_ne!(a.last(), b.last());
+    }
+}

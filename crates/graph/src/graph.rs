@@ -1,0 +1,168 @@
+//! Linear model graphs.
+//!
+//! The networks the paper evaluates are linear chains of modules — the
+//! very structure where scheduling-based memory optimizers (Serenity,
+//! HMCOS) find nothing to reorder and vMCU's segment overlap is the only
+//! lever (§8.4). A [`Graph`] is that chain, with shape-chaining validated
+//! at construction.
+
+use crate::layer::{LayerDesc, LayerWeights};
+use std::fmt;
+
+/// A linear DNN graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    /// Model name.
+    pub name: String,
+    layers: Vec<LayerDesc>,
+}
+
+/// Error from graph construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeMismatchError {
+    /// Index of the offending layer.
+    pub layer: usize,
+    /// Producer output shape.
+    pub produced: Vec<usize>,
+    /// Consumer input shape.
+    pub expected: Vec<usize>,
+}
+
+impl fmt::Display for ShapeMismatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "layer {} expects input shape {:?} but predecessor produces {:?}",
+            self.layer, self.expected, self.produced
+        )
+    }
+}
+
+impl std::error::Error for ShapeMismatchError {}
+
+impl Graph {
+    /// Builds a linear graph, validating that consecutive layer shapes
+    /// chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeMismatchError`] on the first mismatching edge.
+    pub fn linear(
+        name: impl Into<String>,
+        layers: Vec<LayerDesc>,
+    ) -> Result<Self, ShapeMismatchError> {
+        for i in 1..layers.len() {
+            let produced = layers[i - 1].out_shape();
+            let expected = layers[i].in_shape();
+            if produced != expected {
+                return Err(ShapeMismatchError {
+                    layer: i,
+                    produced,
+                    expected,
+                });
+            }
+        }
+        Ok(Self {
+            name: name.into(),
+            layers,
+        })
+    }
+
+    /// The layers in execution order.
+    pub fn layers(&self) -> &[LayerDesc] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the graph has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Input shape of the whole graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty graph.
+    pub fn in_shape(&self) -> Vec<usize> {
+        self.layers.first().expect("non-empty graph").in_shape()
+    }
+
+    /// Output shape of the whole graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty graph.
+    pub fn out_shape(&self) -> Vec<usize> {
+        self.layers.last().expect("non-empty graph").out_shape()
+    }
+
+    /// Total weight bytes across layers (Flash budget).
+    pub fn weight_bytes(&self) -> usize {
+        self.layers.iter().map(LayerDesc::weight_bytes).sum()
+    }
+
+    /// Deterministic weights for every layer.
+    pub fn random_weights(&self, seed: u64) -> Vec<LayerWeights> {
+        self.layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| LayerWeights::random(l, seed.wrapping_add(1000 * i as u64)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmcu_kernels::params::{DepthwiseParams, PointwiseParams};
+    use vmcu_tensor::Requant;
+
+    fn pw(h: usize, c: usize, k: usize) -> LayerDesc {
+        LayerDesc::Pointwise(PointwiseParams::new(h, h, c, k, Requant::identity()))
+    }
+
+    #[test]
+    fn chains_validate() {
+        let g = Graph::linear("g", vec![pw(8, 4, 8), pw(8, 8, 16)]).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.in_shape(), vec![8, 8, 4]);
+        assert_eq!(g.out_shape(), vec![8, 8, 16]);
+    }
+
+    #[test]
+    fn mismatches_are_rejected_with_context() {
+        let err = Graph::linear("g", vec![pw(8, 4, 8), pw(8, 16, 16)]).unwrap_err();
+        assert_eq!(err.layer, 1);
+        assert!(err.to_string().contains("expects input shape"));
+    }
+
+    #[test]
+    fn mixed_layer_chain() {
+        let g = Graph::linear(
+            "g",
+            vec![
+                pw(8, 4, 8),
+                LayerDesc::Depthwise(DepthwiseParams::new(
+                    8,
+                    8,
+                    8,
+                    3,
+                    3,
+                    2,
+                    1,
+                    Requant::identity(),
+                )),
+                pw(4, 8, 4),
+            ],
+        )
+        .unwrap();
+        assert_eq!(g.out_shape(), vec![4, 4, 4]);
+        assert!(g.weight_bytes() > 0);
+        assert_eq!(g.random_weights(1).len(), 3);
+    }
+}

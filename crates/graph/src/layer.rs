@@ -1,0 +1,182 @@
+//! Layer descriptors and per-layer weights.
+//!
+//! A [`LayerDesc`] is the graph-level view of one kernel invocation; it
+//! wraps the parameter blocks from `vmcu-kernels` so planners, executors,
+//! and the facade all agree on geometry and quantization.
+
+use vmcu_kernels::params::{Conv2dParams, DepthwiseParams, FcParams, IbParams, PointwiseParams};
+use vmcu_tensor::{random, Tensor};
+
+/// One layer of a model graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerDesc {
+    /// Pointwise (1×1) convolution.
+    Pointwise(PointwiseParams),
+    /// Dense 2D convolution.
+    Conv2d(Conv2dParams),
+    /// Depthwise convolution.
+    Depthwise(DepthwiseParams),
+    /// Fully-connected layer.
+    Dense(FcParams),
+    /// Fused inverted-bottleneck module.
+    Ib(IbParams),
+}
+
+impl LayerDesc {
+    /// Human-readable kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LayerDesc::Pointwise(_) => "pointwise",
+            LayerDesc::Conv2d(_) => "conv2d",
+            LayerDesc::Depthwise(_) => "depthwise",
+            LayerDesc::Dense(_) => "dense",
+            LayerDesc::Ib(_) => "inverted-bottleneck",
+        }
+    }
+
+    /// Input activation bytes.
+    pub fn in_bytes(&self) -> usize {
+        match self {
+            LayerDesc::Pointwise(p) => p.in_bytes(),
+            LayerDesc::Conv2d(p) => p.in_bytes(),
+            LayerDesc::Depthwise(p) => p.in_bytes(),
+            LayerDesc::Dense(p) => p.in_bytes(),
+            LayerDesc::Ib(p) => p.in_bytes(),
+        }
+    }
+
+    /// Output activation bytes.
+    pub fn out_bytes(&self) -> usize {
+        match self {
+            LayerDesc::Pointwise(p) => p.out_bytes(),
+            LayerDesc::Conv2d(p) => p.out_bytes(),
+            LayerDesc::Depthwise(p) => p.out_bytes(),
+            LayerDesc::Dense(p) => p.out_bytes(),
+            LayerDesc::Ib(p) => p.out_bytes(),
+        }
+    }
+
+    /// Input tensor shape.
+    pub fn in_shape(&self) -> Vec<usize> {
+        match self {
+            LayerDesc::Pointwise(p) => vec![p.h, p.w, p.c],
+            LayerDesc::Conv2d(p) => vec![p.h, p.w, p.c],
+            LayerDesc::Depthwise(p) => vec![p.h, p.w, p.c],
+            LayerDesc::Dense(p) => vec![p.m, p.k],
+            LayerDesc::Ib(p) => vec![p.hw, p.hw, p.c_in],
+        }
+    }
+
+    /// Output tensor shape.
+    pub fn out_shape(&self) -> Vec<usize> {
+        match self {
+            LayerDesc::Pointwise(p) => vec![p.h, p.w, p.k],
+            LayerDesc::Conv2d(p) => vec![p.out_h(), p.out_w(), p.k],
+            LayerDesc::Depthwise(p) => vec![p.out_h(), p.out_w(), p.c],
+            LayerDesc::Dense(p) => vec![p.m, p.n],
+            LayerDesc::Ib(p) => vec![p.hw2(), p.hw2(), p.c_out],
+        }
+    }
+
+    /// Weight bytes (resident in Flash).
+    pub fn weight_bytes(&self) -> usize {
+        match self {
+            LayerDesc::Pointwise(p) => p.c * p.k,
+            LayerDesc::Conv2d(p) => p.r * p.s * p.c * p.k,
+            LayerDesc::Depthwise(p) => p.r * p.s * p.c,
+            LayerDesc::Dense(p) => p.weight_bytes(),
+            LayerDesc::Ib(p) => {
+                p.c_in * p.c_mid + p.rs * p.rs * p.c_mid + p.c_mid * p.c_out
+            }
+        }
+    }
+}
+
+/// Synthetic weights for one layer (deterministic per seed).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerWeights {
+    /// Pointwise `[C, K]`.
+    Pointwise(Tensor<i8>),
+    /// Conv2d `[R, S, C, K]`.
+    Conv2d(Tensor<i8>),
+    /// Depthwise `[R, S, C]`.
+    Depthwise(Tensor<i8>),
+    /// Dense `[K, N]`.
+    Dense(Tensor<i8>),
+    /// Inverted bottleneck: expand `[Cin, Cmid]`, depthwise
+    /// `[R, S, Cmid]`, project `[Cmid, Cout]`.
+    Ib {
+        /// Expand weights.
+        w1: Tensor<i8>,
+        /// Depthwise weights.
+        wdw: Tensor<i8>,
+        /// Project weights.
+        w2: Tensor<i8>,
+    },
+}
+
+impl LayerWeights {
+    /// Generates deterministic weights for a layer.
+    pub fn random(layer: &LayerDesc, seed: u64) -> Self {
+        match layer {
+            LayerDesc::Pointwise(p) => {
+                LayerWeights::Pointwise(random::tensor_i8(&[p.c, p.k], seed))
+            }
+            LayerDesc::Conv2d(p) => {
+                LayerWeights::Conv2d(random::tensor_i8(&[p.r, p.s, p.c, p.k], seed))
+            }
+            LayerDesc::Depthwise(p) => {
+                LayerWeights::Depthwise(random::tensor_i8(&[p.r, p.s, p.c], seed))
+            }
+            LayerDesc::Dense(p) => LayerWeights::Dense(random::tensor_i8(&[p.k, p.n], seed)),
+            LayerDesc::Ib(p) => LayerWeights::Ib {
+                w1: random::tensor_i8(&[p.c_in, p.c_mid], seed),
+                wdw: random::tensor_i8(&[p.rs, p.rs, p.c_mid], seed.wrapping_add(1)),
+                w2: random::tensor_i8(&[p.c_mid, p.c_out], seed.wrapping_add(2)),
+            },
+        }
+    }
+
+    /// Total weight bytes.
+    pub fn bytes(&self) -> usize {
+        match self {
+            LayerWeights::Pointwise(t)
+            | LayerWeights::Conv2d(t)
+            | LayerWeights::Depthwise(t)
+            | LayerWeights::Dense(t) => t.len(),
+            LayerWeights::Ib { w1, wdw, w2 } => w1.len() + wdw.len() + w2.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmcu_tensor::Requant;
+
+    #[test]
+    fn shapes_are_consistent() {
+        let l = LayerDesc::Pointwise(PointwiseParams::new(8, 8, 16, 24, Requant::identity()));
+        assert_eq!(l.in_bytes(), 8 * 8 * 16);
+        assert_eq!(l.out_bytes(), 8 * 8 * 24);
+        assert_eq!(l.in_shape(), vec![8, 8, 16]);
+        assert_eq!(l.out_shape(), vec![8, 8, 24]);
+        assert_eq!(l.weight_bytes(), 16 * 24);
+    }
+
+    #[test]
+    fn ib_weight_accounting() {
+        let p = IbParams::new(20, 16, 48, 16, 3, (1, 1, 1));
+        let l = LayerDesc::Ib(p);
+        assert_eq!(l.weight_bytes(), 16 * 48 + 9 * 48 + 48 * 16);
+        let w = LayerWeights::random(&l, 3);
+        assert_eq!(w.bytes(), l.weight_bytes());
+    }
+
+    #[test]
+    fn weights_are_deterministic() {
+        let l = LayerDesc::Dense(FcParams::new(4, 8, 8, Requant::identity()));
+        assert_eq!(LayerWeights::random(&l, 9), LayerWeights::random(&l, 9));
+        assert_ne!(LayerWeights::random(&l, 9), LayerWeights::random(&l, 10));
+    }
+}

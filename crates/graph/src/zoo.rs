@@ -1,0 +1,236 @@
+//! The model zoo: every workload of the paper's evaluation (§7).
+//!
+//! * [`fig7_cases`] — the nine single-layer pointwise convolutions of
+//!   Figures 7 and 8;
+//! * [`mcunet_5fps_vww`] — the 8 inverted-bottleneck modules of
+//!   MCUNet-5fps-VWW (Table 2, S1–S8);
+//! * [`mcunet_320kb_imagenet`] — the 17 measured modules of
+//!   MCUNet-320KB-ImageNet (Table 2, B1–B17);
+//! * [`demo_linear_net`] — a small shape-chained network for end-to-end
+//!   examples and tests.
+
+use crate::graph::Graph;
+use crate::layer::LayerDesc;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vmcu_kernels::params::{DepthwiseParams, IbParams, PointwiseParams};
+use vmcu_tensor::Requant;
+
+/// A named module configuration from Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedIb {
+    /// Paper name (S1–S8, B1–B17).
+    pub name: &'static str,
+    /// Module parameters.
+    pub params: IbParams,
+}
+
+fn ib(
+    name: &'static str,
+    hw: usize,
+    c_in: usize,
+    c_mid: usize,
+    c_out: usize,
+    rs: usize,
+    strides: (usize, usize, usize),
+) -> NamedIb {
+    let mut p = IbParams::new(hw, c_in, c_mid, c_out, rs, strides);
+    // MobileNetV2-style activations: ReLU6 after expand and depthwise,
+    // linear bottleneck after projection.
+    p.clamp1 = (0, 127);
+    p.clamp2 = (0, 127);
+    NamedIb { name, params: p }
+}
+
+/// MCUNet-5fps-VWW backbone modules (Table 2, top half).
+pub fn mcunet_5fps_vww() -> Vec<NamedIb> {
+    vec![
+        ib("S1", 20, 16, 48, 16, 3, (1, 1, 1)),
+        ib("S2", 20, 16, 48, 16, 3, (1, 1, 1)),
+        ib("S3", 10, 24, 144, 16, 3, (1, 1, 1)),
+        ib("S4", 10, 24, 120, 24, 3, (1, 1, 1)),
+        ib("S5", 5, 40, 240, 40, 3, (1, 1, 1)),
+        ib("S6", 5, 48, 192, 48, 3, (1, 1, 1)),
+        ib("S7", 3, 96, 480, 96, 3, (1, 1, 1)),
+        ib("S8", 3, 96, 384, 96, 3, (1, 1, 1)),
+    ]
+}
+
+/// MCUNet-320KB-ImageNet measured modules (Table 2, bottom half; the 18th
+/// module is excluded as in the paper — its 7×7 window exceeds the 6×6
+/// image and is unsuitable for fusion).
+pub fn mcunet_320kb_imagenet() -> Vec<NamedIb> {
+    vec![
+        ib("B1", 176, 3, 16, 8, 3, (2, 1, 1)),
+        ib("B2", 88, 8, 24, 16, 7, (1, 2, 1)),
+        ib("B3", 44, 16, 80, 16, 3, (1, 1, 1)),
+        ib("B4", 44, 16, 80, 16, 7, (1, 1, 1)),
+        ib("B5", 44, 16, 64, 24, 5, (1, 1, 1)),
+        ib("B6", 44, 16, 80, 24, 5, (1, 2, 1)),
+        ib("B7", 22, 24, 120, 24, 5, (1, 1, 1)),
+        ib("B8", 22, 24, 120, 24, 5, (1, 1, 1)),
+        ib("B9", 22, 24, 120, 40, 3, (1, 2, 1)),
+        ib("B10", 11, 40, 240, 40, 7, (1, 1, 1)),
+        ib("B11", 11, 40, 160, 40, 5, (1, 1, 1)),
+        ib("B12", 11, 40, 200, 48, 7, (1, 2, 1)),
+        ib("B13", 11, 48, 240, 48, 7, (1, 1, 1)),
+        ib("B14", 11, 48, 240, 48, 3, (1, 1, 1)),
+        ib("B15", 11, 48, 288, 96, 3, (1, 2, 1)),
+        ib("B16", 6, 96, 480, 96, 7, (1, 1, 1)),
+        ib("B17", 6, 96, 384, 96, 3, (1, 1, 1)),
+    ]
+}
+
+/// A named single-layer case from Figure 7/8.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedPointwise {
+    /// Paper label, e.g. `H/W80,C16,K16`.
+    pub name: String,
+    /// Layer parameters.
+    pub params: PointwiseParams,
+}
+
+/// The nine pointwise-convolution cases of Figures 7 and 8.
+pub fn fig7_cases() -> Vec<NamedPointwise> {
+    [
+        (80, 16, 16),
+        (56, 32, 32),
+        (28, 64, 64),
+        (80, 16, 8),
+        (40, 32, 16),
+        (20, 48, 24),
+        (24, 16, 32),
+        (12, 32, 64),
+        (6, 64, 128),
+    ]
+    .into_iter()
+    .map(|(hw, c, k)| NamedPointwise {
+        name: format!("H/W{hw},C{c},K{k}"),
+        params: PointwiseParams::new(hw, hw, c, k, Requant::from_scale(1.0 / 64.0, 0)),
+    })
+    .collect()
+}
+
+/// A small shape-chained network (pointwise → IB → IB → pointwise) used
+/// by the end-to-end examples and integration tests.
+pub fn demo_linear_net() -> Graph {
+    let rq = Requant::from_scale(1.0 / 64.0, 0);
+    let mut ib1 = IbParams::new(12, 8, 24, 8, 3, (1, 1, 1));
+    ib1.clamp1 = (0, 127);
+    ib1.clamp2 = (0, 127);
+    let mut ib2 = IbParams::new(12, 8, 32, 16, 3, (1, 2, 1));
+    ib2.clamp1 = (0, 127);
+    ib2.clamp2 = (0, 127);
+    Graph::linear(
+        "demo-linear-net",
+        vec![
+            LayerDesc::Pointwise(PointwiseParams::new(12, 12, 4, 8, rq)),
+            LayerDesc::Ib(ib1),
+            LayerDesc::Ib(ib2),
+            LayerDesc::Pointwise(PointwiseParams::new(6, 6, 16, 32, rq)),
+        ],
+    )
+    .expect("demo net shapes chain")
+}
+
+/// A random shape-chained linear network for differential testing: a mix
+/// of pointwise, depthwise, and inverted-bottleneck layers whose shapes
+/// compose. Deterministic per seed.
+pub fn random_linear_net(seed: u64, layers: usize) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rq = Requant::from_scale(1.0 / 64.0, 0);
+    let mut hw = [8usize, 10, 12][rng.gen_range(0..3)];
+    let mut c = [4usize, 6, 8][rng.gen_range(0..3)];
+    let mut out = Vec::new();
+    for _ in 0..layers {
+        match rng.gen_range(0..3) {
+            0 => {
+                let k = [4usize, 6, 8, 12][rng.gen_range(0..4)];
+                out.push(LayerDesc::Pointwise(PointwiseParams::new(hw, hw, c, k, rq)));
+                c = k;
+            }
+            1 => {
+                // Depthwise keeps channels; occasionally strides down.
+                let stride = if hw >= 8 && rng.gen_bool(0.3) { 2 } else { 1 };
+                out.push(LayerDesc::Depthwise(DepthwiseParams::new(
+                    hw, hw, c, 3, 3, stride, 1, rq,
+                )));
+                hw = (hw + 2 - 3) / stride + 1;
+            }
+            _ => {
+                let expand = rng.gen_range(2..4);
+                let c_out = if rng.gen_bool(0.5) { c } else { (c + 2).min(12) };
+                let s2 = if hw >= 8 && rng.gen_bool(0.25) { 2 } else { 1 };
+                let mut p = IbParams::new(hw, c, c * expand, c_out, 3, (1, s2, 1));
+                p.clamp1 = (0, 127);
+                p.clamp2 = (0, 127);
+                out.push(LayerDesc::Ib(p));
+                hw = p.hw2();
+                c = c_out;
+            }
+        }
+    }
+    Graph::linear(format!("random-{seed}"), out).expect("generator chains shapes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vww_has_eight_modules_matching_table2() {
+        let m = mcunet_5fps_vww();
+        assert_eq!(m.len(), 8);
+        assert_eq!(m[0].params.in_bytes(), 6400); // S1: 20*20*16
+        assert_eq!(m[0].params.mid_bytes(), 19200); // 20*20*48
+        assert!(m.iter().all(|x| x.params.has_residual() || x.params.c_in != x.params.c_out));
+        // All VWW modules are stride-1 residual blocks except channel
+        // changers S3, S4->? (S3: 24->16 no residual).
+        assert!(!m[2].params.has_residual());
+    }
+
+    #[test]
+    fn imagenet_has_seventeen_modules() {
+        let m = mcunet_320kb_imagenet();
+        assert_eq!(m.len(), 17);
+        // Paper landmarks: B2's expanded tensor is 185,856 bytes (the
+        // 247.8 KB TinyEngine bottleneck is A+B = 61,952 + 185,856).
+        let b2 = &m[1].params;
+        assert_eq!(b2.in_bytes() + b2.mid_bytes(), 247_808);
+        // B1 input: 176*176*3 = 92,928 bytes.
+        assert_eq!(m[0].params.in_bytes(), 92_928);
+        // B16: 7x7 window over a 6x6 image works only due to padding 3.
+        assert_eq!(m[15].params.hw2(), 6);
+    }
+
+    #[test]
+    fn fig7_cases_match_paper_labels() {
+        let cases = fig7_cases();
+        assert_eq!(cases.len(), 9);
+        assert_eq!(cases[0].name, "H/W80,C16,K16");
+        assert_eq!(cases[0].params.in_bytes(), 102_400);
+        assert_eq!(cases[3].params.out_bytes(), 51_200);
+        assert_eq!(cases[8].params.k, 128);
+    }
+
+    #[test]
+    fn random_nets_chain_for_many_seeds() {
+        for seed in 0..50 {
+            let g = random_linear_net(seed, 4);
+            assert_eq!(g.len(), 4, "seed {seed}");
+            assert!(!g.in_shape().is_empty());
+        }
+    }
+
+    #[test]
+    fn random_nets_are_deterministic() {
+        assert_eq!(random_linear_net(7, 5), random_linear_net(7, 5));
+    }
+
+    #[test]
+    fn demo_net_chains_and_runs_shapes() {
+        let g = demo_linear_net();
+        assert_eq!(g.in_shape(), vec![12, 12, 4]);
+        assert_eq!(g.out_shape(), vec![6, 6, 32]);
+    }
+}

@@ -1,0 +1,332 @@
+//! Fluent kernel builder — the Rust stand-in for the paper's Python
+//! programming interface (§6).
+//!
+//! The paper reduces kernel-development difficulty by letting developers
+//! write loop nests and intrinsic calls in Python, then lowering to C. Here
+//! the same role is played by a closure-based builder that produces
+//! [`Kernel`] IR; `vmcu-codegen` lowers that IR to C or interprets it on
+//! the simulator.
+//!
+//! # Examples
+//!
+//! A miniature fully-connected kernel skeleton (compare Figure 4):
+//!
+//! ```
+//! use vmcu_ir::builder::KernelBuilder;
+//! use vmcu_ir::expr::Expr;
+//!
+//! let mut kb = KernelBuilder::new("fc");
+//! kb.param("in_base");
+//! kb.param("out_base");
+//! kb.for_("m", Expr::var("M"), |kb| {
+//!     let m = Expr::var("m");
+//!     kb.reg_alloc_i32("acc", 16, 0);
+//!     kb.ram_load("val_a", 0, Expr::var("in_base") + m * 16, 16);
+//!     kb.ram_store("acc", 0, Expr::var("out_base") + Expr::var("m") * 16, 16);
+//! });
+//! let kernel = kb.finish();
+//! assert_eq!(kernel.name, "fc");
+//! assert_eq!(kernel.body.loop_depth(), 1);
+//! ```
+
+use crate::expr::Expr;
+use crate::stmt::{DType, Kernel, Stmt};
+
+/// Incrementally builds a [`Kernel`].
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    params: Vec<String>,
+    stack: Vec<Vec<Stmt>>,
+}
+
+impl KernelBuilder {
+    /// Starts a new kernel with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            params: Vec::new(),
+            stack: vec![Vec::new()],
+        }
+    }
+
+    /// Declares a run-time integer parameter (tensor base address or size).
+    pub fn param(&mut self, name: impl Into<String>) -> &mut Self {
+        self.params.push(name.into());
+        self
+    }
+
+    fn push(&mut self, s: Stmt) -> &mut Self {
+        self.stack
+            .last_mut()
+            .expect("builder scope stack is never empty")
+            .push(s);
+        self
+    }
+
+    /// Emits a sequential loop `for var in (0..extent).step_by(step)`.
+    pub fn for_step(
+        &mut self,
+        var: impl Into<String>,
+        extent: impl Into<Expr>,
+        step: i64,
+        unroll: bool,
+        body: impl FnOnce(&mut Self),
+    ) -> &mut Self {
+        assert!(step > 0, "loop step must be positive");
+        self.stack.push(Vec::new());
+        body(self);
+        let stmts = self.stack.pop().expect("matching scope push");
+        let stmt = Stmt::For {
+            var: var.into(),
+            extent: extent.into(),
+            step,
+            unroll,
+            body: Box::new(Stmt::seq(stmts)),
+        };
+        self.push(stmt)
+    }
+
+    /// Emits a unit-step, non-unrolled loop.
+    pub fn for_(
+        &mut self,
+        var: impl Into<String>,
+        extent: impl Into<Expr>,
+        body: impl FnOnce(&mut Self),
+    ) -> &mut Self {
+        self.for_step(var, extent, 1, false, body)
+    }
+
+    /// Emits a fully-unrolled unit-step loop (vMCU unrolls innermost
+    /// reduction loops to avoid pipeline stalls, §7.2).
+    pub fn for_unrolled(
+        &mut self,
+        var: impl Into<String>,
+        extent: impl Into<Expr>,
+        body: impl FnOnce(&mut Self),
+    ) -> &mut Self {
+        self.for_step(var, extent, 1, true, body)
+    }
+
+    /// `RegAlloc` of int32 accumulators.
+    pub fn reg_alloc_i32(&mut self, name: impl Into<String>, len: usize, init: i32) -> &mut Self {
+        self.push(Stmt::RegAlloc {
+            name: name.into(),
+            len,
+            dtype: DType::Int32,
+            init,
+        })
+    }
+
+    /// `RegAlloc` of int8 data registers.
+    pub fn reg_alloc_i8(&mut self, name: impl Into<String>, len: usize, init: i32) -> &mut Self {
+        self.push(Stmt::RegAlloc {
+            name: name.into(),
+            len,
+            dtype: DType::Int8,
+            init,
+        })
+    }
+
+    /// `RAMLoad` intrinsic.
+    pub fn ram_load(
+        &mut self,
+        dst: impl Into<String>,
+        dst_off: impl Into<Expr>,
+        addr: impl Into<Expr>,
+        len: impl Into<Expr>,
+    ) -> &mut Self {
+        self.push(Stmt::RamLoad {
+            dst: dst.into(),
+            dst_off: dst_off.into(),
+            addr: addr.into(),
+            len: len.into(),
+        })
+    }
+
+    /// `FlashLoad` intrinsic.
+    pub fn flash_load(
+        &mut self,
+        dst: impl Into<String>,
+        dst_off: impl Into<Expr>,
+        addr: impl Into<Expr>,
+        len: impl Into<Expr>,
+    ) -> &mut Self {
+        self.push(Stmt::FlashLoad {
+            dst: dst.into(),
+            dst_off: dst_off.into(),
+            addr: addr.into(),
+            len: len.into(),
+        })
+    }
+
+    /// `Dot` intrinsic: `acc[acc_off..acc_off+ni] += a[a_off..] · b`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dot(
+        &mut self,
+        acc: impl Into<String>,
+        acc_off: impl Into<Expr>,
+        a: impl Into<String>,
+        a_off: impl Into<Expr>,
+        b: impl Into<String>,
+        b_off: impl Into<Expr>,
+        ki: usize,
+        ni: usize,
+    ) -> &mut Self {
+        self.push(Stmt::Dot {
+            acc: acc.into(),
+            acc_off: acc_off.into(),
+            a: a.into(),
+            a_off: a_off.into(),
+            b: b.into(),
+            b_off: b_off.into(),
+            ki,
+            ni,
+        })
+    }
+
+    /// `RAMStore` intrinsic.
+    pub fn ram_store(
+        &mut self,
+        src: impl Into<String>,
+        src_off: impl Into<Expr>,
+        addr: impl Into<Expr>,
+        len: impl Into<Expr>,
+    ) -> &mut Self {
+        self.push(Stmt::RamStore {
+            src: src.into(),
+            src_off: src_off.into(),
+            addr: addr.into(),
+            len: len.into(),
+        })
+    }
+
+    /// `RAMFree` intrinsic.
+    pub fn ram_free(&mut self, addr: impl Into<Expr>, len: impl Into<Expr>) -> &mut Self {
+        self.push(Stmt::RamFree {
+            addr: addr.into(),
+            len: len.into(),
+        })
+    }
+
+    /// `Broadcast` intrinsic.
+    pub fn broadcast(
+        &mut self,
+        dst: impl Into<String>,
+        dst_off: impl Into<Expr>,
+        value: impl Into<Expr>,
+        len: usize,
+    ) -> &mut Self {
+        self.push(Stmt::Broadcast {
+            dst: dst.into(),
+            dst_off: dst_off.into(),
+            value: value.into(),
+            len,
+        })
+    }
+
+    /// Requantization epilogue.
+    #[allow(clippy::too_many_arguments)]
+    pub fn requant(
+        &mut self,
+        dst: impl Into<String>,
+        dst_off: impl Into<Expr>,
+        src: impl Into<String>,
+        src_off: impl Into<Expr>,
+        len: usize,
+        mult: i32,
+        shift: i32,
+        zp: i32,
+    ) -> &mut Self {
+        self.push(Stmt::Requant {
+            dst: dst.into(),
+            dst_off: dst_off.into(),
+            src: src.into(),
+            src_off: src_off.into(),
+            len,
+            mult,
+            shift,
+            zp,
+        })
+    }
+
+    /// Scalar binding.
+    pub fn let_(&mut self, name: impl Into<String>, value: impl Into<Expr>) -> &mut Self {
+        self.push(Stmt::Let {
+            name: name.into(),
+            value: value.into(),
+        })
+    }
+
+    /// Finishes the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a loop scope was left open (programmer error in builder
+    /// usage — cannot happen through the closure API).
+    pub fn finish(mut self) -> Kernel {
+        assert_eq!(self.stack.len(), 1, "unclosed builder scope");
+        let body = Stmt::seq(self.stack.pop().expect("root scope"));
+        Kernel::new(self.name, self.params, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_loops() {
+        let mut kb = KernelBuilder::new("k");
+        kb.for_("m", 4, |kb| {
+            kb.for_unrolled("k", 16, |kb| {
+                kb.ram_free(Expr::var("m") * 16 + Expr::var("k"), 1);
+            });
+        });
+        let kernel = kb.finish();
+        assert_eq!(kernel.body.loop_depth(), 2);
+        let mut unrolled = 0;
+        kernel.body.visit(&mut |s| {
+            if let Stmt::For { unroll: true, .. } = s {
+                unrolled += 1;
+            }
+        });
+        assert_eq!(unrolled, 1);
+    }
+
+    #[test]
+    fn params_are_recorded_in_order() {
+        let mut kb = KernelBuilder::new("k");
+        kb.param("in_base").param("out_base").param("M");
+        let kernel = kb.finish();
+        assert_eq!(kernel.params, vec!["in_base", "out_base", "M"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_non_positive_step() {
+        let mut kb = KernelBuilder::new("k");
+        kb.for_step("i", 4, 0, false, |_| {});
+    }
+
+    #[test]
+    fn intrinsics_append_in_program_order() {
+        let mut kb = KernelBuilder::new("k");
+        kb.reg_alloc_i32("acc", 8, 0)
+            .ram_load("a", 0, 0, 8)
+            .flash_load("w", 0, 0, 64)
+            .dot("acc", 0, "a", 0, "w", 0, 8, 1)
+            .requant("q", 0, "acc", 0, 1, 1 << 30, 1, 0)
+            .ram_store("q", 0, 128, 1)
+            .ram_free(0, 8);
+        let kernel = kb.finish();
+        match &kernel.body {
+            Stmt::Seq(v) => {
+                assert_eq!(v.len(), 7);
+                assert!(matches!(v[0], Stmt::RegAlloc { .. }));
+                assert!(matches!(v[6], Stmt::RamFree { .. }));
+            }
+            other => panic!("expected Seq, got {other:?}"),
+        }
+    }
+}

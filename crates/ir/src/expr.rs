@@ -1,0 +1,267 @@
+//! Scalar expressions of the kernel IR.
+//!
+//! Kernels written through the builder DSL (§6's Python interface analog)
+//! compute addresses and loop bounds with these expressions; the code
+//! generator prints them as C and the interpreter evaluates them.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Rem, Sub};
+
+/// Binary operators available in IR expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Euclidean-style integer division (rounds toward negative infinity,
+    /// matching address arithmetic expectations).
+    Div,
+    /// Remainder with a non-negative result — the paper's circular-buffer
+    /// `addr % (MemCap/Seg)` modulo.
+    Rem,
+    /// Minimum of the operands.
+    Min,
+    /// Maximum of the operands.
+    Max,
+}
+
+impl BinOp {
+    /// Evaluates the operator on constant operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division or remainder by zero.
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a.div_euclid(b),
+            BinOp::Rem => a.rem_euclid(b),
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+        }
+    }
+
+    /// C operator spelling (`Min`/`Max` lower to helper macros).
+    pub fn c_symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Min => "VMCU_MIN",
+            BinOp::Max => "VMCU_MAX",
+        }
+    }
+}
+
+/// A scalar integer expression.
+///
+/// # Examples
+///
+/// ```
+/// use vmcu_ir::expr::Expr;
+/// let e = (Expr::var("m") * 16 + Expr::var("k")) % 4096;
+/// assert_eq!(e.to_string(), "(((m * 16) + k) % 4096)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Integer immediate.
+    Imm(i64),
+    /// Reference to a loop variable or scalar binding.
+    Var(String),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Creates a variable reference.
+    pub fn var(name: impl Into<String>) -> Self {
+        Expr::Var(name.into())
+    }
+
+    /// Creates an immediate.
+    pub fn imm(v: i64) -> Self {
+        Expr::Imm(v)
+    }
+
+    /// `min(self, other)`.
+    pub fn min(self, other: impl Into<Expr>) -> Self {
+        Expr::Bin(BinOp::Min, Box::new(self), Box::new(other.into()))
+    }
+
+    /// `max(self, other)`.
+    pub fn max(self, other: impl Into<Expr>) -> Self {
+        Expr::Bin(BinOp::Max, Box::new(self), Box::new(other.into()))
+    }
+
+    /// Collects every variable name referenced by the expression into
+    /// `out` (duplicates included; callers sort/dedup as needed).
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Imm(_) => {}
+            Expr::Var(v) => out.push(v.clone()),
+            Expr::Bin(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Evaluates the expression with a variable-resolution callback.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending variable name if `lookup` cannot resolve it.
+    pub fn eval_with(
+        &self,
+        lookup: &dyn Fn(&str) -> Option<i64>,
+    ) -> Result<i64, UnboundVarError> {
+        match self {
+            Expr::Imm(v) => Ok(*v),
+            Expr::Var(name) => lookup(name).ok_or_else(|| UnboundVarError {
+                name: name.clone(),
+            }),
+            Expr::Bin(op, a, b) => Ok(op.eval(a.eval_with(lookup)?, b.eval_with(lookup)?)),
+        }
+    }
+
+    /// Constant-folds the expression if it references no variables.
+    pub fn as_const(&self) -> Option<i64> {
+        self.eval_with(&|_| None).ok()
+    }
+}
+
+/// Error returned by [`Expr::eval_with`] when a variable has no binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnboundVarError {
+    /// The unresolved variable name.
+    pub name: String,
+}
+
+impl fmt::Display for UnboundVarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unbound IR variable `{}`", self.name)
+    }
+}
+
+impl std::error::Error for UnboundVarError {}
+
+impl From<i64> for Expr {
+    fn from(v: i64) -> Self {
+        Expr::Imm(v)
+    }
+}
+
+impl From<i32> for Expr {
+    fn from(v: i32) -> Self {
+        Expr::Imm(i64::from(v))
+    }
+}
+
+impl From<usize> for Expr {
+    fn from(v: usize) -> Self {
+        Expr::Imm(v as i64)
+    }
+}
+
+impl From<&Expr> for Expr {
+    fn from(v: &Expr) -> Self {
+        v.clone()
+    }
+}
+
+macro_rules! impl_bin {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl<R: Into<Expr>> $trait<R> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: R) -> Expr {
+                Expr::Bin($op, Box::new(self), Box::new(rhs.into()))
+            }
+        }
+    };
+}
+
+impl_bin!(Add, add, BinOp::Add);
+impl_bin!(Sub, sub, BinOp::Sub);
+impl_bin!(Mul, mul, BinOp::Mul);
+impl_bin!(Div, div, BinOp::Div);
+impl_bin!(Rem, rem, BinOp::Rem);
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Imm(v) => write!(f, "{v}"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Bin(op, a, b) => match op {
+                BinOp::Min | BinOp::Max => write!(f, "{}({a}, {b})", op.c_symbol()),
+                _ => write!(f, "({a} {} {b})", op.c_symbol()),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env<'a>(pairs: &'a [(&'a str, i64)]) -> impl Fn(&str) -> Option<i64> + 'a {
+        move |n| pairs.iter().find(|(k, _)| *k == n).map(|(_, v)| *v)
+    }
+
+    #[test]
+    fn arithmetic_evaluates() {
+        let e = Expr::var("m") * 16 + Expr::var("k") - 3;
+        assert_eq!(e.eval_with(&env(&[("m", 2), ("k", 5)])).unwrap(), 34);
+    }
+
+    #[test]
+    fn rem_is_non_negative() {
+        let e = (Expr::var("a") - 10) % 8;
+        assert_eq!(e.eval_with(&env(&[("a", 3)])).unwrap(), 1);
+        assert_eq!(BinOp::Rem.eval(-1, 5), 4);
+        assert_eq!(BinOp::Div.eval(-1, 5), -1);
+    }
+
+    #[test]
+    fn min_max_evaluate() {
+        assert_eq!(Expr::imm(3).min(7).as_const(), Some(3));
+        assert_eq!(Expr::imm(3).max(7).as_const(), Some(7));
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let e = Expr::var("missing") + 1;
+        let err = e.eval_with(&env(&[])).unwrap_err();
+        assert_eq!(err.name, "missing");
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn const_folding() {
+        assert_eq!((Expr::imm(6) * 7).as_const(), Some(42));
+        assert_eq!((Expr::var("x") * 7).as_const(), None);
+    }
+
+    #[test]
+    fn collect_vars_finds_all() {
+        let e = (Expr::var("a") + Expr::var("b")) * Expr::var("a");
+        let mut vars = Vec::new();
+        e.collect_vars(&mut vars);
+        vars.sort();
+        assert_eq!(vars, vec!["a", "a", "b"]);
+    }
+
+    #[test]
+    fn display_is_parenthesized_c() {
+        let e = (Expr::var("m") + 1) % 4;
+        assert_eq!(e.to_string(), "((m + 1) % 4)");
+        let e = Expr::var("x").min(Expr::var("y") + 1);
+        assert_eq!(e.to_string(), "VMCU_MIN(x, (y + 1))");
+    }
+}

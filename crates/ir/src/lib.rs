@@ -1,0 +1,52 @@
+//! # vmcu-ir — affine formulation and kernel IR for the vMCU reproduction
+//!
+//! This crate provides the two "language" layers of vMCU (MLSys 2024):
+//!
+//! * [`affine`] — the §4 memory-management formulation: iteration domains,
+//!   access functions (`u = A·i + V`), row-major mapping vectors, and
+//!   composed linear address expressions. The footprint solver
+//!   (`vmcu-solver`) optimizes over these objects.
+//! * [`expr`], [`stmt`], [`builder`] — the §6 compiler-support IR: scalar
+//!   expressions, statements with one variant per vMCU intrinsic
+//!   (`RegAlloc`, `RAMLoad`, `FlashLoad`, `Dot`, `RAMStore`, `RAMFree`,
+//!   `Broadcast`), and a fluent [`builder::KernelBuilder`] standing in for
+//!   the paper's Python interface.
+//! * [`validate`] — structural well-formedness checks run before lowering.
+//!
+//! # Examples
+//!
+//! Formulating the GEMM example of Figure 3:
+//!
+//! ```
+//! use vmcu_ir::affine::{AffineMap, IterDomain, LinearAccess, row_major_strides};
+//!
+//! let (m, n, k) = (4, 2, 3);
+//! let domain = IterDomain::new(vec![m, n, k]);
+//! // In[m,k] — mapping vector [K, 1]
+//! let read = LinearAccess::compose(
+//!     &row_major_strides(&[m, k]),
+//!     &AffineMap::new(vec![vec![1, 0, 0], vec![0, 0, 1]], vec![0, 0]),
+//! );
+//! // Out[m,n] — mapping vector [N, 1]
+//! let write = LinearAccess::compose(
+//!     &row_major_strides(&[m, n]),
+//!     &AffineMap::new(vec![vec![1, 0, 0], vec![0, 1, 0]], vec![0, 0]),
+//! );
+//! assert_eq!(read.eval(&[1, 0, 2]), 5);
+//! assert_eq!(write.eval(&[1, 1, 0]), 3);
+//! assert_eq!(domain.count(), 24);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod affine;
+pub mod builder;
+pub mod expr;
+pub mod stmt;
+pub mod validate;
+
+pub use affine::{AffineMap, IterDomain, LinearAccess};
+pub use builder::KernelBuilder;
+pub use expr::Expr;
+pub use stmt::{DType, Kernel, Stmt};

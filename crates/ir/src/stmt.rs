@@ -1,0 +1,318 @@
+//! Statements and intrinsic calls of the kernel IR.
+//!
+//! One statement kind exists per vMCU intrinsic (§6.1): `RegAlloc`,
+//! `RAMLoad`, `FlashLoad`, `Dot`, `RAMStore`, `RAMFree`, and `Broadcast`,
+//! plus a `Requant` epilogue intrinsic (the int32→int8 requantization that
+//! the paper folds into its Broadcast/PKHBT discussion) and ordinary
+//! structured control flow.
+
+use crate::expr::Expr;
+use std::fmt;
+
+/// Element type of a register array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 8-bit signed integer (tensor data).
+    Int8,
+    /// 32-bit signed integer (accumulators).
+    Int32,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::Int8 => 1,
+            DType::Int32 => 4,
+        }
+    }
+
+    /// The C spelling of this type.
+    pub fn c_name(self) -> &'static str {
+        match self {
+            DType::Int8 => "int8_t",
+            DType::Int32 => "int32_t",
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.c_name())
+    }
+}
+
+/// A kernel IR statement.
+///
+/// Address operands (`addr`) are *pool segment-space byte addresses*; the
+/// backends apply the circular-buffer modulo, mirroring the boundary-check
+/// step of every vMCU kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Sequential composition.
+    Seq(Vec<Stmt>),
+    /// `for var in 0..extent step step { body }`; `unroll` asks the C
+    /// backend to fully unroll (vMCU kernels fully unroll the innermost
+    /// reduction loops, TinyEngine-style code unrolls to a fixed depth).
+    For {
+        /// Loop variable name.
+        var: String,
+        /// Trip-count bound expression (exclusive).
+        extent: Expr,
+        /// Loop increment (must be positive).
+        step: i64,
+        /// Whether to fully unroll in generated code.
+        unroll: bool,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `RegAlloc`: declares a register array filled with `init`.
+    RegAlloc {
+        /// Register-array name.
+        name: String,
+        /// Element count.
+        len: usize,
+        /// Element type.
+        dtype: DType,
+        /// Initial element value.
+        init: i32,
+    },
+    /// `RAMLoad`: copies `len` bytes from circular RAM into a register
+    /// array at `dst[dst_off..]`.
+    RamLoad {
+        /// Destination register array.
+        dst: String,
+        /// Destination element offset.
+        dst_off: Expr,
+        /// Source pool byte address (pre-modulo).
+        addr: Expr,
+        /// Byte count.
+        len: Expr,
+    },
+    /// `FlashLoad`: copies `len` bytes from read-only Flash into a register
+    /// array.
+    FlashLoad {
+        /// Destination register array.
+        dst: String,
+        /// Destination element offset.
+        dst_off: Expr,
+        /// Flash byte address.
+        addr: Expr,
+        /// Byte count.
+        len: Expr,
+    },
+    /// `Dot`: fixed-size int8×int8→int32 matrix-multiply micro-kernel
+    /// (`ni`×`ki` against a `ki`-vector), accumulating into `acc`.
+    /// Lowered to `SXTB16`+`SMLAD` sequences on ARM.
+    Dot {
+        /// Accumulator register array (int32).
+        acc: String,
+        /// Accumulator element offset.
+        acc_off: Expr,
+        /// Activation register array (int8).
+        a: String,
+        /// Activation element offset.
+        a_off: Expr,
+        /// Weight register array (int8), laid out `[ki][ni]` row-major.
+        b: String,
+        /// Weight element offset.
+        b_off: Expr,
+        /// Reduction length.
+        ki: usize,
+        /// Number of output lanes.
+        ni: usize,
+    },
+    /// `RAMStore`: copies `len` bytes from a register array into circular
+    /// RAM.
+    RamStore {
+        /// Source register array.
+        src: String,
+        /// Source element offset.
+        src_off: Expr,
+        /// Destination pool byte address (pre-modulo).
+        addr: Expr,
+        /// Byte count.
+        len: Expr,
+    },
+    /// `RAMFree`: marks `len` bytes at `addr` as dead (enables the
+    /// overlapped segment replacement of §4).
+    RamFree {
+        /// Pool byte address (pre-modulo).
+        addr: Expr,
+        /// Byte count.
+        len: Expr,
+    },
+    /// `Broadcast`: fills `len` elements of a register array with `value`
+    /// (PKHBT on ARM).
+    Broadcast {
+        /// Destination register array.
+        dst: String,
+        /// Destination element offset.
+        dst_off: Expr,
+        /// Value to replicate.
+        value: Expr,
+        /// Element count.
+        len: usize,
+    },
+    /// Requantizes `len` int32 accumulators into int8:
+    /// `sat8(round(acc * mult >> (31 + shift)) + zp)`.
+    Requant {
+        /// Destination int8 register array.
+        dst: String,
+        /// Destination element offset.
+        dst_off: Expr,
+        /// Source int32 register array.
+        src: String,
+        /// Source element offset.
+        src_off: Expr,
+        /// Element count.
+        len: usize,
+        /// Fixed-point multiplier (Q31).
+        mult: i32,
+        /// Right shift (>= 0).
+        shift: i32,
+        /// Output zero point.
+        zp: i32,
+    },
+    /// Binds a scalar variable to an expression value.
+    Let {
+        /// Variable name.
+        name: String,
+        /// Bound value.
+        value: Expr,
+    },
+}
+
+impl Stmt {
+    /// Wraps statements in a sequence, flattening nested sequences one
+    /// level.
+    pub fn seq(stmts: impl IntoIterator<Item = Stmt>) -> Stmt {
+        let mut out = Vec::new();
+        for s in stmts {
+            match s {
+                Stmt::Seq(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        Stmt::Seq(out)
+    }
+
+    /// Counts statements of every kind (used by tests and the lowering
+    /// pass to sanity-check tiling structure).
+    pub fn count_nodes(&self) -> usize {
+        match self {
+            Stmt::Seq(v) => 1 + v.iter().map(Stmt::count_nodes).sum::<usize>(),
+            Stmt::For { body, .. } => 1 + body.count_nodes(),
+            _ => 1,
+        }
+    }
+
+    /// Visits every statement depth-first.
+    pub fn visit(&self, f: &mut dyn FnMut(&Stmt)) {
+        f(self);
+        match self {
+            Stmt::Seq(v) => v.iter().for_each(|s| s.visit(f)),
+            Stmt::For { body, .. } => body.visit(f),
+            _ => {}
+        }
+    }
+
+    /// Maximum loop-nest depth of the statement.
+    pub fn loop_depth(&self) -> usize {
+        match self {
+            Stmt::Seq(v) => v.iter().map(Stmt::loop_depth).max().unwrap_or(0),
+            Stmt::For { body, .. } => 1 + body.loop_depth(),
+            _ => 0,
+        }
+    }
+}
+
+/// A complete kernel: a name, parameter bindings supplied at run time
+/// (tensor base addresses in pool space, sizes), and a body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Kernel name (C function name after lowering).
+    pub name: String,
+    /// Run-time integer parameters (e.g. `in_base`, `out_base`, `M`, `K`).
+    pub params: Vec<String>,
+    /// Kernel body.
+    pub body: Stmt,
+}
+
+impl Kernel {
+    /// Creates a kernel.
+    pub fn new(name: impl Into<String>, params: Vec<String>, body: Stmt) -> Self {
+        Self {
+            name: name.into(),
+            params,
+            body,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loop_nest() -> Stmt {
+        Stmt::For {
+            var: "m".into(),
+            extent: Expr::var("M"),
+            step: 1,
+            unroll: false,
+            body: Box::new(Stmt::For {
+                var: "k".into(),
+                extent: Expr::var("K"),
+                step: 16,
+                unroll: true,
+                body: Box::new(Stmt::RamFree {
+                    addr: Expr::var("m") * Expr::var("K") + Expr::var("k"),
+                    len: Expr::imm(16),
+                }),
+            }),
+        }
+    }
+
+    #[test]
+    fn seq_flattens_one_level() {
+        let s = Stmt::seq([
+            Stmt::Seq(vec![Stmt::Let {
+                name: "a".into(),
+                value: Expr::imm(1),
+            }]),
+            Stmt::Let {
+                name: "b".into(),
+                value: Expr::imm(2),
+            },
+        ]);
+        match s {
+            Stmt::Seq(v) => assert_eq!(v.len(), 2),
+            _ => panic!("expected Seq"),
+        }
+    }
+
+    #[test]
+    fn loop_depth_and_node_count() {
+        let nest = loop_nest();
+        assert_eq!(nest.loop_depth(), 2);
+        assert_eq!(nest.count_nodes(), 3);
+    }
+
+    #[test]
+    fn visit_reaches_leaves() {
+        let mut frees = 0;
+        loop_nest().visit(&mut |s| {
+            if matches!(s, Stmt::RamFree { .. }) {
+                frees += 1;
+            }
+        });
+        assert_eq!(frees, 1);
+    }
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::Int8.size_bytes(), 1);
+        assert_eq!(DType::Int32.size_bytes(), 4);
+        assert_eq!(DType::Int32.to_string(), "int32_t");
+    }
+}

@@ -1,0 +1,288 @@
+//! Structural validation of kernel IR.
+//!
+//! Lowering and interpretation both assume well-formed kernels: every
+//! register array is allocated before use, every variable reference is a
+//! loop variable, a `let` binding, or a declared parameter, and intrinsic
+//! shapes are sane. Validation turns violations into typed errors instead
+//! of backend panics.
+
+use crate::expr::Expr;
+use crate::stmt::{Kernel, Stmt};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A variable was referenced without a binding in scope.
+    UnboundVar {
+        /// Variable name.
+        name: String,
+    },
+    /// A register array was used before `RegAlloc`.
+    UnknownReg {
+        /// Register-array name.
+        name: String,
+    },
+    /// A register array was allocated twice in the same scope chain.
+    DuplicateReg {
+        /// Register-array name.
+        name: String,
+    },
+    /// A `Dot` with zero `ki` or `ni`.
+    EmptyDot,
+    /// A loop with non-positive step.
+    BadStep {
+        /// Loop variable.
+        var: String,
+        /// Offending step.
+        step: i64,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::UnboundVar { name } => write!(f, "unbound variable `{name}`"),
+            ValidateError::UnknownReg { name } => {
+                write!(f, "register array `{name}` used before RegAlloc")
+            }
+            ValidateError::DuplicateReg { name } => {
+                write!(f, "register array `{name}` allocated twice")
+            }
+            ValidateError::EmptyDot => write!(f, "Dot intrinsic with zero ki or ni"),
+            ValidateError::BadStep { var, step } => {
+                write!(f, "loop `{var}` has non-positive step {step}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+struct Ctx {
+    vars: HashSet<String>,
+    regs: HashSet<String>,
+}
+
+impl Ctx {
+    fn check_expr(&self, e: &Expr) -> Result<(), ValidateError> {
+        let mut names = Vec::new();
+        e.collect_vars(&mut names);
+        for n in names {
+            if !self.vars.contains(&n) {
+                return Err(ValidateError::UnboundVar { name: n });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_reg(&self, name: &str) -> Result<(), ValidateError> {
+        if self.regs.contains(name) {
+            Ok(())
+        } else {
+            Err(ValidateError::UnknownReg {
+                name: name.to_owned(),
+            })
+        }
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) -> Result<(), ValidateError> {
+        match s {
+            Stmt::Seq(v) => v.iter().try_for_each(|s| self.check_stmt(s)),
+            Stmt::For {
+                var,
+                extent,
+                step,
+                body,
+                ..
+            } => {
+                if *step <= 0 {
+                    return Err(ValidateError::BadStep {
+                        var: var.clone(),
+                        step: *step,
+                    });
+                }
+                self.check_expr(extent)?;
+                let fresh = self.vars.insert(var.clone());
+                self.check_stmt(body)?;
+                if fresh {
+                    self.vars.remove(var);
+                }
+                Ok(())
+            }
+            Stmt::RegAlloc { name, .. } => {
+                if !self.regs.insert(name.clone()) {
+                    // Reallocating the same accumulator inside a loop body is
+                    // legal and common (fresh accumulators per tile); only a
+                    // *sibling* duplicate in the same linear sequence would be
+                    // suspicious, which this coarse check tolerates.
+                }
+                Ok(())
+            }
+            Stmt::RamLoad {
+                dst, dst_off, addr, len,
+            }
+            | Stmt::FlashLoad {
+                dst, dst_off, addr, len,
+            } => {
+                self.check_reg(dst)?;
+                self.check_expr(dst_off)?;
+                self.check_expr(addr)?;
+                self.check_expr(len)
+            }
+            Stmt::Dot {
+                acc,
+                acc_off,
+                a,
+                a_off,
+                b,
+                b_off,
+                ki,
+                ni,
+            } => {
+                if *ki == 0 || *ni == 0 {
+                    return Err(ValidateError::EmptyDot);
+                }
+                self.check_reg(acc)?;
+                self.check_reg(a)?;
+                self.check_reg(b)?;
+                self.check_expr(acc_off)?;
+                self.check_expr(a_off)?;
+                self.check_expr(b_off)
+            }
+            Stmt::RamStore {
+                src, src_off, addr, len,
+            } => {
+                self.check_reg(src)?;
+                self.check_expr(src_off)?;
+                self.check_expr(addr)?;
+                self.check_expr(len)
+            }
+            Stmt::RamFree { addr, len } => {
+                self.check_expr(addr)?;
+                self.check_expr(len)
+            }
+            Stmt::Broadcast {
+                dst, dst_off, value, ..
+            } => {
+                self.check_reg(dst)?;
+                self.check_expr(dst_off)?;
+                self.check_expr(value)
+            }
+            Stmt::Requant {
+                dst,
+                dst_off,
+                src,
+                src_off,
+                ..
+            } => {
+                self.check_reg(dst)?;
+                self.check_reg(src)?;
+                self.check_expr(dst_off)?;
+                self.check_expr(src_off)
+            }
+            Stmt::Let { name, value } => {
+                self.check_expr(value)?;
+                self.vars.insert(name.clone());
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Validates a kernel.
+///
+/// # Errors
+///
+/// Returns the first [`ValidateError`] found in program order.
+pub fn validate(kernel: &Kernel) -> Result<(), ValidateError> {
+    let mut ctx = Ctx {
+        vars: kernel.params.iter().cloned().collect(),
+        regs: HashSet::new(),
+    };
+    ctx.check_stmt(&kernel.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+
+    #[test]
+    fn accepts_well_formed_kernel() {
+        let mut kb = KernelBuilder::new("ok");
+        kb.param("base").param("M");
+        kb.for_("m", Expr::var("M"), |kb| {
+            kb.reg_alloc_i32("acc", 4, 0);
+            kb.ram_load("acc", 0, Expr::var("base") + Expr::var("m"), 4);
+        });
+        assert_eq!(validate(&kb.finish()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_unbound_variable() {
+        let mut kb = KernelBuilder::new("bad");
+        kb.reg_alloc_i8("r", 4, 0);
+        kb.ram_load("r", 0, Expr::var("nowhere"), 4);
+        let err = validate(&kb.finish()).unwrap_err();
+        assert_eq!(
+            err,
+            ValidateError::UnboundVar {
+                name: "nowhere".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_unallocated_register() {
+        let mut kb = KernelBuilder::new("bad");
+        kb.ram_store("ghost", 0, 0, 4);
+        let err = validate(&kb.finish()).unwrap_err();
+        assert_eq!(
+            err,
+            ValidateError::UnknownReg {
+                name: "ghost".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_empty_dot() {
+        let mut kb = KernelBuilder::new("bad");
+        kb.reg_alloc_i32("acc", 4, 0)
+            .reg_alloc_i8("a", 16, 0)
+            .reg_alloc_i8("b", 16, 0)
+            .dot("acc", 0, "a", 0, "b", 0, 0, 2);
+        assert_eq!(validate(&kb.finish()).unwrap_err(), ValidateError::EmptyDot);
+    }
+
+    #[test]
+    fn loop_variable_scoping_ends_with_loop() {
+        let mut kb = KernelBuilder::new("bad");
+        kb.reg_alloc_i8("r", 4, 0);
+        kb.for_("i", 4, |_| {});
+        kb.ram_load("r", 0, Expr::var("i"), 4); // `i` out of scope here
+        let err = validate(&kb.finish()).unwrap_err();
+        assert_eq!(err, ValidateError::UnboundVar { name: "i".into() });
+    }
+
+    #[test]
+    fn let_bindings_stay_visible() {
+        let mut kb = KernelBuilder::new("ok");
+        kb.param("base");
+        kb.let_("stride", 16);
+        kb.reg_alloc_i8("r", 4, 0);
+        kb.ram_load("r", 0, Expr::var("base") + Expr::var("stride"), 4);
+        assert_eq!(validate(&kb.finish()), Ok(()));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = ValidateError::BadStep {
+            var: "i".into(),
+            step: -1,
+        };
+        assert!(e.to_string().contains("non-positive step"));
+    }
+}

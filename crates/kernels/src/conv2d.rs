@@ -1,0 +1,252 @@
+//! Segment-aware dense 2D convolution — Figure 5 of the paper.
+//!
+//! Same two-level tiling as the fully-connected kernel, with the filter
+//! window loops (`r`, `s`) between the outer spatial loops and the channel
+//! segment loops. Input pixel rows are freed as soon as no later output
+//! row's window can touch them, which is what lets the output chase the
+//! input through the circular pool.
+
+use crate::intrinsics::{broadcast, dot_tile, requant_row};
+use crate::params::Conv2dParams;
+use crate::trace::{exec_distance, ExecEvent};
+use vmcu_pool::{PoolError, SegmentPool};
+use vmcu_sim::Machine;
+
+/// Exclusive upper bound of input rows that are dead once output row `p`
+/// has been produced (shared by the kernel and its trace).
+fn free_upto(p: &Conv2dParams, row: usize) -> usize {
+    if row + 1 == p.out_h() {
+        p.h
+    } else {
+        p.h.min(((row + 1) * p.stride).saturating_sub(p.pad))
+    }
+}
+
+/// Dry-run of the kernel's store/free schedule (byte addresses).
+pub fn conv2d_exec_trace(p: &Conv2dParams) -> Vec<ExecEvent> {
+    let (q_out, k) = (p.out_w(), p.k);
+    let row_bytes = p.w * p.c;
+    let mut ev = Vec::new();
+    let mut next_free = 0usize;
+    for pi in 0..p.out_h() {
+        for qi in 0..q_out {
+            let mut k0 = 0;
+            while k0 < k {
+                let kw = p.seg.min(k - k0);
+                ev.push(ExecEvent::Store {
+                    addr: ((pi * q_out + qi) * k + k0) as i64,
+                    len: kw,
+                });
+                k0 += kw;
+            }
+        }
+        let upto = free_upto(p, pi);
+        if upto > next_free {
+            ev.push(ExecEvent::Free {
+                addr: (next_free * row_bytes) as i64,
+                len: (upto - next_free) * row_bytes,
+            });
+            next_free = upto;
+        }
+    }
+    ev
+}
+
+/// Minimal executable `bIn − bOut` (bytes).
+pub fn conv2d_exec_distance(p: &Conv2dParams) -> i64 {
+    exec_distance(p.in_bytes(), conv2d_exec_trace(p))
+}
+
+/// Peak pool bytes when running with [`conv2d_exec_distance`].
+pub fn conv2d_exec_footprint(p: &Conv2dParams) -> usize {
+    let d = conv2d_exec_distance(p).max(0) as usize;
+    (p.in_bytes() + d).max(p.out_bytes())
+}
+
+/// Runs the 2D convolution kernel. Input `[H,W,C]` at pool address `b_in`,
+/// output `[P,Q,K]` at `b_out`, weights `[R,S,C,K]` in Flash at `w_base`.
+///
+/// # Errors
+///
+/// Propagates pool violations and memory errors.
+///
+/// # Panics
+///
+/// Panics if `bias` has the wrong length.
+#[allow(clippy::too_many_arguments)]
+pub fn run_conv2d(
+    m: &mut Machine,
+    pool: &mut SegmentPool,
+    p: &Conv2dParams,
+    b_in: i64,
+    b_out: i64,
+    w_base: usize,
+    bias: Option<&[i32]>,
+) -> Result<(), PoolError> {
+    if let Some(b) = bias {
+        assert_eq!(b.len(), p.k, "bias length mismatch");
+    }
+    let seg = p.seg;
+    let (p_out, q_out) = (p.out_h(), p.out_w());
+    let mut a_reg = vec![0u8; seg];
+    let mut w_tile = vec![0u8; seg * seg];
+    let mut acc = vec![0i32; seg];
+    let mut out_reg = vec![0u8; seg];
+    let mut next_free = 0usize;
+    for pi in 0..p_out {
+        for qi in 0..q_out {
+            let mut k0 = 0;
+            while k0 < p.k {
+                let kw = seg.min(p.k - k0);
+                broadcast(m, &mut acc[..kw], 0);
+                if let Some(b) = bias {
+                    for (a, &bv) in acc[..kw].iter_mut().zip(&b[k0..k0 + kw]) {
+                        *a = bv;
+                    }
+                }
+                for ri in 0..p.r {
+                    let y = (pi * p.stride + ri) as isize - p.pad as isize;
+                    if y < 0 || y >= p.h as isize {
+                        continue;
+                    }
+                    for si in 0..p.s {
+                        let x = (qi * p.stride + si) as isize - p.pad as isize;
+                        if x < 0 || x >= p.w as isize {
+                            continue;
+                        }
+                        let mut c0 = 0;
+                        while c0 < p.c {
+                            let cw = seg.min(p.c - c0);
+                            let in_addr =
+                                ((y as usize * p.w + x as usize) * p.c + c0) as i64;
+                            pool.load(m, b_in + in_addr, &mut a_reg[..cw])?;
+                            for cc in 0..cw {
+                                let row =
+                                    w_base + ((ri * p.s + si) * p.c + c0 + cc) * p.k + k0;
+                                m.flash_load(row, &mut w_tile[cc * kw..cc * kw + kw])?;
+                            }
+                            let a_i8: Vec<i8> =
+                                a_reg[..cw].iter().map(|&b| b as i8).collect();
+                            let w_i8: Vec<i8> =
+                                w_tile[..cw * kw].iter().map(|&b| b as i8).collect();
+                            dot_tile(m, &a_i8, &w_i8, kw, &mut acc[..kw], true);
+                            m.charge_branches(1);
+                            c0 += cw;
+                        }
+                    }
+                }
+                requant_row(m, &acc[..kw], p.rq, p.clamp, &mut out_reg[..kw]);
+                pool.store(
+                    m,
+                    &out_reg[..kw],
+                    b_out + ((pi * q_out + qi) * p.k + k0) as i64,
+                )?;
+                m.charge_branches(1);
+                k0 += kw;
+            }
+        }
+        let upto = free_upto(p, pi);
+        if upto > next_free {
+            pool.free(
+                b_in + (next_free * p.w * p.c) as i64,
+                (upto - next_free) * p.w * p.c,
+            )?;
+            next_free = upto;
+        }
+        m.charge_branches(1);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmcu_sim::Device;
+    use vmcu_tensor::{random, reference, Requant, Tensor};
+
+    fn run_case(p: &Conv2dParams, extra: i64) -> Result<(Tensor<i8>, Machine), PoolError> {
+        let mut m = Machine::new(Device::stm32_f411re());
+        let input = random::tensor_i8(&[p.h, p.w, p.c], 31);
+        let weight = random::tensor_i8(&[p.r, p.s, p.c, p.k], 32);
+        let w_base = m.host_program_flash(&weight.as_bytes()).unwrap();
+        let d = conv2d_exec_distance(p) + extra;
+        let used = d.max(0) as usize;
+        let window = (p.in_bytes() + used).max(p.out_bytes());
+        let mut pool = SegmentPool::new(&m, 0, window, p.seg).unwrap();
+        pool.host_fill_live(&mut m, 0, &input.as_bytes()).unwrap();
+        run_conv2d(&mut m, &mut pool, p, 0, -d, w_base, None)?;
+        let out = pool.host_read(&m, -d, p.out_bytes())?;
+        Ok((
+            Tensor::from_bytes(&[p.out_h(), p.out_w(), p.k], &out),
+            m,
+        ))
+    }
+
+    fn expected(p: &Conv2dParams) -> Tensor<i8> {
+        let input = random::tensor_i8(&[p.h, p.w, p.c], 31);
+        let weight = random::tensor_i8(&[p.r, p.s, p.c, p.k], 32);
+        reference::conv2d(&input, &weight, None, p.stride, p.pad, p.rq, p.clamp)
+    }
+
+    #[test]
+    fn matches_reference_same_padding() {
+        let p = Conv2dParams::new(6, 6, 4, 4, 3, 3, 1, 1, Requant::from_scale(1.0 / 64.0, 0));
+        let (out, _) = run_case(&p, 0).unwrap();
+        assert_eq!(out, expected(&p));
+    }
+
+    #[test]
+    fn matches_reference_valid_padding() {
+        let p = Conv2dParams::new(7, 7, 3, 5, 3, 3, 1, 0, Requant::from_scale(1.0 / 32.0, 2));
+        let (out, _) = run_case(&p, 0).unwrap();
+        assert_eq!(out, expected(&p));
+    }
+
+    #[test]
+    fn matches_reference_stride_two() {
+        let p = Conv2dParams::new(8, 8, 4, 6, 3, 3, 2, 1, Requant::from_scale(1.0 / 64.0, -3));
+        let (out, _) = run_case(&p, 0).unwrap();
+        assert_eq!(out, expected(&p));
+    }
+
+    #[test]
+    fn matches_reference_ragged_segments() {
+        // seg = min(C,K) = 3 does not divide K = 5.
+        let p = Conv2dParams::new(5, 5, 3, 5, 3, 3, 1, 1, Requant::from_scale(1.0 / 16.0, 1));
+        let (out, _) = run_case(&p, 0).unwrap();
+        assert_eq!(out, expected(&p));
+    }
+
+    #[test]
+    fn exec_distance_is_tight_empirically() {
+        let p = Conv2dParams::new(6, 6, 4, 4, 3, 3, 1, 1, Requant::from_scale(1.0 / 64.0, 0));
+        assert!(run_case(&p, 0).is_ok());
+        assert!(matches!(
+            run_case(&p, -1).unwrap_err(),
+            PoolError::Clobber { .. }
+        ));
+    }
+
+    #[test]
+    fn footprint_beats_disjoint_for_equal_channels() {
+        let p = Conv2dParams::new(16, 16, 8, 8, 3, 3, 1, 1, Requant::identity());
+        let fp = conv2d_exec_footprint(&p);
+        assert!(fp < p.in_bytes() + p.out_bytes());
+    }
+
+    #[test]
+    fn stride_two_overlap_is_cheap() {
+        // Output shrinks 4x; the writer never catches the reader, so the
+        // footprint stays close to the input size.
+        let p = Conv2dParams::new(16, 16, 8, 8, 3, 3, 2, 1, Requant::identity());
+        let fp = conv2d_exec_footprint(&p);
+        assert!(fp < p.in_bytes() + p.in_bytes() / 4);
+    }
+
+    #[test]
+    fn mac_counters_match_exact_tap_count() {
+        let p = Conv2dParams::new(5, 5, 2, 3, 3, 3, 1, 1, Requant::from_scale(0.05, 0));
+        let (_, m) = run_case(&p, 0).unwrap();
+        assert_eq!(m.counters.macs, p.macs());
+    }
+}

@@ -1,0 +1,196 @@
+//! Segment-aware depthwise convolution.
+//!
+//! Depthwise layers have no cross-channel reuse, which is why tensor-level
+//! managers (TinyEngine) can already run them in place. The segment kernel
+//! reproduces that behaviour naturally: its executable distance is small
+//! (about one window row), and the pool lets outputs trail inputs through
+//! the same bytes — the paper notes vMCU matches TinyEngine's in-place
+//! optimization for these layers (§7.2).
+
+use crate::intrinsics::{broadcast, requant_row};
+use crate::params::DepthwiseParams;
+use crate::trace::{exec_distance, ExecEvent};
+use vmcu_pool::{PoolError, SegmentPool};
+use vmcu_sim::Machine;
+
+fn free_upto(p: &DepthwiseParams, row: usize) -> usize {
+    if row + 1 == p.out_h() {
+        p.h
+    } else {
+        p.h.min(((row + 1) * p.stride).saturating_sub(p.pad))
+    }
+}
+
+/// Dry-run of the kernel's store/free schedule (byte addresses).
+pub fn depthwise_exec_trace(p: &DepthwiseParams) -> Vec<ExecEvent> {
+    let q_out = p.out_w();
+    let row_bytes = p.w * p.c;
+    let mut ev = Vec::new();
+    let mut next_free = 0usize;
+    for pi in 0..p.out_h() {
+        for qi in 0..q_out {
+            ev.push(ExecEvent::Store {
+                addr: ((pi * q_out + qi) * p.c) as i64,
+                len: p.c,
+            });
+        }
+        let upto = free_upto(p, pi);
+        if upto > next_free {
+            ev.push(ExecEvent::Free {
+                addr: (next_free * row_bytes) as i64,
+                len: (upto - next_free) * row_bytes,
+            });
+            next_free = upto;
+        }
+    }
+    ev
+}
+
+/// Minimal executable `bIn − bOut` (bytes).
+pub fn depthwise_exec_distance(p: &DepthwiseParams) -> i64 {
+    exec_distance(p.in_bytes(), depthwise_exec_trace(p))
+}
+
+/// Peak pool bytes when running with [`depthwise_exec_distance`].
+pub fn depthwise_exec_footprint(p: &DepthwiseParams) -> usize {
+    let d = depthwise_exec_distance(p).max(0) as usize;
+    (p.in_bytes() + d).max(p.out_bytes())
+}
+
+/// Runs the depthwise kernel. Input `[H,W,C]` at pool address `b_in`,
+/// output `[P,Q,C]` at `b_out`, weights `[R,S,C]` in Flash at `w_base`.
+///
+/// # Errors
+///
+/// Propagates pool violations and memory errors.
+///
+/// # Panics
+///
+/// Panics if `bias` has the wrong length.
+#[allow(clippy::too_many_arguments)]
+pub fn run_depthwise(
+    m: &mut Machine,
+    pool: &mut SegmentPool,
+    p: &DepthwiseParams,
+    b_in: i64,
+    b_out: i64,
+    w_base: usize,
+    bias: Option<&[i32]>,
+) -> Result<(), PoolError> {
+    if let Some(b) = bias {
+        assert_eq!(b.len(), p.c, "bias length mismatch");
+    }
+    let (p_out, q_out) = (p.out_h(), p.out_w());
+    let mut a_reg = vec![0u8; p.c];
+    let mut w_reg = vec![0u8; p.c];
+    let mut acc = vec![0i32; p.c];
+    let mut out_reg = vec![0u8; p.c];
+    let mut next_free = 0usize;
+    for pi in 0..p_out {
+        for qi in 0..q_out {
+            broadcast(m, &mut acc, 0);
+            if let Some(b) = bias {
+                acc.copy_from_slice(b);
+            }
+            for ri in 0..p.r {
+                let y = (pi * p.stride + ri) as isize - p.pad as isize;
+                if y < 0 || y >= p.h as isize {
+                    continue;
+                }
+                for si in 0..p.s {
+                    let x = (qi * p.stride + si) as isize - p.pad as isize;
+                    if x < 0 || x >= p.w as isize {
+                        continue;
+                    }
+                    let in_addr = ((y as usize * p.w + x as usize) * p.c) as i64;
+                    pool.load(m, b_in + in_addr, &mut a_reg)?;
+                    m.flash_load(w_base + (ri * p.s + si) * p.c, &mut w_reg)?;
+                    for c in 0..p.c {
+                        acc[c] += i32::from(a_reg[c] as i8) * i32::from(w_reg[c] as i8);
+                    }
+                    m.charge_macs(p.c as u64, true);
+                }
+            }
+            requant_row(m, &acc, p.rq, p.clamp, &mut out_reg);
+            pool.store(m, &out_reg, b_out + ((pi * q_out + qi) * p.c) as i64)?;
+            m.charge_branches(1);
+        }
+        let upto = free_upto(p, pi);
+        if upto > next_free {
+            pool.free(
+                b_in + (next_free * p.w * p.c) as i64,
+                (upto - next_free) * p.w * p.c,
+            )?;
+            next_free = upto;
+        }
+        m.charge_branches(1);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmcu_sim::Device;
+    use vmcu_tensor::{random, reference, Requant, Tensor};
+
+    fn run_case(p: &DepthwiseParams, extra: i64) -> Result<Tensor<i8>, PoolError> {
+        let mut m = Machine::new(Device::stm32_f411re());
+        let input = random::tensor_i8(&[p.h, p.w, p.c], 41);
+        let weight = random::tensor_i8(&[p.r, p.s, p.c], 42);
+        let w_base = m.host_program_flash(&weight.as_bytes()).unwrap();
+        let d = depthwise_exec_distance(p) + extra;
+        let used = d.max(0) as usize;
+        let window = (p.in_bytes() + used).max(p.out_bytes());
+        let mut pool = SegmentPool::new(&m, 0, window, p.c).unwrap();
+        pool.host_fill_live(&mut m, 0, &input.as_bytes()).unwrap();
+        run_depthwise(&mut m, &mut pool, p, 0, -d, w_base, None)?;
+        let out = pool.host_read(&m, -d, p.out_bytes())?;
+        Ok(Tensor::from_bytes(&[p.out_h(), p.out_w(), p.c], &out))
+    }
+
+    fn expected(p: &DepthwiseParams) -> Tensor<i8> {
+        let input = random::tensor_i8(&[p.h, p.w, p.c], 41);
+        let weight = random::tensor_i8(&[p.r, p.s, p.c], 42);
+        reference::depthwise(&input, &weight, None, p.stride, p.pad, p.rq, p.clamp)
+    }
+
+    #[test]
+    fn matches_reference_same_padding() {
+        let p = DepthwiseParams::new(6, 6, 8, 3, 3, 1, 1, Requant::from_scale(1.0 / 16.0, 0));
+        assert_eq!(run_case(&p, 0).unwrap(), expected(&p));
+    }
+
+    #[test]
+    fn matches_reference_stride_two() {
+        let p = DepthwiseParams::new(8, 8, 4, 3, 3, 2, 1, Requant::from_scale(1.0 / 8.0, -2));
+        assert_eq!(run_case(&p, 0).unwrap(), expected(&p));
+    }
+
+    #[test]
+    fn matches_reference_large_window() {
+        let p = DepthwiseParams::new(9, 9, 3, 7, 7, 1, 3, Requant::from_scale(1.0 / 32.0, 1));
+        assert_eq!(run_case(&p, 0).unwrap(), expected(&p));
+    }
+
+    #[test]
+    fn footprint_is_near_in_place() {
+        // Depthwise stride-1: output trails input by ~ one window row, so
+        // the footprint is input + O(rows), matching TinyEngine's in-place.
+        let p = DepthwiseParams::new(16, 16, 8, 3, 3, 1, 1, Requant::identity());
+        let fp = depthwise_exec_footprint(&p);
+        let row = p.w * p.c;
+        assert!(fp <= p.in_bytes() + 3 * row, "fp={fp}");
+        assert!(fp < p.in_bytes() + p.out_bytes());
+    }
+
+    #[test]
+    fn exec_distance_is_tight_empirically() {
+        let p = DepthwiseParams::new(6, 6, 4, 3, 3, 1, 1, Requant::from_scale(0.1, 0));
+        assert!(run_case(&p, 0).is_ok());
+        assert!(matches!(
+            run_case(&p, -1).unwrap_err(),
+            PoolError::Clobber { .. }
+        ));
+    }
+}

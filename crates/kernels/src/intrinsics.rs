@@ -1,0 +1,165 @@
+//! The vMCU intrinsic layer (§6.1), executing on the simulated machine.
+//!
+//! The paper exposes seven intrinsics to kernel developers; their data
+//! movement (`RAMLoad`, `FlashLoad`, `RAMStore`, `RAMFree`) maps to
+//! [`vmcu_pool::SegmentPool`] / [`vmcu_sim::Machine`] operations. This
+//! module implements the compute intrinsics:
+//!
+//! * [`dot_tile`] — the `Dot` fixed-size int8 matmul micro-kernel
+//!   (`SXTB16` + `SMLAD` on ARM, 2 MACs per instruction);
+//! * [`broadcast`] — register splat (`PKHBT` on ARM);
+//! * [`requant_row`] — the int32→int8 epilogue shared with the reference
+//!   operators, charged at a few cycles per element.
+
+use vmcu_sim::Machine;
+use vmcu_tensor::Requant;
+
+/// Cycles charged per element for the requantization epilogue
+/// (multiply-high + rounding shift + saturate).
+pub const REQUANT_CYCLES_PER_ELEM: u64 = 3;
+
+/// `Dot`: `acc[n] += Σ_k a[k] · b[k·b_stride + n]` for `n < acc.len()`,
+/// `k < a.len()` — an `a.len()`-deep reduction into `acc.len()` lanes,
+/// charged as packed-SIMD MACs.
+///
+/// `fully_unrolled` selects the pipeline-stall model: vMCU kernels fully
+/// unroll their innermost reduction loops, the TinyEngine baseline unrolls
+/// to a fixed depth (§7.2).
+///
+/// # Panics
+///
+/// Panics if `b` is too short for the access pattern.
+pub fn dot_tile(
+    m: &mut Machine,
+    a: &[i8],
+    b: &[i8],
+    b_stride: usize,
+    acc: &mut [i32],
+    fully_unrolled: bool,
+) {
+    let ki = a.len();
+    let ni = acc.len();
+    if ki == 0 || ni == 0 {
+        return;
+    }
+    assert!(
+        (ki - 1) * b_stride + ni <= b.len(),
+        "weight tile too small: need {} have {}",
+        (ki - 1) * b_stride + ni,
+        b.len()
+    );
+    for (k, &av) in a.iter().enumerate() {
+        let row = &b[k * b_stride..k * b_stride + ni];
+        for (n, accv) in acc.iter_mut().enumerate() {
+            *accv += i32::from(av) * i32::from(row[n]);
+        }
+    }
+    m.charge_macs((ki * ni) as u64, fully_unrolled);
+}
+
+/// `Broadcast`: fills a register row with a value (PKHBT-style splat),
+/// charged one cycle per 4 lanes.
+pub fn broadcast(m: &mut Machine, dst: &mut [i32], value: i32) {
+    dst.fill(value);
+    m.charge_cycles((dst.len() as u64).div_ceil(4));
+}
+
+/// Requantizes a row of int32 accumulators to int8 with a fused
+/// activation clamp, charging the epilogue cost.
+pub fn requant_row(
+    m: &mut Machine,
+    acc: &[i32],
+    rq: Requant,
+    clamp: (i8, i8),
+    out: &mut [u8],
+) {
+    assert_eq!(acc.len(), out.len(), "requant row length mismatch");
+    for (o, &a) in out.iter_mut().zip(acc) {
+        *o = rq.apply_clamped(a, clamp) as u8;
+    }
+    m.charge_cycles(acc.len() as u64 * REQUANT_CYCLES_PER_ELEM);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmcu_sim::Device;
+
+    fn machine() -> Machine {
+        Machine::new(Device::stm32_f767zi())
+    }
+
+    #[test]
+    fn dot_tile_computes_gemm_tile() {
+        let mut m = machine();
+        // a = [1, 2], b = [[3, 4], [5, 6]] (stride 2): acc = [13, 16]
+        let a = [1i8, 2];
+        let b = [3i8, 4, 5, 6];
+        let mut acc = [0i32; 2];
+        dot_tile(&mut m, &a, &b, 2, &mut acc, true);
+        assert_eq!(acc, [13, 16]);
+        assert_eq!(m.counters.macs, 4);
+    }
+
+    #[test]
+    fn dot_tile_accumulates() {
+        let mut m = machine();
+        let mut acc = [10i32];
+        dot_tile(&mut m, &[2], &[3], 1, &mut acc, true);
+        assert_eq!(acc, [16]);
+    }
+
+    #[test]
+    fn dot_tile_respects_stride() {
+        let mut m = machine();
+        // b laid out with stride 3 but only 2 used lanes.
+        let b = [1i8, 2, 99, 4, 5, 99];
+        let mut acc = [0i32; 2];
+        dot_tile(&mut m, &[1, 1], &b, 3, &mut acc, false);
+        assert_eq!(acc, [5, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight tile too small")]
+    fn dot_tile_bounds_checked() {
+        let mut m = machine();
+        let mut acc = [0i32; 4];
+        dot_tile(&mut m, &[1, 1], &[0; 4], 4, &mut acc, true);
+    }
+
+    #[test]
+    fn partial_unroll_charges_more() {
+        let mut m1 = machine();
+        let mut m2 = machine();
+        let a = [1i8; 32];
+        let b = [1i8; 64];
+        let mut acc = [0i32; 2];
+        dot_tile(&mut m1, &a, &b, 2, &mut acc, true);
+        let mut acc = [0i32; 2];
+        dot_tile(&mut m2, &a, &b, 2, &mut acc, false);
+        assert!(m2.counters.cycles > m1.counters.cycles);
+        assert_eq!(m1.counters.macs, m2.counters.macs);
+    }
+
+    #[test]
+    fn broadcast_fills_and_charges() {
+        let mut m = machine();
+        let mut regs = [0i32; 8];
+        broadcast(&mut m, &mut regs, -7);
+        assert!(regs.iter().all(|&v| v == -7));
+        assert_eq!(m.counters.cycles, 2);
+    }
+
+    #[test]
+    fn requant_row_matches_scalar_path() {
+        let mut m = machine();
+        let rq = Requant::from_scale(0.25, 3);
+        let acc = [100, -100, 0, 1000];
+        let mut out = [0u8; 4];
+        requant_row(&mut m, &acc, rq, (-128, 127), &mut out);
+        for (i, &a) in acc.iter().enumerate() {
+            assert_eq!(out[i] as i8, rq.apply(a));
+        }
+        assert_eq!(m.counters.cycles, 4 * REQUANT_CYCLES_PER_ELEM);
+    }
+}

@@ -1,0 +1,39 @@
+//! # vmcu-kernels — segment-aware kernels and baselines
+//!
+//! The §5/§6 layer of the vMCU reproduction:
+//!
+//! * [`intrinsics`] — the compute intrinsics (`Dot`, `Broadcast`,
+//!   requantization epilogue) executing real int8 arithmetic on the
+//!   simulated machine while charging modelled costs;
+//! * [`fc`], [`pointwise`], [`conv2d`], [`depthwise`] — single-layer
+//!   segment-aware kernels (Figures 4 and 5) running against the circular
+//!   [`vmcu_pool::SegmentPool`], each paired with a dry-run trace that
+//!   tells the planner the exact pointer distance the implementation
+//!   needs;
+//! * [`fused_ib`] — the fused inverted-bottleneck kernel (Figure 6) in
+//!   both workspace schemes;
+//! * [`tinyengine`] — the TinyEngine-policy baseline kernels (tensor-level
+//!   memory, im2col, fixed-depth unrolling, in-place depthwise);
+//! * [`trace`] — the executable-schedule trace machinery and the
+//!   free-based distance bound;
+//! * [`params`] — shared layer parameter blocks.
+//!
+//! Every kernel is tested bit-exact against `vmcu_tensor::reference`, and
+//! every planner distance is validated empirically: kernels run clean at
+//! the planned offset and clobber deterministically one byte short of it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod conv2d;
+pub mod depthwise;
+pub mod fc;
+pub mod fused_ib;
+pub mod intrinsics;
+pub mod params;
+pub mod pointwise;
+pub mod tinyengine;
+pub mod trace;
+
+pub use fused_ib::{IbFlash, IbScheme};
+pub use params::{Conv2dParams, DepthwiseParams, FcParams, IbParams, PointwiseParams};

@@ -1,0 +1,121 @@
+//! NAS-headroom search (Figures 11 and 12, §7.4).
+//!
+//! vMCU's footprint reductions relax the memory constraint a NAS search
+//! operates under: at *equal* RAM to TinyEngine, a module can afford a
+//! larger image or more channels. These searches find, for each module,
+//! the largest integer image size (resp. scaled channel sizes) whose vMCU
+//! footprint still fits the RAM TinyEngine needs for the original module.
+
+use crate::planner::MemoryPlanner;
+use crate::tinyengine_planner::TinyEnginePlanner;
+use crate::vmcu_planner::VmcuPlanner;
+use vmcu_graph::LayerDesc;
+use vmcu_kernels::params::IbParams;
+
+/// vMCU footprint of a module in bytes (activation + workspace).
+fn vmcu_bytes(planner: &VmcuPlanner, p: &IbParams) -> usize {
+    let (a, w) = planner.plan_layer(&LayerDesc::Ib(*p));
+    a + w
+}
+
+/// The RAM budget TinyEngine needs for the module (activation +
+/// workspace).
+pub fn tinyengine_budget(p: &IbParams) -> usize {
+    let (a, w) = TinyEnginePlanner.plan_layer(&LayerDesc::Ib(*p));
+    a + w
+}
+
+/// Largest image size (both height and width) whose vMCU footprint fits
+/// `budget_bytes`, returned as a ratio to the original size.
+pub fn max_image_scale(p: &IbParams, planner: &VmcuPlanner, budget_bytes: usize) -> f64 {
+    let mut best = p.hw;
+    let mut hw = p.hw;
+    loop {
+        hw += 1;
+        // Keep geometry valid: the fused kernel needs the dw window to fit.
+        let mut scaled = *p;
+        scaled.hw = hw;
+        if vmcu_bytes(planner, &scaled) > budget_bytes {
+            break;
+        }
+        best = hw;
+        if hw > 64 * p.hw {
+            break; // unbounded growth guard (cannot happen in practice)
+        }
+    }
+    best as f64 / p.hw as f64
+}
+
+/// Largest channel scale (input and output channels, with the expanded
+/// channels growing proportionally) whose vMCU footprint fits
+/// `budget_bytes`, returned as a ratio to the original channel count.
+pub fn max_channel_scale(p: &IbParams, planner: &VmcuPlanner, budget_bytes: usize) -> f64 {
+    let expand_ratio = p.c_mid as f64 / p.c_in as f64;
+    let mut best = p.c_in;
+    let mut c_in = p.c_in;
+    loop {
+        c_in += 1;
+        let mut scaled = *p;
+        scaled.c_in = c_in;
+        scaled.c_out = if p.has_residual() {
+            c_in
+        } else {
+            ((p.c_out as f64 * c_in as f64 / p.c_in as f64).round() as usize).max(1)
+        };
+        scaled.c_mid = ((c_in as f64 * expand_ratio).round() as usize).max(1);
+        if vmcu_bytes(planner, &scaled) > budget_bytes {
+            break;
+        }
+        best = c_in;
+        if c_in > 64 * p.c_in {
+            break;
+        }
+    }
+    best as f64 / p.c_in as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmcu_graph::zoo;
+
+    #[test]
+    fn image_scale_exceeds_one_for_all_vww_modules() {
+        let planner = VmcuPlanner::default();
+        for m in zoo::mcunet_5fps_vww() {
+            let budget = tinyengine_budget(&m.params);
+            let r = max_image_scale(&m.params, &planner, budget);
+            assert!(
+                r > 1.1,
+                "{}: image scale {r:.2} should exceed 1.1 at TinyEngine budget",
+                m.name
+            );
+            assert!(r < 4.0, "{}: image scale {r:.2} implausibly large", m.name);
+        }
+    }
+
+    #[test]
+    fn channel_scale_exceeds_one_for_all_vww_modules() {
+        let planner = VmcuPlanner::default();
+        for m in zoo::mcunet_5fps_vww() {
+            let budget = tinyengine_budget(&m.params);
+            let r = max_channel_scale(&m.params, &planner, budget);
+            assert!(
+                r > 1.1,
+                "{}: channel scale {r:.2} should exceed 1.1",
+                m.name
+            );
+            assert!(r < 5.0, "{}: channel scale {r:.2} implausibly large", m.name);
+        }
+    }
+
+    #[test]
+    fn scaling_is_monotone_in_budget() {
+        let planner = VmcuPlanner::default();
+        let p = zoo::mcunet_5fps_vww()[0].params;
+        let b = tinyengine_budget(&p);
+        let r1 = max_image_scale(&p, &planner, b);
+        let r2 = max_image_scale(&p, &planner, b * 2);
+        assert!(r2 >= r1);
+    }
+}

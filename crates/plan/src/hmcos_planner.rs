@@ -1,0 +1,100 @@
+//! The HMCOS-policy planner (scheduling only, no in-place; §2.3, §7.1).
+//!
+//! HMCOS searches operator orderings to minimize peak memory but supports
+//! no in-place updates. On the linear inverted-bottleneck chains of the
+//! evaluation there is nothing to reorder, so its peak is the largest sum
+//! of simultaneously-live whole tensors — including both the depthwise
+//! input *and* output, which TinyEngine's in-place trick avoids. The paper
+//! reports it as the weakest baseline on these networks (§7.3: "HMCOS
+//! fails to reduce memory space for such linear structure DNNs").
+
+use crate::planner::MemoryPlanner;
+use vmcu_graph::LayerDesc;
+
+/// Scheduling-only planner with HMCOS policies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HmcosPlanner;
+
+impl MemoryPlanner for HmcosPlanner {
+    fn name(&self) -> &'static str {
+        "HMCOS"
+    }
+
+    fn plan_layer(&self, layer: &LayerDesc) -> (usize, usize) {
+        match layer {
+            LayerDesc::Pointwise(p) => (p.in_bytes() + p.out_bytes(), p.w * p.c),
+            LayerDesc::Conv2d(p) => (p.in_bytes() + p.out_bytes(), 2 * p.r * p.s * p.c),
+            // No in-place: input and output are both whole live tensors.
+            LayerDesc::Depthwise(p) => (p.in_bytes() + p.out_bytes(), 0),
+            LayerDesc::Dense(p) => (p.in_bytes() + p.out_bytes(), 0),
+            LayerDesc::Ib(p) => {
+                let (a, b, c, d) = (
+                    p.in_bytes(),
+                    p.mid_bytes(),
+                    p.dw_out_bytes(),
+                    p.out_bytes(),
+                );
+                let residual_pin = if p.has_residual() { a } else { 0 };
+                // HMCOS schedules the same library kernels the baseline
+                // executes, so the pointwise stages carry the same im2col
+                // staging rows.
+                let im2col1 = p.hw * p.c_in;
+                let im2col2 = p.hw2() * p.c_mid;
+                let expand = a + b + im2col1;
+                let dw = residual_pin + b + c; // both live: no in-place
+                let project = residual_pin + c + d + im2col2;
+                // No in-place add either: A + D + E live together.
+                let add = if p.has_residual() { a + 2 * d } else { 0 };
+                (expand.max(dw).max(project).max(add), 0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::named_ib_layers;
+    use crate::tinyengine_planner::TinyEnginePlanner;
+    use crate::vmcu_planner::VmcuPlanner;
+    use vmcu_graph::zoo;
+    use vmcu_sim::Device;
+
+    #[test]
+    fn vww_bottleneck_near_paper_48_8_kb() {
+        // Figure 9: HMCOS bottleneck 48.8 KB (A + B + C at S1).
+        let device = Device::stm32_f411re();
+        let plan = HmcosPlanner.plan(&named_ib_layers(&zoo::mcunet_5fps_vww()), &device);
+        let kb = plan.bottleneck_bytes() as f64 / 1000.0;
+        assert!(
+            (46.0..=52.0).contains(&kb),
+            "HMCOS VWW bottleneck {kb:.1} KB out of expected band"
+        );
+    }
+
+    #[test]
+    fn ordering_vmcu_le_tinyengine_le_hmcos_on_residual_modules() {
+        let device = Device::stm32_f767zi();
+        let layers = named_ib_layers(&zoo::mcunet_5fps_vww());
+        let hm = HmcosPlanner.plan(&layers, &device);
+        let te = TinyEnginePlanner.plan(&layers, &device);
+        let vm = VmcuPlanner::default().plan(&layers, &device);
+        for ((h, t), v) in hm.layers.iter().zip(&te.layers).zip(&vm.layers) {
+            assert!(v.measured_bytes <= t.measured_bytes, "{}", h.name);
+            assert!(
+                t.measured_bytes <= h.measured_bytes,
+                "{}: TinyEngine (in-place dw) should not exceed HMCOS",
+                h.name
+            );
+        }
+        assert!(hm.bottleneck_bytes() > te.bottleneck_bytes());
+        assert!(te.bottleneck_bytes() > vm.bottleneck_bytes());
+    }
+
+    #[test]
+    fn imagenet_undeployable_on_f411re() {
+        let device = Device::stm32_f411re();
+        let plan = HmcosPlanner.plan(&named_ib_layers(&zoo::mcunet_320kb_imagenet()), &device);
+        assert!(!plan.deployable());
+    }
+}

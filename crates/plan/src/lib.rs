@@ -1,0 +1,46 @@
+//! # vmcu-plan — memory planners
+//!
+//! The policy layer of the comparison in §7: given layers or fused
+//! modules, each planner reports the RAM it would need.
+//!
+//! * [`VmcuPlanner`] — segment-level management; numbers come from the
+//!   kernels' executable traces, so every figure is deployable by
+//!   construction;
+//! * [`TinyEnginePlanner`] — tensor-level with in-place depthwise and
+//!   im2col staging (the paper's strongest baseline);
+//! * [`HmcosPlanner`] — scheduling only, no in-place (weakest on linear
+//!   chains);
+//! * [`arena`] — a TFLM-style greedy arena as an extra baseline;
+//! * [`headroom`] — the Figure 11/12 NAS-headroom searches.
+//!
+//! # Examples
+//!
+//! ```
+//! use vmcu_plan::{MemoryPlanner, TinyEnginePlanner, VmcuPlanner};
+//! use vmcu_plan::planner::named_ib_layers;
+//! use vmcu_graph::zoo;
+//! use vmcu_sim::Device;
+//!
+//! let device = Device::stm32_f411re();
+//! let layers = named_ib_layers(&zoo::mcunet_5fps_vww());
+//! let te = TinyEnginePlanner.plan(&layers, &device);
+//! let vm = VmcuPlanner::default().plan(&layers, &device);
+//! assert!(vm.bottleneck_bytes() < te.bottleneck_bytes());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arena;
+pub mod chain;
+pub mod headroom;
+pub mod hmcos_planner;
+pub mod planner;
+pub mod tinyengine_planner;
+pub mod vmcu_planner;
+
+pub use chain::{plan_chain, ChainPlan};
+pub use hmcos_planner::HmcosPlanner;
+pub use planner::{LayerPlan, MemoryPlan, MemoryPlanner};
+pub use tinyengine_planner::TinyEnginePlanner;
+pub use vmcu_planner::VmcuPlanner;

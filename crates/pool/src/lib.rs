@@ -1,0 +1,484 @@
+//! # vmcu-pool — the virtualized circular memory pool
+//!
+//! vMCU's central idea (§3–§4): treat the MCU's scarce SRAM as a circular
+//! buffer of segments. Kernels address the pool with *logical* addresses
+//! that grow without bound; a modulo operation (the boundary check every
+//! vMCU kernel performs on `RAMLoad`/`RAMStore`) wraps them into the
+//! physical window. Output segments are stored into slots whose input
+//! segments have already been freed, which is what lets input and output
+//! tensors overlap.
+//!
+//! [`SegmentPool`] tracks liveness at byte granularity and, in checked
+//! mode, turns any violation — a store clobbering live data, a read of
+//! dead bytes, a double free — into a typed [`PoolError`] instead of a
+//! silent wrong answer. The planners' minimality claims are validated
+//! empirically against this: running a kernel with the solver's offset
+//! succeeds; shrinking the pool by one segment makes it fail.
+//!
+//! # Examples
+//!
+//! ```
+//! use vmcu_pool::SegmentPool;
+//! use vmcu_sim::{Device, Machine};
+//!
+//! let mut m = Machine::new(Device::stm32_f411re());
+//! // An 8-byte pool holding a 6-byte input that we stream over.
+//! let mut pool = SegmentPool::new(&m, 0, 8, 2).unwrap();
+//! pool.host_fill_live(&mut m, 0, &[1, 2, 3, 4, 5, 6]).unwrap();
+//! let mut reg = [0u8; 2];
+//! pool.load(&mut m, 0, &mut reg).unwrap();   // read segment 0
+//! pool.free(0, 2).unwrap();                  // retire it
+//! pool.store(&mut m, &reg.clone(), 6).unwrap(); // reuse the slot via wrap
+//! assert_eq!(pool.live_bytes(), 6);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use vmcu_sim::{Machine, MemError};
+
+/// A pool-access failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolError {
+    /// A store targeted a byte that is still live (the silent-corruption
+    /// case of §2.4, surfaced as an error).
+    Clobber {
+        /// Logical byte address of the store.
+        logical: i64,
+        /// Physical offset within the pool window.
+        phys: usize,
+    },
+    /// A load touched a byte that is not live (reading garbage).
+    DeadRead {
+        /// Logical byte address of the load.
+        logical: i64,
+        /// Physical offset within the pool window.
+        phys: usize,
+    },
+    /// A free targeted a byte that was already free.
+    DoubleFree {
+        /// Logical byte address of the free.
+        logical: i64,
+    },
+    /// The pool window does not fit in device RAM.
+    WindowOutOfRam {
+        /// Window base address.
+        base: usize,
+        /// Window length in bytes.
+        len: usize,
+        /// RAM capacity.
+        ram: usize,
+    },
+    /// Underlying memory error.
+    Mem(MemError),
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::Clobber { logical, phys } => write!(
+                f,
+                "store at logical {logical} would clobber live byte at pool offset {phys}"
+            ),
+            PoolError::DeadRead { logical, phys } => write!(
+                f,
+                "load at logical {logical} reads dead byte at pool offset {phys}"
+            ),
+            PoolError::DoubleFree { logical } => {
+                write!(f, "double free at logical address {logical}")
+            }
+            PoolError::WindowOutOfRam { base, len, ram } => write!(
+                f,
+                "pool window [{base}, {}) exceeds RAM capacity {ram}",
+                base + len
+            ),
+            PoolError::Mem(e) => write!(f, "pool memory error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PoolError::Mem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for PoolError {
+    fn from(e: MemError) -> Self {
+        PoolError::Mem(e)
+    }
+}
+
+/// The circular segment pool over a RAM window.
+#[derive(Debug, Clone)]
+pub struct SegmentPool {
+    base: usize,
+    len: usize,
+    seg_bytes: usize,
+    live: Vec<bool>,
+    live_count: usize,
+    peak_live: usize,
+    checked: bool,
+}
+
+impl SegmentPool {
+    /// Creates a pool over RAM bytes `[base, base + len)` with the given
+    /// kernel-specific segment size (used for cost accounting; liveness is
+    /// tracked per byte).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::WindowOutOfRam`] when the window exceeds the
+    /// machine's RAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` or `seg_bytes` is zero.
+    pub fn new(m: &Machine, base: usize, len: usize, seg_bytes: usize) -> Result<Self, PoolError> {
+        assert!(len > 0, "pool window must be non-empty");
+        assert!(seg_bytes > 0, "segment size must be positive");
+        if base + len > m.ram.capacity() {
+            return Err(PoolError::WindowOutOfRam {
+                base,
+                len,
+                ram: m.ram.capacity(),
+            });
+        }
+        Ok(Self {
+            base,
+            len,
+            seg_bytes,
+            live: vec![false; len],
+            live_count: 0,
+            peak_live: 0,
+            checked: true,
+        })
+    }
+
+    /// Disables clobber/dead-read checking (production mode — matches
+    /// on-device behaviour where violations are silent).
+    pub fn set_checked(&mut self, checked: bool) {
+        self.checked = checked;
+    }
+
+    /// Pool window length in bytes.
+    pub fn window_len(&self) -> usize {
+        self.len
+    }
+
+    /// Kernel-specific segment size in bytes.
+    pub fn seg_bytes(&self) -> usize {
+        self.seg_bytes
+    }
+
+    /// Currently live bytes.
+    pub fn live_bytes(&self) -> usize {
+        self.live_count
+    }
+
+    /// High-water mark of live bytes (empirical footprint).
+    pub fn peak_live_bytes(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Physical offset of a logical address (the modulo boundary check).
+    pub fn phys(&self, logical: i64) -> usize {
+        logical.rem_euclid(self.len as i64) as usize
+    }
+
+    fn set_live(&mut self, phys: usize, live: bool) {
+        if self.live[phys] != live {
+            self.live[phys] = live;
+            if live {
+                self.live_count += 1;
+                self.peak_live = self.peak_live.max(self.live_count);
+            } else {
+                self.live_count -= 1;
+            }
+        }
+    }
+
+    /// Splits a possibly-wrapping range into at most two physical spans.
+    fn spans(&self, logical: i64, len: usize) -> [(usize, usize); 2] {
+        assert!(
+            len <= self.len,
+            "access of {len} bytes exceeds pool window {}",
+            self.len
+        );
+        let start = self.phys(logical);
+        let first = len.min(self.len - start);
+        [(start, first), (0, len - first)]
+    }
+
+    // ---- costed kernel operations -----------------------------------------
+
+    /// `RAMLoad` through the pool: reads `dst.len()` logical bytes starting
+    /// at `logical`, charging one modulo plus the machine's load cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::DeadRead`] in checked mode when any byte is not
+    /// live, or a memory error from the machine.
+    pub fn load(&mut self, m: &mut Machine, logical: i64, dst: &mut [u8]) -> Result<(), PoolError> {
+        m.charge_modulo(1);
+        let mut off = 0usize;
+        for (phys, n) in self.spans(logical, dst.len()) {
+            if n == 0 {
+                continue;
+            }
+            if self.checked {
+                for p in phys..phys + n {
+                    if !self.live[p] {
+                        return Err(PoolError::DeadRead {
+                            logical: logical + (off + (p - phys)) as i64,
+                            phys: p,
+                        });
+                    }
+                }
+            }
+            m.ram_load(self.base + phys, &mut dst[off..off + n])?;
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// `RAMStore` through the pool: writes `src` at `logical`, charging one
+    /// modulo plus the machine's store cost, and marks the bytes live.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::Clobber`] in checked mode when any target byte
+    /// is still live, or a memory error from the machine.
+    pub fn store(&mut self, m: &mut Machine, src: &[u8], logical: i64) -> Result<(), PoolError> {
+        m.charge_modulo(1);
+        let mut off = 0usize;
+        for (phys, n) in self.spans(logical, src.len()) {
+            if n == 0 {
+                continue;
+            }
+            if self.checked {
+                for p in phys..phys + n {
+                    if self.live[p] {
+                        return Err(PoolError::Clobber {
+                            logical: logical + (off + (p - phys)) as i64,
+                            phys: p,
+                        });
+                    }
+                }
+            }
+            m.ram_store(self.base + phys, &src[off..off + n])?;
+            for p in phys..phys + n {
+                self.set_live(p, true);
+            }
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// `RAMFree`: retires `len` logical bytes starting at `logical`
+    /// (bookkeeping only — on hardware this is a pointer bump, so no cost
+    /// is charged).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::DoubleFree`] in checked mode when any byte is
+    /// already free.
+    pub fn free(&mut self, logical: i64, len: usize) -> Result<(), PoolError> {
+        for (phys, n) in self.spans(logical, len) {
+            for p in phys..phys + n {
+                if self.checked && !self.live[p] {
+                    return Err(PoolError::DoubleFree {
+                        logical: logical + (p - phys) as i64,
+                    });
+                }
+                self.set_live(p, false);
+            }
+        }
+        Ok(())
+    }
+
+    // ---- host-side (uncosted) setup ---------------------------------------
+
+    /// Writes input data at `logical` and marks it live without charging
+    /// cycles (test-bench input staging).
+    ///
+    /// # Errors
+    ///
+    /// Returns a memory error on RAM failures.
+    pub fn host_fill_live(
+        &mut self,
+        m: &mut Machine,
+        logical: i64,
+        data: &[u8],
+    ) -> Result<(), PoolError> {
+        let mut off = 0usize;
+        for (phys, n) in self.spans(logical, data.len()) {
+            if n == 0 {
+                continue;
+            }
+            m.host_write_ram(self.base + phys, &data[off..off + n])?;
+            for p in phys..phys + n {
+                self.set_live(p, true);
+            }
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Reads back `len` bytes at `logical` without charging cycles
+    /// (test-bench output readback).
+    ///
+    /// # Errors
+    ///
+    /// Returns a memory error on RAM failures.
+    pub fn host_read(&self, m: &Machine, logical: i64, len: usize) -> Result<Vec<u8>, PoolError> {
+        let mut out = Vec::with_capacity(len);
+        for (phys, n) in self.spans(logical, len) {
+            if n == 0 {
+                continue;
+            }
+            out.extend_from_slice(&m.host_read_ram(self.base + phys, n)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmcu_sim::Device;
+
+    fn setup(pool_len: usize, seg: usize) -> (Machine, SegmentPool) {
+        let m = Machine::new(Device::stm32_f411re());
+        let pool = SegmentPool::new(&m, 0, pool_len, seg).unwrap();
+        (m, pool)
+    }
+
+    #[test]
+    fn modulo_addressing_wraps() {
+        let (_, pool) = setup(10, 2);
+        assert_eq!(pool.phys(0), 0);
+        assert_eq!(pool.phys(10), 0);
+        assert_eq!(pool.phys(13), 3);
+        assert_eq!(pool.phys(-1), 9);
+    }
+
+    #[test]
+    fn load_store_round_trip_and_costs() {
+        let (mut m, mut pool) = setup(16, 4);
+        pool.store(&mut m, &[9, 8, 7, 6], 4).unwrap();
+        let mut buf = [0u8; 4];
+        pool.load(&mut m, 4, &mut buf).unwrap();
+        assert_eq!(buf, [9, 8, 7, 6]);
+        assert_eq!(m.counters.modulo_ops, 2);
+        assert_eq!(m.counters.ram_write_bytes, 4);
+    }
+
+    #[test]
+    fn wrapping_store_splits_across_boundary() {
+        let (mut m, mut pool) = setup(8, 4);
+        pool.store(&mut m, &[1, 2, 3, 4], 6).unwrap(); // bytes 6,7,0,1
+        assert_eq!(m.host_read_ram(6, 2).unwrap(), vec![1, 2]);
+        assert_eq!(m.host_read_ram(0, 2).unwrap(), vec![3, 4]);
+        let mut buf = [0u8; 4];
+        pool.load(&mut m, 6, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn clobber_is_detected() {
+        let (mut m, mut pool) = setup(8, 4);
+        pool.store(&mut m, &[1; 4], 0).unwrap();
+        // Same physical slot via wrap-around: logical 8 maps to offset 0.
+        let err = pool.store(&mut m, &[2; 4], 8).unwrap_err();
+        assert!(matches!(err, PoolError::Clobber { phys: 0, .. }));
+    }
+
+    #[test]
+    fn free_then_reuse_is_legal() {
+        let (mut m, mut pool) = setup(8, 4);
+        pool.store(&mut m, &[1; 4], 0).unwrap();
+        pool.free(0, 4).unwrap();
+        pool.store(&mut m, &[2; 4], 8).unwrap(); // same slot, now free
+        assert_eq!(pool.live_bytes(), 4);
+        assert_eq!(pool.peak_live_bytes(), 4);
+    }
+
+    #[test]
+    fn dead_read_is_detected() {
+        let (mut m, mut pool) = setup(8, 4);
+        let mut buf = [0u8; 2];
+        let err = pool.load(&mut m, 0, &mut buf).unwrap_err();
+        assert!(matches!(err, PoolError::DeadRead { .. }));
+    }
+
+    #[test]
+    fn double_free_is_detected() {
+        let (mut m, mut pool) = setup(8, 4);
+        pool.store(&mut m, &[1; 4], 0).unwrap();
+        pool.free(0, 4).unwrap();
+        assert!(matches!(pool.free(0, 4), Err(PoolError::DoubleFree { .. })));
+    }
+
+    #[test]
+    fn unchecked_mode_allows_silent_clobber() {
+        let (mut m, mut pool) = setup(8, 4);
+        pool.set_checked(false);
+        pool.store(&mut m, &[1; 4], 0).unwrap();
+        pool.store(&mut m, &[2; 4], 8).unwrap(); // silently overwrites
+        let mut buf = [0u8; 4];
+        pool.load(&mut m, 0, &mut buf).unwrap();
+        assert_eq!(buf, [2; 4]);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let (mut m, mut pool) = setup(16, 4);
+        pool.store(&mut m, &[1; 4], 0).unwrap();
+        pool.store(&mut m, &[1; 4], 4).unwrap();
+        pool.free(0, 8).unwrap();
+        pool.store(&mut m, &[1; 4], 8).unwrap();
+        assert_eq!(pool.live_bytes(), 4);
+        assert_eq!(pool.peak_live_bytes(), 8);
+    }
+
+    #[test]
+    fn host_fill_and_read_are_free_of_cost() {
+        let (mut m, mut pool) = setup(8, 4);
+        pool.host_fill_live(&mut m, 6, &[1, 2, 3, 4]).unwrap(); // wraps
+        assert_eq!(pool.host_read(&m, 6, 4).unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(m.counters.cycles, 0);
+        assert_eq!(pool.live_bytes(), 4);
+    }
+
+    #[test]
+    fn window_must_fit_in_ram() {
+        let m = Machine::new(Device::stm32_f411re());
+        let cap = m.ram.capacity();
+        assert!(matches!(
+            SegmentPool::new(&m, cap - 4, 8, 2),
+            Err(PoolError::WindowOutOfRam { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds pool window")]
+    fn oversized_access_panics() {
+        let (mut m, mut pool) = setup(8, 4);
+        let mut buf = [0u8; 16];
+        let _ = pool.load(&mut m, 0, &mut buf);
+    }
+
+    #[test]
+    fn error_display_mentions_addresses() {
+        let e = PoolError::Clobber {
+            logical: 42,
+            phys: 2,
+        };
+        assert!(e.to_string().contains("42"));
+    }
+}

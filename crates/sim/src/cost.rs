@@ -1,0 +1,126 @@
+//! Instruction-class cost model for Cortex-M cores.
+//!
+//! Absolute cycle counts on real silicon depend on flash wait states,
+//! bus arbitration, and compiler quality; this model instead captures the
+//! *relative* costs the paper's evaluation hinges on:
+//!
+//! * int8 MACs execute through packed SIMD (`SXTB16` + `SMLAD`,
+//!   2 MACs/instruction) — faster on the dual-issue M7;
+//! * partially-unrolled inner loops (TinyEngine unrolls to a fixed depth
+//!   of 16) pay a per-MAC pipeline-stall penalty that fully-unrolled vMCU
+//!   loops avoid (§7.2);
+//! * every segment load/store in vMCU pays one address-modulo operation
+//!   (circular buffer boundary check, §5.3);
+//! * im2col pre-processing is pure RAM-to-RAM copy traffic.
+//!
+//! All fractional costs use ×100 fixed point to keep the simulator purely
+//! integral and deterministic.
+
+/// Per-operation cycle costs (fixed point: `_x100` fields are cycles×100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CostModel {
+    /// Cycles ×100 per 8-bit MAC in a fully unrolled packed-SIMD loop.
+    pub mac_cycles_x100: u64,
+    /// Extra multiplier ×100 applied to MAC cycles when the inner loop is
+    /// only partially unrolled (pipeline stalls + loop upkeep); `100`
+    /// means no penalty.
+    pub partial_unroll_penalty_x100: u64,
+    /// Cycles ×100 per byte moved between RAM and registers (memcpy-style
+    /// word copies).
+    pub ram_byte_cycles_x100: u64,
+    /// Cycles ×100 per byte read from Flash (includes wait states
+    /// amortized by prefetch).
+    pub flash_byte_cycles_x100: u64,
+    /// Cycles per address modulo (circular-buffer boundary check).
+    pub modulo_cycles: u64,
+    /// Cycles per taken branch.
+    pub branch_cycles: u64,
+    /// Cycles of fixed overhead per intrinsic call (address setup).
+    pub call_overhead_cycles: u64,
+}
+
+impl CostModel {
+    /// Cortex-M4 cost model (single-issue, DSP extension).
+    pub fn cortex_m4() -> Self {
+        Self {
+            mac_cycles_x100: 100,             // SMLAD 1/cycle, packing overhead folded in
+            partial_unroll_penalty_x100: 150, // stalls every unroll boundary
+            ram_byte_cycles_x100: 50,         // ~2 cycles per 32-bit word
+            flash_byte_cycles_x100: 75,       // ART accelerator hides most waits
+            modulo_cycles: 3,
+            branch_cycles: 3,
+            call_overhead_cycles: 6,
+        }
+    }
+
+    /// Cortex-M7 cost model (dual-issue, faster buses).
+    pub fn cortex_m7() -> Self {
+        Self {
+            mac_cycles_x100: 55,
+            partial_unroll_penalty_x100: 165, // dual-issue pipeline suffers more from short dependent chains
+            ram_byte_cycles_x100: 30,
+            flash_byte_cycles_x100: 55,
+            modulo_cycles: 2,
+            branch_cycles: 2,
+            call_overhead_cycles: 5,
+        }
+    }
+
+    /// Cycles for `n` MACs; `fully_unrolled` selects whether the stall
+    /// penalty applies.
+    pub fn mac_cost(&self, n: u64, fully_unrolled: bool) -> u64 {
+        let base = n * self.mac_cycles_x100;
+        let scaled = if fully_unrolled {
+            base
+        } else {
+            base * self.partial_unroll_penalty_x100 / 100
+        };
+        scaled.div_ceil(100)
+    }
+
+    /// Cycles to move `n` bytes between RAM and registers.
+    pub fn ram_move_cost(&self, n: u64) -> u64 {
+        (n * self.ram_byte_cycles_x100).div_ceil(100)
+    }
+
+    /// Cycles to read `n` bytes from Flash.
+    pub fn flash_read_cost(&self, n: u64) -> u64 {
+        (n * self.flash_byte_cycles_x100).div_ceil(100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m7_is_faster_per_mac_than_m4() {
+        let m4 = CostModel::cortex_m4();
+        let m7 = CostModel::cortex_m7();
+        assert!(m7.mac_cost(1000, true) < m4.mac_cost(1000, true));
+    }
+
+    #[test]
+    fn partial_unroll_costs_more() {
+        let m = CostModel::cortex_m4();
+        assert!(m.mac_cost(1000, false) > m.mac_cost(1000, true));
+        // penalty is multiplicative: 50% here
+        assert_eq!(m.mac_cost(1000, false), 1500);
+    }
+
+    #[test]
+    fn move_costs_round_up() {
+        let m = CostModel::cortex_m4();
+        assert_eq!(m.ram_move_cost(1), 1); // 0.5 cycles rounds up
+        assert_eq!(m.ram_move_cost(8), 4);
+        assert_eq!(m.flash_read_cost(4), 3);
+    }
+
+    #[test]
+    fn zero_work_is_free() {
+        let m = CostModel::cortex_m7();
+        assert_eq!(m.mac_cost(0, false), 0);
+        assert_eq!(m.ram_move_cost(0), 0);
+        assert_eq!(m.flash_read_cost(0), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Execution counters: the simulator's observable outputs.
+//!
+//! Every kernel action is accounted here; latency and energy are pure
+//! functions of these counters plus the device models, which is what makes
+//! the reproduction's performance claims auditable.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Counted work of a (partial) kernel execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Counters {
+    /// Total modelled clock cycles.
+    pub cycles: u64,
+    /// 8-bit multiply-accumulate operations.
+    pub macs: u64,
+    /// Bytes read from RAM.
+    pub ram_read_bytes: u64,
+    /// Bytes written to RAM.
+    pub ram_write_bytes: u64,
+    /// Bytes read from Flash.
+    pub flash_read_bytes: u64,
+    /// Address modulo operations (circular-buffer boundary checks).
+    pub modulo_ops: u64,
+    /// Taken branches (loop back-edges, calls).
+    pub branches: u64,
+}
+
+impl Counters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total RAM traffic in bytes (reads + writes).
+    pub fn ram_bytes(&self) -> u64 {
+        self.ram_read_bytes + self.ram_write_bytes
+    }
+
+    /// Difference since an earlier snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is not actually earlier (any field larger).
+    pub fn since(&self, earlier: &Counters) -> Counters {
+        let sub = |a: u64, b: u64| {
+            a.checked_sub(b)
+                .expect("counter snapshot is not earlier than self")
+        };
+        Counters {
+            cycles: sub(self.cycles, earlier.cycles),
+            macs: sub(self.macs, earlier.macs),
+            ram_read_bytes: sub(self.ram_read_bytes, earlier.ram_read_bytes),
+            ram_write_bytes: sub(self.ram_write_bytes, earlier.ram_write_bytes),
+            flash_read_bytes: sub(self.flash_read_bytes, earlier.flash_read_bytes),
+            modulo_ops: sub(self.modulo_ops, earlier.modulo_ops),
+            branches: sub(self.branches, earlier.branches),
+        }
+    }
+}
+
+impl Add for Counters {
+    type Output = Counters;
+
+    fn add(self, rhs: Counters) -> Counters {
+        Counters {
+            cycles: self.cycles + rhs.cycles,
+            macs: self.macs + rhs.macs,
+            ram_read_bytes: self.ram_read_bytes + rhs.ram_read_bytes,
+            ram_write_bytes: self.ram_write_bytes + rhs.ram_write_bytes,
+            flash_read_bytes: self.flash_read_bytes + rhs.flash_read_bytes,
+            modulo_ops: self.modulo_ops + rhs.modulo_ops,
+            branches: self.branches + rhs.branches,
+        }
+    }
+}
+
+impl AddAssign for Counters {
+    fn add_assign(&mut self, rhs: Counters) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycles={} macs={} ram_r={}B ram_w={}B flash_r={}B mod={} br={}",
+            self.cycles,
+            self.macs,
+            self.ram_read_bytes,
+            self.ram_write_bytes,
+            self.flash_read_bytes,
+            self.modulo_ops,
+            self.branches
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_add_assign_agree() {
+        let a = Counters {
+            cycles: 10,
+            macs: 4,
+            ram_read_bytes: 2,
+            ram_write_bytes: 1,
+            flash_read_bytes: 8,
+            modulo_ops: 1,
+            branches: 3,
+        };
+        let mut b = a;
+        b += a;
+        assert_eq!(b, a + a);
+        assert_eq!(b.cycles, 20);
+        assert_eq!(b.ram_bytes(), 6);
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let early = Counters {
+            cycles: 5,
+            ..Counters::new()
+        };
+        let late = Counters {
+            cycles: 12,
+            macs: 3,
+            ..Counters::new()
+        };
+        let d = late.since(&early);
+        assert_eq!(d.cycles, 7);
+        assert_eq!(d.macs, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not earlier")]
+    fn since_rejects_non_monotone_snapshots() {
+        let early = Counters {
+            cycles: 12,
+            ..Counters::new()
+        };
+        let late = Counters {
+            cycles: 5,
+            ..Counters::new()
+        };
+        let _ = late.since(&early);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Counters::new().to_string().is_empty());
+    }
+}

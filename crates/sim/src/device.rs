@@ -1,0 +1,187 @@
+//! Device models for the evaluation platforms (§7.1) and the Table 1
+//! hardware-landscape comparison.
+
+use crate::cost::CostModel;
+use crate::energy::EnergyModel;
+use std::fmt;
+
+/// Processor core of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Core {
+    /// ARM Cortex-M4 (single-issue, DSP extension).
+    CortexM4,
+    /// ARM Cortex-M7 (dual-issue, DSP extension).
+    CortexM7,
+}
+
+impl fmt::Display for Core {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Core::CortexM4 => f.write_str("Cortex-M4"),
+            Core::CortexM7 => f.write_str("Cortex-M7"),
+        }
+    }
+}
+
+/// A concrete MCU target.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Device {
+    /// Marketing name.
+    pub name: String,
+    /// Core kind.
+    pub core: Core,
+    /// SRAM capacity in bytes.
+    pub ram_bytes: usize,
+    /// Flash capacity in bytes.
+    pub flash_bytes: usize,
+    /// Core clock in Hz.
+    pub clock_hz: u64,
+    /// RAM permanently consumed by the runtime (stack, libc, vector
+    /// table). On-device measurements include it; set to 0 for pure
+    /// algorithmic footprints.
+    pub runtime_overhead_bytes: usize,
+    /// Cycle cost model.
+    pub cost: CostModel,
+    /// Energy model.
+    pub energy: EnergyModel,
+    /// SIMD dot-product lane setup: reduction length of one `Dot`
+    /// micro-kernel invocation (the paper's 2×2×16 fixed-size matmul).
+    pub dot_ki: usize,
+    /// Output lanes of one `Dot` invocation.
+    pub dot_ni: usize,
+}
+
+impl Device {
+    /// STM32-F411RE: Cortex-M4, 128 KB RAM, 512 KB Flash, 100 MHz.
+    pub fn stm32_f411re() -> Self {
+        Self {
+            name: "STM32-F411RE".to_owned(),
+            core: Core::CortexM4,
+            ram_bytes: 128 * 1024,
+            flash_bytes: 512 * 1024,
+            clock_hz: 100_000_000,
+            runtime_overhead_bytes: 4 * 1024,
+            cost: CostModel::cortex_m4(),
+            energy: EnergyModel::stm32_f4(),
+            dot_ki: 16,
+            dot_ni: 2,
+        }
+    }
+
+    /// STM32-F767ZI: Cortex-M7, 512 KB RAM, 2 MB Flash, 216 MHz.
+    pub fn stm32_f767zi() -> Self {
+        Self {
+            name: "STM32-F767ZI".to_owned(),
+            core: Core::CortexM7,
+            ram_bytes: 512 * 1024,
+            flash_bytes: 2 * 1024 * 1024,
+            clock_hz: 216_000_000,
+            runtime_overhead_bytes: 4 * 1024,
+            cost: CostModel::cortex_m7(),
+            energy: EnergyModel::stm32_f7(),
+            dot_ki: 16,
+            dot_ni: 2,
+        }
+    }
+
+    /// RAM available to tensor data after runtime overhead.
+    pub fn usable_ram_bytes(&self) -> usize {
+        self.ram_bytes.saturating_sub(self.runtime_overhead_bytes)
+    }
+
+    /// Converts cycles to milliseconds at the device clock.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 * 1e3 / self.clock_hz as f64
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {} KB RAM, {} KB Flash, {} MHz)",
+            self.name,
+            self.core,
+            self.ram_bytes / 1024,
+            self.flash_bytes / 1024,
+            self.clock_hz / 1_000_000
+        )
+    }
+}
+
+/// One row of the Table 1 hardware-landscape comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlatformSummary {
+    /// Hardware name.
+    pub hardware: &'static str,
+    /// Memory capacity description.
+    pub memory: &'static str,
+    /// Storage capacity description.
+    pub storage: &'static str,
+    /// Software support description.
+    pub sw_support: &'static str,
+}
+
+/// The three platform classes of Table 1.
+pub const TABLE1_PLATFORMS: [PlatformSummary; 3] = [
+    PlatformSummary {
+        hardware: "A100",
+        memory: "40GB",
+        storage: "TB-PB",
+        sw_support: "CUDA runtime",
+    },
+    PlatformSummary {
+        hardware: "Kirin-990",
+        memory: "8GB",
+        storage: "256GB",
+        sw_support: "OS (Linux)",
+    },
+    PlatformSummary {
+        hardware: "F411RE",
+        memory: "128KB",
+        storage: "512KB",
+        sw_support: "None",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f411re_matches_paper_specs() {
+        let d = Device::stm32_f411re();
+        assert_eq!(d.ram_bytes, 131_072);
+        assert_eq!(d.flash_bytes, 524_288);
+        assert_eq!(d.core, Core::CortexM4);
+        assert!(d.usable_ram_bytes() < d.ram_bytes);
+    }
+
+    #[test]
+    fn f767zi_matches_paper_specs() {
+        let d = Device::stm32_f767zi();
+        assert_eq!(d.ram_bytes, 524_288);
+        assert_eq!(d.core, Core::CortexM7);
+        assert_eq!(d.clock_hz, 216_000_000);
+    }
+
+    #[test]
+    fn cycles_to_ms_at_clock() {
+        let d = Device::stm32_f411re();
+        assert!((d.cycles_to_ms(100_000_000) - 1000.0).abs() < 1e-9);
+        assert!((d.cycles_to_ms(1_000_000) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_spans_five_orders_of_magnitude() {
+        assert_eq!(TABLE1_PLATFORMS.len(), 3);
+        assert_eq!(TABLE1_PLATFORMS[0].hardware, "A100");
+        assert_eq!(TABLE1_PLATFORMS[2].sw_support, "None");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Device::stm32_f411re().to_string();
+        assert!(s.contains("128 KB RAM") && s.contains("Cortex-M4"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Energy model.
+//!
+//! The paper attributes vMCU's energy advantage to (a) fewer RAM accesses
+//! (no im2col) and (b) lower latency (§7.2). Both enter here directly:
+//!
+//! ```text
+//! E = core_pj · cycles + ram_pj · ram_bytes + flash_pj · flash_bytes
+//! ```
+//!
+//! Coefficients are order-of-magnitude values for STM32 parts (datasheet
+//! run-mode current at nominal voltage); they set the *scale* of the mJ
+//! axis while the counters set the *ratios*.
+
+use crate::counters::Counters;
+
+/// Per-event energy coefficients in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EnergyModel {
+    /// Core + clock-tree energy per cycle.
+    pub core_pj_per_cycle: u64,
+    /// Energy per byte of RAM traffic (read or write).
+    pub ram_pj_per_byte: u64,
+    /// Energy per byte fetched from Flash.
+    pub flash_pj_per_byte: u64,
+}
+
+impl EnergyModel {
+    /// STM32F411 (Cortex-M4 @ 100 MHz, ~33 mW active).
+    pub fn stm32_f4() -> Self {
+        Self {
+            core_pj_per_cycle: 330,
+            ram_pj_per_byte: 35,
+            flash_pj_per_byte: 90,
+        }
+    }
+
+    /// STM32F767 (Cortex-M7 @ 216 MHz, ~100 mW active).
+    pub fn stm32_f7() -> Self {
+        Self {
+            core_pj_per_cycle: 460,
+            ram_pj_per_byte: 28,
+            flash_pj_per_byte: 70,
+        }
+    }
+
+    /// Total energy for the counted work, in picojoules.
+    pub fn energy_pj(&self, c: &Counters) -> u64 {
+        self.core_pj_per_cycle * c.cycles
+            + self.ram_pj_per_byte * c.ram_bytes()
+            + self.flash_pj_per_byte * c.flash_read_bytes
+    }
+
+    /// Total energy in millijoules.
+    pub fn energy_mj(&self, c: &Counters) -> f64 {
+        self.energy_pj(c) as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_scales_with_each_component() {
+        let m = EnergyModel::stm32_f4();
+        let base = Counters::new();
+        assert_eq!(m.energy_pj(&base), 0);
+        let mut c = base;
+        c.cycles = 10;
+        let core_only = m.energy_pj(&c);
+        c.ram_write_bytes = 4;
+        let with_ram = m.energy_pj(&c);
+        c.flash_read_bytes = 4;
+        let with_flash = m.energy_pj(&c);
+        assert!(core_only < with_ram && with_ram < with_flash);
+        assert_eq!(core_only, 3300);
+    }
+
+    #[test]
+    fn millijoules_conversion() {
+        let m = EnergyModel {
+            core_pj_per_cycle: 1000,
+            ram_pj_per_byte: 0,
+            flash_pj_per_byte: 0,
+        };
+        let c = Counters {
+            cycles: 1_000_000,
+            ..Counters::new()
+        };
+        assert!((m.energy_mj(&c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f7_core_energy_exceeds_f4_per_cycle() {
+        assert!(
+            EnergyModel::stm32_f7().core_pj_per_cycle > EnergyModel::stm32_f4().core_pj_per_cycle
+        );
+    }
+}

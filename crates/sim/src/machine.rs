@@ -1,0 +1,292 @@
+//! The execution context kernels run against.
+//!
+//! A [`Machine`] bundles a device model with its simulated RAM/Flash and a
+//! live [`Counters`] instance. Kernels (and the IR interpreter) perform all
+//! data movement and arithmetic through it, so functional results and
+//! modelled costs come from the same code path.
+//!
+//! Host-side helpers (`host_*`) move data without charging cycles — they
+//! model the test bench (loading an input image, reading back results),
+//! not on-device work.
+
+use crate::counters::Counters;
+use crate::device::Device;
+use crate::memory::{Flash, MemError, Ram};
+
+/// Simulated MCU executing one firmware image.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Device model (cost/energy tables, capacities).
+    pub device: Device,
+    /// Simulated SRAM.
+    pub ram: Ram,
+    /// Simulated Flash.
+    pub flash: Flash,
+    /// Accumulated work counters.
+    pub counters: Counters,
+}
+
+/// Latency/energy summary of a counted execution window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecSummary {
+    /// Raw counters of the window.
+    pub counters: Counters,
+    /// Wall-clock latency at the device clock, in milliseconds.
+    pub latency_ms: f64,
+    /// Energy in millijoules.
+    pub energy_mj: f64,
+}
+
+impl Machine {
+    /// Boots a machine for `device` with zeroed RAM and erased Flash.
+    pub fn new(device: Device) -> Self {
+        let ram = Ram::new(device.ram_bytes);
+        let flash = Flash::new(device.flash_bytes);
+        Self {
+            device,
+            ram,
+            flash,
+            counters: Counters::new(),
+        }
+    }
+
+    // ---- costed on-device operations -------------------------------------
+
+    /// `RAMLoad` data path: copies `dst.len()` bytes of RAM into registers,
+    /// charging copy cycles and traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on out-of-range addresses.
+    pub fn ram_load(&mut self, addr: usize, dst: &mut [u8]) -> Result<(), MemError> {
+        let bytes = self.ram.read(addr, dst.len())?;
+        dst.copy_from_slice(bytes);
+        let n = dst.len() as u64;
+        self.counters.ram_read_bytes += n;
+        self.counters.cycles +=
+            self.device.cost.ram_move_cost(n) + self.device.cost.call_overhead_cycles;
+        Ok(())
+    }
+
+    /// `RAMStore` data path: copies registers into RAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on out-of-range addresses.
+    pub fn ram_store(&mut self, addr: usize, src: &[u8]) -> Result<(), MemError> {
+        self.ram.write(addr, src)?;
+        let n = src.len() as u64;
+        self.counters.ram_write_bytes += n;
+        self.counters.cycles +=
+            self.device.cost.ram_move_cost(n) + self.device.cost.call_overhead_cycles;
+        Ok(())
+    }
+
+    /// RAM-to-RAM copy (the im2col pre-processing path of the TinyEngine
+    /// baseline): charges both read and write traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on out-of-range addresses.
+    pub fn ram_copy(&mut self, src: usize, dst: usize, len: usize) -> Result<(), MemError> {
+        let bytes = self.ram.read(src, len)?.to_vec();
+        self.ram.write(dst, &bytes)?;
+        let n = len as u64;
+        self.counters.ram_read_bytes += n;
+        self.counters.ram_write_bytes += n;
+        self.counters.cycles +=
+            2 * self.device.cost.ram_move_cost(n) + self.device.cost.call_overhead_cycles;
+        Ok(())
+    }
+
+    /// `FlashLoad` data path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on out-of-range addresses.
+    pub fn flash_load(&mut self, addr: usize, dst: &mut [u8]) -> Result<(), MemError> {
+        let bytes = self.flash.read(addr, dst.len())?;
+        dst.copy_from_slice(bytes);
+        let n = dst.len() as u64;
+        self.counters.flash_read_bytes += n;
+        self.counters.cycles +=
+            self.device.cost.flash_read_cost(n) + self.device.cost.call_overhead_cycles;
+        Ok(())
+    }
+
+    /// Charges `n` 8-bit MACs (`fully_unrolled` selects the stall model).
+    pub fn charge_macs(&mut self, n: u64, fully_unrolled: bool) {
+        self.counters.macs += n;
+        self.counters.cycles += self.device.cost.mac_cost(n, fully_unrolled);
+    }
+
+    /// Charges `n` address-modulo operations (circular-buffer boundary
+    /// checks).
+    pub fn charge_modulo(&mut self, n: u64) {
+        self.counters.modulo_ops += n;
+        self.counters.cycles += n * self.device.cost.modulo_cycles;
+    }
+
+    /// Charges `n` taken branches (loop back-edges).
+    pub fn charge_branches(&mut self, n: u64) {
+        self.counters.branches += n;
+        self.counters.cycles += n * self.device.cost.branch_cycles;
+    }
+
+    /// Charges `n` generic ALU cycles (requantization epilogues etc.).
+    pub fn charge_cycles(&mut self, n: u64) {
+        self.counters.cycles += n;
+    }
+
+    // ---- host-side (uncosted) helpers ------------------------------------
+
+    /// Writes bytes into RAM without charging cycles (test-bench input
+    /// loading).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on out-of-range addresses.
+    pub fn host_write_ram(&mut self, addr: usize, bytes: &[u8]) -> Result<(), MemError> {
+        self.ram.write(addr, bytes)
+    }
+
+    /// Reads bytes from RAM without charging cycles (test-bench output
+    /// readback).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on out-of-range addresses.
+    pub fn host_read_ram(&self, addr: usize, len: usize) -> Result<Vec<u8>, MemError> {
+        Ok(self.ram.read(addr, len)?.to_vec())
+    }
+
+    /// Programs a constant image (weights) into Flash, returning its base
+    /// address. Uncosted: flashing happens at deploy time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] when flash capacity is exceeded.
+    pub fn host_program_flash(&mut self, bytes: &[u8]) -> Result<usize, MemError> {
+        self.flash.program(bytes)
+    }
+
+    // ---- reporting --------------------------------------------------------
+
+    /// Snapshot of the current counters.
+    pub fn snapshot(&self) -> Counters {
+        self.counters
+    }
+
+    /// Summary of work done since `since` (latency and energy at this
+    /// machine's device models).
+    pub fn summarize_since(&self, since: &Counters) -> ExecSummary {
+        let delta = self.counters.since(since);
+        ExecSummary {
+            counters: delta,
+            latency_ms: self.device.cycles_to_ms(delta.cycles),
+            energy_mj: self.device.energy.energy_mj(&delta),
+        }
+    }
+
+    /// Summary of all work since boot.
+    pub fn summarize(&self) -> ExecSummary {
+        self.summarize_since(&Counters::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(Device::stm32_f411re())
+    }
+
+    #[test]
+    fn ram_load_store_round_trip_with_costs() {
+        let mut m = machine();
+        m.host_write_ram(100, &[7, 8, 9, 10]).unwrap();
+        let mut buf = [0u8; 4];
+        m.ram_load(100, &mut buf).unwrap();
+        assert_eq!(buf, [7, 8, 9, 10]);
+        m.ram_store(200, &buf).unwrap();
+        assert_eq!(m.host_read_ram(200, 4).unwrap(), vec![7, 8, 9, 10]);
+        let c = m.snapshot();
+        assert_eq!(c.ram_read_bytes, 4);
+        assert_eq!(c.ram_write_bytes, 4);
+        assert!(c.cycles > 0);
+    }
+
+    #[test]
+    fn host_helpers_are_free() {
+        let mut m = machine();
+        m.host_write_ram(0, &[1; 64]).unwrap();
+        let _ = m.host_read_ram(0, 64).unwrap();
+        assert_eq!(m.snapshot(), Counters::new());
+    }
+
+    #[test]
+    fn flash_load_counts_traffic() {
+        let mut m = machine();
+        let base = m.host_program_flash(&[5; 32]).unwrap();
+        let mut buf = [0u8; 32];
+        m.flash_load(base, &mut buf).unwrap();
+        assert_eq!(buf, [5; 32]);
+        assert_eq!(m.snapshot().flash_read_bytes, 32);
+    }
+
+    #[test]
+    fn mac_charging_tracks_unrolling() {
+        let mut m = machine();
+        m.charge_macs(1000, true);
+        let unrolled = m.snapshot().cycles;
+        let mut m2 = machine();
+        m2.charge_macs(1000, false);
+        assert!(m2.snapshot().cycles > unrolled);
+        assert_eq!(m.snapshot().macs, 1000);
+    }
+
+    #[test]
+    fn ram_copy_charges_both_directions() {
+        let mut m = machine();
+        m.host_write_ram(0, &[3; 16]).unwrap();
+        m.ram_copy(0, 64, 16).unwrap();
+        assert_eq!(m.host_read_ram(64, 16).unwrap(), vec![3; 16]);
+        assert_eq!(m.snapshot().ram_read_bytes, 16);
+        assert_eq!(m.snapshot().ram_write_bytes, 16);
+    }
+
+    #[test]
+    fn summaries_convert_units() {
+        let mut m = machine();
+        let before = m.snapshot();
+        m.charge_macs(100_000, true);
+        let s = m.summarize_since(&before);
+        assert!(s.latency_ms > 0.0);
+        assert!(s.energy_mj > 0.0);
+        assert_eq!(s.counters.macs, 100_000);
+    }
+
+    #[test]
+    fn out_of_range_propagates() {
+        let mut m = machine();
+        let cap = m.ram.capacity();
+        let mut buf = [0u8; 8];
+        assert!(m.ram_load(cap, &mut buf).is_err());
+        assert!(m.ram_store(cap - 4, &buf).is_err());
+    }
+
+    #[test]
+    fn modulo_and_branch_charges() {
+        let mut m = machine();
+        m.charge_modulo(10);
+        m.charge_branches(5);
+        let c = m.snapshot();
+        assert_eq!(c.modulo_ops, 10);
+        assert_eq!(c.branches, 5);
+        assert_eq!(
+            c.cycles,
+            10 * m.device.cost.modulo_cycles + 5 * m.device.cost.branch_cycles
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! Simulated MCU memories.
+//!
+//! An MCU has no MMU and no OS (§2.1): programs address raw SRAM and
+//! execute/read constants from Flash. [`Ram`] and [`Flash`] are
+//! bounds-checked byte arrays; all higher layers (segment pool, kernels)
+//! go through them, so out-of-range addressing is a typed error rather
+//! than silent corruption.
+
+use std::fmt;
+
+/// Memory access failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemError {
+    /// Access past the end of RAM.
+    RamOutOfRange {
+        /// First byte of the access.
+        addr: usize,
+        /// Length of the access.
+        len: usize,
+        /// RAM capacity.
+        capacity: usize,
+    },
+    /// Access past the end of Flash.
+    FlashOutOfRange {
+        /// First byte of the access.
+        addr: usize,
+        /// Length of the access.
+        len: usize,
+        /// Flash capacity.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::RamOutOfRange { addr, len, capacity } => write!(
+                f,
+                "RAM access [{addr}, {}) exceeds capacity {capacity}",
+                addr + len
+            ),
+            MemError::FlashOutOfRange { addr, len, capacity } => write!(
+                f,
+                "flash access [{addr}, {}) exceeds capacity {capacity}",
+                addr + len
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Simulated SRAM.
+#[derive(Debug, Clone)]
+pub struct Ram {
+    data: Vec<u8>,
+}
+
+impl Ram {
+    /// Allocates `capacity` zeroed bytes of RAM.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            data: vec![0; capacity],
+        }
+    }
+
+    /// RAM capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    fn check(&self, addr: usize, len: usize) -> Result<(), MemError> {
+        if addr.checked_add(len).is_some_and(|end| end <= self.data.len()) {
+            Ok(())
+        } else {
+            Err(MemError::RamOutOfRange {
+                addr,
+                len,
+                capacity: self.data.len(),
+            })
+        }
+    }
+
+    /// Reads `len` bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::RamOutOfRange`] when the range exceeds capacity.
+    pub fn read(&self, addr: usize, len: usize) -> Result<&[u8], MemError> {
+        self.check(addr, len)?;
+        Ok(&self.data[addr..addr + len])
+    }
+
+    /// Writes `bytes` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::RamOutOfRange`] when the range exceeds capacity.
+    pub fn write(&mut self, addr: usize, bytes: &[u8]) -> Result<(), MemError> {
+        self.check(addr, bytes.len())?;
+        self.data[addr..addr + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Fills `len` bytes at `addr` with `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::RamOutOfRange`] when the range exceeds capacity.
+    pub fn fill(&mut self, addr: usize, len: usize, value: u8) -> Result<(), MemError> {
+        self.check(addr, len)?;
+        self.data[addr..addr + len].fill(value);
+        Ok(())
+    }
+}
+
+/// Simulated Flash: written once while building the firmware image,
+/// read-only afterwards (weights live here; §4 excludes them from RAM
+/// management).
+#[derive(Debug, Clone)]
+pub struct Flash {
+    data: Vec<u8>,
+    len_used: usize,
+}
+
+impl Flash {
+    /// Allocates `capacity` bytes of erased (0xFF) flash.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            data: vec![0xFF; capacity],
+            len_used: 0,
+        }
+    }
+
+    /// Flash capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Bytes consumed by programmed images.
+    pub fn used(&self) -> usize {
+        self.len_used
+    }
+
+    /// Appends an image to flash, returning its base address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::FlashOutOfRange`] when the image does not fit.
+    pub fn program(&mut self, bytes: &[u8]) -> Result<usize, MemError> {
+        let addr = self.len_used;
+        if addr + bytes.len() > self.data.len() {
+            return Err(MemError::FlashOutOfRange {
+                addr,
+                len: bytes.len(),
+                capacity: self.data.len(),
+            });
+        }
+        self.data[addr..addr + bytes.len()].copy_from_slice(bytes);
+        self.len_used += bytes.len();
+        Ok(addr)
+    }
+
+    /// Reads `len` bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::FlashOutOfRange`] when the range exceeds
+    /// capacity.
+    pub fn read(&self, addr: usize, len: usize) -> Result<&[u8], MemError> {
+        if addr.checked_add(len).is_some_and(|end| end <= self.data.len()) {
+            Ok(&self.data[addr..addr + len])
+        } else {
+            Err(MemError::FlashOutOfRange {
+                addr,
+                len,
+                capacity: self.data.len(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ram_round_trip() {
+        let mut ram = Ram::new(64);
+        ram.write(10, &[1, 2, 3]).unwrap();
+        assert_eq!(ram.read(10, 3).unwrap(), &[1, 2, 3]);
+        assert_eq!(ram.read(9, 1).unwrap(), &[0]);
+    }
+
+    #[test]
+    fn ram_bounds_are_enforced() {
+        let mut ram = Ram::new(16);
+        assert!(matches!(
+            ram.write(15, &[0, 0]),
+            Err(MemError::RamOutOfRange { addr: 15, len: 2, capacity: 16 })
+        ));
+        assert!(ram.read(16, 1).is_err());
+        assert!(ram.read(usize::MAX, 2).is_err()); // overflow-safe
+        assert!(ram.read(16, 0).is_ok()); // empty access at end is fine
+    }
+
+    #[test]
+    fn ram_fill() {
+        let mut ram = Ram::new(8);
+        ram.fill(2, 4, 0xAB).unwrap();
+        assert_eq!(ram.read(0, 8).unwrap(), &[0, 0, 0xAB, 0xAB, 0xAB, 0xAB, 0, 0]);
+        assert!(ram.fill(6, 4, 0).is_err());
+    }
+
+    #[test]
+    fn flash_programs_sequentially() {
+        let mut flash = Flash::new(32);
+        let a = flash.program(&[1, 2, 3]).unwrap();
+        let b = flash.program(&[4, 5]).unwrap();
+        assert_eq!(a, 0);
+        assert_eq!(b, 3);
+        assert_eq!(flash.used(), 5);
+        assert_eq!(flash.read(3, 2).unwrap(), &[4, 5]);
+    }
+
+    #[test]
+    fn flash_capacity_enforced() {
+        let mut flash = Flash::new(4);
+        flash.program(&[0; 3]).unwrap();
+        assert!(flash.program(&[0; 2]).is_err());
+        assert!(flash.read(3, 2).is_err());
+    }
+
+    #[test]
+    fn erased_flash_reads_ff() {
+        let flash = Flash::new(4);
+        assert_eq!(flash.read(0, 4).unwrap(), &[0xFF; 4]);
+    }
+
+    #[test]
+    fn error_messages_mention_ranges() {
+        let e = MemError::RamOutOfRange {
+            addr: 8,
+            len: 4,
+            capacity: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains('8') && s.contains("10"));
+    }
+}

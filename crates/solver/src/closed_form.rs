@@ -1,0 +1,104 @@
+//! Paper closed forms for common layers (§4's worked GEMM example and the
+//! §5.3 segment-size rule), as fast paths checked against the general
+//! solvers.
+
+use crate::problem::{FootprintProblem, OffsetSolution};
+
+/// `D*` for GEMM with `In[M,K]`, `Out[M,N]` in segment units.
+///
+/// The paper derives `min(bIn − bOut)` for the constraint
+/// `(K−N)m − n + k ≥ bOut − bIn`; maximizing over the domain gives
+/// `N − 1` when `N ≤ K` and `(N−K)(M−1) + N − 1` when `N > K`.
+pub fn gemm_min_distance(m: i64, n: i64, k: i64) -> i64 {
+    assert!(m >= 1 && n >= 1 && k >= 1, "GEMM dims must be >= 1");
+    (n - 1) + 0.max((n - k) * (m - 1))
+}
+
+/// Minimal peak footprint in segments for GEMM — the paper's
+/// `max(MN, MK) + min(N, K) − 1`.
+pub fn gemm_min_footprint(m: i64, n: i64, k: i64) -> i64 {
+    OffsetSolution::from_distance(gemm_min_distance(m, n, k), m * k, m * n).footprint
+}
+
+/// The §5.3 segment-size rule for a fully-connected layer: the minimum of
+/// the input row size and the output row size (in elements).
+pub fn fc_segment_elems(k: i64, n: i64) -> i64 {
+    k.min(n)
+}
+
+/// The §5.3 segment-size rule for convolutions and inverted bottlenecks:
+/// the minimum of input and output channel count (in elements).
+pub fn conv_segment_elems(c_in: i64, c_out: i64) -> i64 {
+    c_in.min(c_out)
+}
+
+/// Minimal footprint in **bytes** for an int8 pointwise convolution over
+/// `pixels` positions (`c_in` → `c_out` channels) with the §5.3 segment
+/// size. Used by the Figure 7 planner path.
+pub fn pointwise_min_footprint_bytes(pixels: i64, c_in: i64, c_out: i64) -> i64 {
+    let seg = conv_segment_elems(c_in, c_out);
+    let p = FootprintProblem::pointwise(pixels, c_in, c_out, seg);
+    let segs = gemm_min_footprint(pixels, c_out / seg, c_in / seg);
+    debug_assert_eq!(segs, crate::analytic::solve(&p).footprint);
+    segs * seg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analytic, enumerate};
+
+    #[test]
+    fn paper_worked_example_k3_n2() {
+        // Figure 1(c): K=3, N=2 -> one empty segment, 7 total for M=2.
+        assert_eq!(gemm_min_distance(2, 2, 3), 1);
+        assert_eq!(gemm_min_footprint(2, 2, 3), 7);
+    }
+
+    #[test]
+    fn closed_form_matches_both_solvers() {
+        for m in 1..=5 {
+            for n in 1..=5 {
+                for k in 1..=5 {
+                    let p = FootprintProblem::gemm(m, n, k);
+                    let cf = gemm_min_distance(m, n, k);
+                    assert_eq!(cf, analytic::min_distance(&p), "m={m} n={n} k={k}");
+                    assert_eq!(
+                        cf,
+                        enumerate::min_distance(&p).unwrap(),
+                        "m={m} n={n} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn footprint_branches_match_paper_formula() {
+        // N <= K: MK + N − 1; N > K: MN + K − 1.
+        assert_eq!(gemm_min_footprint(4, 2, 6), 4 * 6 + 1);
+        assert_eq!(gemm_min_footprint(4, 6, 2), 4 * 6 + 1);
+        assert_eq!(gemm_min_footprint(1, 9, 3), 9 + 2);
+    }
+
+    #[test]
+    fn segment_size_rules() {
+        assert_eq!(fc_segment_elems(128, 10), 10);
+        assert_eq!(conv_segment_elems(16, 8), 8);
+        assert_eq!(conv_segment_elems(3, 16), 3);
+    }
+
+    #[test]
+    fn pointwise_bytes_equal_channels() {
+        // C == K: footprint = pixels * C bytes (plus zero slack):
+        // max(MK,MN) + min(N,K)-1 with N=K=1 seg -> M segments of C bytes.
+        assert_eq!(pointwise_min_footprint_bytes(6400, 16, 16), 6400 * 16);
+    }
+
+    #[test]
+    fn pointwise_bytes_mixed_channels() {
+        // Fig 7 case 4: 80x80, C=16, K=8. seg=8: M=6400, K=2, N=1 segs.
+        // segs = max(12800, 6400) + 1 - 1 = 12800 -> 102400 bytes.
+        assert_eq!(pointwise_min_footprint_bytes(6400, 16, 8), 102_400);
+    }
+}

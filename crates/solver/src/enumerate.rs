@@ -1,0 +1,118 @@
+//! Exact footprint solver by lexicographic scan.
+//!
+//! `D* = max_{j ≤lex i} (write(j) − read(i))` is computed in a single pass
+//! over the iteration domain: points are visited in lexicographic order
+//! while a running maximum of all write addresses seen so far (the prefix
+//! `j ≤ i`) is maintained; at each point the candidate
+//! `prefix_max_write − min_read(i)` is evaluated. This is `O(|domain|)`
+//! rather than the naive `O(|domain|²)`, which keeps it usable as a ground
+//! truth even for full-size layers (millions of instances).
+//!
+//! Padding reads (out-of-bounds per [`ReadAccess::bounds`]) are skipped —
+//! the analytic solver treats them conservatively, so `enumerate ≤
+//! analytic` on padded problems and `enumerate == analytic` on unpadded
+//! ones (property-tested).
+
+use crate::problem::{FootprintProblem, OffsetSolution};
+
+/// Solves the problem exactly by scanning the iteration domain.
+///
+/// Returns `None` for the degenerate case where no write ever precedes a
+/// real read (then any offset is safe and `D*` is `-infinity`; callers use
+/// [`OffsetSolution::from_distance`] with a large negative distance).
+pub fn min_distance(problem: &FootprintProblem) -> Option<i64> {
+    let mut prefix_max_write: Option<i64> = None;
+    let mut best: Option<i64> = None;
+    for point in problem.domain.points() {
+        // Writes of instance `point` join the prefix before its reads are
+        // constrained (the paper's j <= i includes j = i).
+        for w in &problem.writes {
+            let addr = w.eval(&point);
+            prefix_max_write = Some(prefix_max_write.map_or(addr, |m| m.max(addr)));
+        }
+        let max_w = match prefix_max_write {
+            Some(m) => m,
+            None => continue,
+        };
+        for r in &problem.reads {
+            if !r.is_real(&point) {
+                continue;
+            }
+            let cand = max_w - r.access.eval(&point);
+            best = Some(best.map_or(cand, |b| b.max(cand)));
+        }
+    }
+    best
+}
+
+/// Solves and packages the result (distance clamped, span computed).
+///
+/// Problems whose reads never conflict with any earlier write yield a
+/// solution with `min_distance` equal to `-(in_size + out_size)` (an
+/// arbitrarily safe distance).
+pub fn solve(problem: &FootprintProblem) -> OffsetSolution {
+    let d = min_distance(problem).unwrap_or(-(problem.in_size + problem.out_size));
+    OffsetSolution::from_distance(d, problem.in_size, problem.out_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FootprintProblem;
+
+    #[test]
+    fn figure_1c_fully_connected_example() {
+        // M=2, K=3, N=2: 6 input segments, 4 output segments; paper needs
+        // 7 total (one empty segment ahead of the input).
+        let p = FootprintProblem::gemm(2, 2, 3);
+        let sol = solve(&p);
+        assert_eq!(sol.min_distance, 1);
+        assert_eq!(sol.footprint, 7);
+    }
+
+    #[test]
+    fn paper_gemm_closed_form_n_le_k() {
+        // N <= K: footprint = M*K + N - 1
+        for (m, n, k) in [(3, 2, 4), (5, 3, 3), (1, 1, 1), (4, 1, 7)] {
+            let sol = solve(&FootprintProblem::gemm(m, n, k));
+            assert_eq!(sol.footprint, m * k + n - 1, "m={m} n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn paper_gemm_closed_form_n_gt_k() {
+        // N > K: footprint = M*N + K - 1
+        for (m, n, k) in [(2, 3, 2), (3, 5, 2), (4, 4, 1)] {
+            let sol = solve(&FootprintProblem::gemm(m, n, k));
+            assert_eq!(sol.footprint, m * n + k - 1, "m={m} n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn pointwise_matches_gemm_reduction() {
+        // 16 in / 16 out channels, seg 16: 1 seg per pixel each way:
+        // footprint = pixels + 1 - 1 = pixels segments.
+        let sol = solve(&FootprintProblem::pointwise(100, 16, 16, 16));
+        assert_eq!(sol.footprint, 100);
+    }
+
+    #[test]
+    fn conv2d_padding_reads_are_ignored() {
+        // A 1x1-input conv with huge padding: all window reads except the
+        // center are padding; D* must come from the center tap only.
+        let p = FootprintProblem::conv2d(4, 4, 2, 2, 3, 3, 1, 1);
+        let sol = solve(&p);
+        // Writes trail reads by at most ~one row of pixels.
+        assert!(sol.min_distance > 0);
+        assert!(sol.footprint < p.in_size + p.out_size);
+    }
+
+    #[test]
+    fn stride_two_conv_needs_no_extra_space_beyond_input() {
+        // Stride 2 halves the output; input is consumed twice as fast as
+        // output is produced, so overlap is easy.
+        let p = FootprintProblem::conv2d(8, 8, 4, 4, 3, 3, 2, 1);
+        let sol = solve(&p);
+        assert!(sol.footprint <= p.in_size + p.out_size / 2);
+    }
+}

@@ -1,0 +1,163 @@
+//! Fixed-point requantization.
+//!
+//! Quantized inference accumulates int8×int8 products in int32 and rescales
+//! back to int8 with a fixed-point multiplier, in the style of TFLite /
+//! CMSIS-NN: `out = sat8(round(acc · mult / 2^(31+shift)) + zero_point)`.
+//! Rounding is half-away-from-zero. The **same** [`Requant::apply`] is used
+//! by the reference operators, the segment-aware kernels, the baseline
+//! kernels, and the IR interpreter, so functional equivalence between them
+//! is bit-exact by construction.
+
+/// Saturates an integer to int8.
+pub fn sat8(v: i64) -> i8 {
+    v.clamp(i64::from(i8::MIN), i64::from(i8::MAX)) as i8
+}
+
+/// A requantization: fixed-point multiplier, right shift, output zero
+/// point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Requant {
+    /// Multiplier in `[2^30, 2^31)` (Q31 fixed point).
+    pub mult: i32,
+    /// Extra right shift; the total shift is `31 + shift` and must stay
+    /// positive.
+    pub shift: i32,
+    /// Output zero point.
+    pub zp: i32,
+}
+
+impl Requant {
+    /// Builds the requantization closest to a real `scale` factor
+    /// (`out ≈ acc · scale + zp`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < scale < 1e9` (all DNN rescales are tiny).
+    pub fn from_scale(scale: f64, zp: i32) -> Self {
+        assert!(scale > 0.0 && scale < 1e9, "unreasonable scale {scale}");
+        let mut shift = 0i32;
+        let mut s = scale;
+        while s < 0.5 {
+            s *= 2.0;
+            shift += 1;
+        }
+        while s >= 1.0 {
+            s /= 2.0;
+            shift -= 1;
+        }
+        // s in [0.5, 1): mult = s · 2^31 in [2^30, 2^31)
+        let mult = (s * (1u64 << 31) as f64).round() as i64;
+        let (mult, shift) = if mult == 1 << 31 {
+            (1i64 << 30, shift + 1)
+        } else {
+            (mult, shift)
+        };
+        assert!(31 + shift >= 1, "scale too large for Q31 requantization");
+        Self {
+            mult: mult as i32,
+            shift,
+            zp,
+        }
+    }
+
+    /// The real scale this requantization approximates.
+    pub fn scale(&self) -> f64 {
+        self.mult as f64 / 2f64.powi(31 + self.shift)
+    }
+
+    /// An identity-ish rescale (scale 1.0, zero point 0) for tests.
+    pub fn identity() -> Self {
+        Self::from_scale(1.0, 0)
+    }
+
+    /// Applies the requantization to an int32 accumulator.
+    pub fn apply(&self, acc: i32) -> i8 {
+        let prod = i64::from(acc) * i64::from(self.mult);
+        let total_shift = 31 + self.shift;
+        debug_assert!(total_shift >= 1);
+        let half = 1i64 << (total_shift - 1);
+        let rounded = if prod >= 0 {
+            (prod + half) >> total_shift
+        } else {
+            -((-prod + half) >> total_shift)
+        };
+        sat8(rounded + i64::from(self.zp))
+    }
+
+    /// Applies the requantization followed by an activation clamp
+    /// (fused ReLU/ReLU6 in quantized form).
+    pub fn apply_clamped(&self, acc: i32, clamp: (i8, i8)) -> i8 {
+        self.apply(acc).clamp(clamp.0, clamp.1)
+    }
+}
+
+/// No activation: the full int8 range.
+pub const NO_CLAMP: (i8, i8) = (i8::MIN, i8::MAX);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sat8_clamps() {
+        assert_eq!(sat8(1000), 127);
+        assert_eq!(sat8(-1000), -128);
+        assert_eq!(sat8(5), 5);
+    }
+
+    #[test]
+    fn identity_scale_is_one() {
+        let rq = Requant::identity();
+        assert!((rq.scale() - 1.0).abs() < 1e-6);
+        for v in [-100, -1, 0, 1, 100] {
+            assert_eq!(rq.apply(v), v as i8);
+        }
+    }
+
+    #[test]
+    fn from_scale_round_trips() {
+        for scale in [0.5, 0.003, 0.999, 1.5, 2.0, 1e-4] {
+            let rq = Requant::from_scale(scale, 0);
+            assert!(
+                (rq.scale() - scale).abs() / scale < 1e-6,
+                "scale {scale} -> {}",
+                rq.scale()
+            );
+            assert!(rq.mult >= 1 << 30);
+        }
+    }
+
+    #[test]
+    fn rounding_is_half_away_from_zero() {
+        let rq = Requant::from_scale(0.5, 0);
+        assert_eq!(rq.apply(3), 2); // 1.5 -> 2
+        assert_eq!(rq.apply(-3), -2); // -1.5 -> -2
+        assert_eq!(rq.apply(2), 1);
+        assert_eq!(rq.apply(-2), -1);
+    }
+
+    #[test]
+    fn zero_point_offsets_output() {
+        let rq = Requant::from_scale(1.0, 10);
+        assert_eq!(rq.apply(5), 15);
+        assert_eq!(rq.apply(120), 127); // saturates after offset
+    }
+
+    #[test]
+    fn clamped_apply_applies_activation() {
+        let rq = Requant::identity();
+        assert_eq!(rq.apply_clamped(-5, (0, 127)), 0); // ReLU
+        assert_eq!(rq.apply_clamped(100, (0, 6)), 6); // quantized ReLU6
+    }
+
+    #[test]
+    fn tiny_scales_preserve_monotonicity() {
+        let rq = Requant::from_scale(1.0 / 4096.0, 0);
+        let mut last = i8::MIN;
+        for acc in (-600_000..600_000).step_by(9973) {
+            let v = rq.apply(acc);
+            assert!(v >= last, "requantization must be monotone");
+            last = v;
+        }
+    }
+}

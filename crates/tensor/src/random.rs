@@ -1,0 +1,57 @@
+//! Seeded synthetic tensor generation.
+//!
+//! The paper's metrics (RAM, latency, energy) depend on shapes, not
+//! values; weights/activations here are deterministic pseudo-random int8
+//! data so that correctness comparisons between kernel implementations are
+//! still meaningful.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic int8 tensor with values in `[-64, 63]` (headroom against
+/// int32 accumulator overflow for realistic reduction sizes).
+pub fn tensor_i8(shape: &[usize], seed: u64) -> Tensor<i8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let len = shape.iter().product();
+    let data = (0..len).map(|_| rng.gen_range(-64i8..=63)).collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Deterministic int32 bias vector with small magnitudes.
+pub fn bias_i32(len: usize, seed: u64) -> Vec<i32> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    (0..len).map(|_| rng.gen_range(-512i32..=512)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_tensor() {
+        let a = tensor_i8(&[4, 5], 7);
+        let b = tensor_i8(&[4, 5], 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = tensor_i8(&[32], 1);
+        let b = tensor_i8(&[32], 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn values_respect_headroom() {
+        let t = tensor_i8(&[1000], 3);
+        assert!(t.data().iter().all(|&v| (-64..=63).contains(&v)));
+    }
+
+    #[test]
+    fn bias_is_deterministic_and_bounded() {
+        let a = bias_i32(16, 9);
+        assert_eq!(a, bias_i32(16, 9));
+        assert!(a.iter().all(|&v| (-512..=512).contains(&v)));
+    }
+}

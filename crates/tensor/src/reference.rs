@@ -1,0 +1,318 @@
+//! Reference (oracle) operators.
+//!
+//! Straightforward nested-loop implementations of every layer the paper's
+//! workloads use: dense/fully-connected, 2D convolution, pointwise
+//! convolution, depthwise convolution, elementwise add, and global average
+//! pooling — int8 with int32 accumulation and shared [`Requant`]
+//! arithmetic. Segment-aware kernels and baselines are tested bit-exact
+//! against these.
+
+use crate::quant::{sat8, Requant};
+use crate::tensor::Tensor;
+
+/// Fully-connected layer: `In[M,K] × W[K,N] → Out[M,N]`.
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatches.
+pub fn dense(
+    input: &Tensor<i8>,
+    weight: &Tensor<i8>,
+    bias: Option<&[i32]>,
+    rq: Requant,
+    clamp: (i8, i8),
+) -> Tensor<i8> {
+    let (m, k) = (input.shape()[0], input.shape()[1]);
+    let (wk, n) = (weight.shape()[0], weight.shape()[1]);
+    assert_eq!(k, wk, "dense K mismatch");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), n, "dense bias length mismatch");
+    }
+    let mut out = Tensor::<i8>::zeros(&[m, n]);
+    for mi in 0..m {
+        for ni in 0..n {
+            let mut acc: i32 = bias.map_or(0, |b| b[ni]);
+            for ki in 0..k {
+                acc += i32::from(input.at(&[mi, ki])) * i32::from(weight.at(&[ki, ni]));
+            }
+            *out.at_mut(&[mi, ni]) = rq.apply_clamped(acc, clamp);
+        }
+    }
+    out
+}
+
+/// 2D convolution: `In[H,W,C] ⊛ W[R,S,C,K] → Out[P,Q,K]` with symmetric
+/// zero padding (`pad`) and equal strides.
+///
+/// # Panics
+///
+/// Panics on shape mismatches or empty output geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d(
+    input: &Tensor<i8>,
+    weight: &Tensor<i8>,
+    bias: Option<&[i32]>,
+    stride: usize,
+    pad: usize,
+    rq: Requant,
+    clamp: (i8, i8),
+) -> Tensor<i8> {
+    let (h, w, c) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let (r, s, wc, k) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    assert_eq!(c, wc, "conv2d channel mismatch");
+    assert!(stride >= 1, "stride must be >= 1");
+    let p = (h + 2 * pad).checked_sub(r).expect("window larger than padded input") / stride + 1;
+    let q = (w + 2 * pad).checked_sub(s).expect("window larger than padded input") / stride + 1;
+    if let Some(b) = bias {
+        assert_eq!(b.len(), k, "conv2d bias length mismatch");
+    }
+    let mut out = Tensor::<i8>::zeros(&[p, q, k]);
+    for pi in 0..p {
+        for qi in 0..q {
+            for ki in 0..k {
+                let mut acc: i32 = bias.map_or(0, |b| b[ki]);
+                for ri in 0..r {
+                    for si in 0..s {
+                        let hy = (pi * stride + ri) as isize - pad as isize;
+                        let wx = (qi * stride + si) as isize - pad as isize;
+                        if hy < 0 || wx < 0 || hy >= h as isize || wx >= w as isize {
+                            continue; // zero padding
+                        }
+                        for ci in 0..c {
+                            acc += i32::from(input.at(&[hy as usize, wx as usize, ci]))
+                                * i32::from(weight.at(&[ri, si, ci, ki]));
+                        }
+                    }
+                }
+                *out.at_mut(&[pi, qi, ki]) = rq.apply_clamped(acc, clamp);
+            }
+        }
+    }
+    out
+}
+
+/// Pointwise (1×1) convolution: `In[H,W,C] × W[C,K] → Out[H,W,K]` with
+/// equal strides (stride subsamples the input).
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn pointwise(
+    input: &Tensor<i8>,
+    weight: &Tensor<i8>,
+    bias: Option<&[i32]>,
+    stride: usize,
+    rq: Requant,
+    clamp: (i8, i8),
+) -> Tensor<i8> {
+    let (h, w, c) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let (wc, k) = (weight.shape()[0], weight.shape()[1]);
+    assert_eq!(c, wc, "pointwise channel mismatch");
+    let p = (h - 1) / stride + 1;
+    let q = (w - 1) / stride + 1;
+    if let Some(b) = bias {
+        assert_eq!(b.len(), k, "pointwise bias length mismatch");
+    }
+    let mut out = Tensor::<i8>::zeros(&[p, q, k]);
+    for pi in 0..p {
+        for qi in 0..q {
+            for ki in 0..k {
+                let mut acc: i32 = bias.map_or(0, |b| b[ki]);
+                for ci in 0..c {
+                    acc += i32::from(input.at(&[pi * stride, qi * stride, ci]))
+                        * i32::from(weight.at(&[ci, ki]));
+                }
+                *out.at_mut(&[pi, qi, ki]) = rq.apply_clamped(acc, clamp);
+            }
+        }
+    }
+    out
+}
+
+/// Depthwise convolution: `In[H,W,C] ⊛ W[R,S,C] → Out[P,Q,C]`.
+///
+/// # Panics
+///
+/// Panics on shape mismatches or empty output geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn depthwise(
+    input: &Tensor<i8>,
+    weight: &Tensor<i8>,
+    bias: Option<&[i32]>,
+    stride: usize,
+    pad: usize,
+    rq: Requant,
+    clamp: (i8, i8),
+) -> Tensor<i8> {
+    let (h, w, c) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let (r, s, wc) = (weight.shape()[0], weight.shape()[1], weight.shape()[2]);
+    assert_eq!(c, wc, "depthwise channel mismatch");
+    let p = (h + 2 * pad).checked_sub(r).expect("window larger than padded input") / stride + 1;
+    let q = (w + 2 * pad).checked_sub(s).expect("window larger than padded input") / stride + 1;
+    if let Some(b) = bias {
+        assert_eq!(b.len(), c, "depthwise bias length mismatch");
+    }
+    let mut out = Tensor::<i8>::zeros(&[p, q, c]);
+    for pi in 0..p {
+        for qi in 0..q {
+            for ci in 0..c {
+                let mut acc: i32 = bias.map_or(0, |b| b[ci]);
+                for ri in 0..r {
+                    for si in 0..s {
+                        let hy = (pi * stride + ri) as isize - pad as isize;
+                        let wx = (qi * stride + si) as isize - pad as isize;
+                        if hy < 0 || wx < 0 || hy >= h as isize || wx >= w as isize {
+                            continue;
+                        }
+                        acc += i32::from(input.at(&[hy as usize, wx as usize, ci]))
+                            * i32::from(weight.at(&[ri, si, ci]));
+                    }
+                }
+                *out.at_mut(&[pi, qi, ci]) = rq.apply_clamped(acc, clamp);
+            }
+        }
+    }
+    out
+}
+
+/// Elementwise residual add with int8 saturation.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn add(a: &Tensor<i8>, b: &Tensor<i8>) -> Tensor<i8> {
+    assert_eq!(a.shape(), b.shape(), "add shape mismatch");
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| sat8(i64::from(x) + i64::from(y)))
+        .collect();
+    Tensor::from_vec(a.shape(), data)
+}
+
+/// Global average pooling: `In[H,W,C] → Out[1,1,C]` with round-to-nearest.
+pub fn global_avg_pool(input: &Tensor<i8>) -> Tensor<i8> {
+    let (h, w, c) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let n = (h * w) as i64;
+    let mut out = Tensor::<i8>::zeros(&[1, 1, c]);
+    for ci in 0..c {
+        let mut acc = 0i64;
+        for hi in 0..h {
+            for wi in 0..w {
+                acc += i64::from(input.at(&[hi, wi, ci]));
+            }
+        }
+        let rounded = if acc >= 0 {
+            (acc + n / 2) / n
+        } else {
+            -((-acc + n / 2) / n)
+        };
+        *out.at_mut(&[0, 0, ci]) = sat8(rounded);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::NO_CLAMP;
+
+    fn t(shape: &[usize], v: Vec<i8>) -> Tensor<i8> {
+        Tensor::from_vec(shape, v)
+    }
+
+    #[test]
+    fn dense_identity_weight() {
+        let input = t(&[2, 3], vec![1, 2, 3, 4, 5, 6]);
+        let eye = t(&[3, 3], vec![1, 0, 0, 0, 1, 0, 0, 0, 1]);
+        let out = dense(&input, &eye, None, Requant::identity(), NO_CLAMP);
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn dense_bias_and_clamp() {
+        let input = t(&[1, 2], vec![10, -10]);
+        let weight = t(&[2, 1], vec![1, 1]);
+        let out = dense(&input, &weight, Some(&[5]), Requant::identity(), (0, 127));
+        assert_eq!(out.data(), &[5]); // 10 - 10 + 5 = 5, ReLU keeps it
+        let out = dense(&input, &weight, Some(&[-9]), Requant::identity(), (0, 127));
+        assert_eq!(out.data(), &[0]); // clamped
+    }
+
+    #[test]
+    fn pointwise_equals_conv2d_1x1() {
+        let input = t(&[3, 3, 2], (0..18).map(|v| v as i8 - 9).collect());
+        let w_pw = t(&[2, 4], (0..8).map(|v| v as i8 - 4).collect());
+        let w_conv = t(&[1, 1, 2, 4], w_pw.data().to_vec());
+        let rq = Requant::from_scale(0.5, 1);
+        let a = pointwise(&input, &w_pw, None, 1, rq, NO_CLAMP);
+        let b = conv2d(&input, &w_conv, None, 1, 0, rq, NO_CLAMP);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conv2d_same_padding_geometry() {
+        let input = Tensor::<i8>::zeros(&[8, 8, 3]);
+        let weight = Tensor::<i8>::zeros(&[3, 3, 3, 5]);
+        let out = conv2d(&input, &weight, None, 1, 1, Requant::identity(), NO_CLAMP);
+        assert_eq!(out.shape(), &[8, 8, 5]);
+        let out = conv2d(&input, &weight, None, 2, 1, Requant::identity(), NO_CLAMP);
+        assert_eq!(out.shape(), &[4, 4, 5]);
+    }
+
+    #[test]
+    fn conv2d_counts_padding_as_zero() {
+        // All-ones 3x3 kernel over all-ones input: corner output touches
+        // only 4 real pixels, center touches 9.
+        let input = t(&[3, 3, 1], vec![1; 9]);
+        let weight = t(&[3, 3, 1, 1], vec![1; 9]);
+        let out = conv2d(&input, &weight, None, 1, 1, Requant::identity(), NO_CLAMP);
+        assert_eq!(out.at(&[0, 0, 0]), 4);
+        assert_eq!(out.at(&[1, 1, 0]), 9);
+        assert_eq!(out.at(&[0, 1, 0]), 6);
+    }
+
+    #[test]
+    fn depthwise_keeps_channels_independent() {
+        // Channel 0 kernel = identity (center tap), channel 1 kernel = 2x.
+        let input = t(&[2, 2, 2], vec![1, 10, 2, 20, 3, 30, 4, 40]);
+        let mut wdata = vec![0i8; 9 * 2];
+        wdata[4 * 2] = 1; // center tap, channel 0
+        wdata[4 * 2 + 1] = 2; // center tap, channel 1
+        let weight = t(&[3, 3, 2], wdata);
+        let out = depthwise(&input, &weight, None, 1, 1, Requant::identity(), NO_CLAMP);
+        assert_eq!(out.shape(), &[2, 2, 2]);
+        assert_eq!(out.at(&[0, 0, 0]), 1);
+        assert_eq!(out.at(&[0, 0, 1]), 20);
+        assert_eq!(out.at(&[1, 1, 0]), 4);
+        assert_eq!(out.at(&[1, 1, 1]), 80);
+    }
+
+    #[test]
+    fn add_saturates() {
+        let a = t(&[3], vec![100, -100, 1]);
+        let b = t(&[3], vec![100, -100, 2]);
+        assert_eq!(add(&a, &b).data(), &[127, -128, 3]);
+    }
+
+    #[test]
+    fn global_avg_pool_rounds() {
+        let input = t(&[2, 2, 1], vec![1, 2, 2, 2]);
+        assert_eq!(global_avg_pool(&input).data(), &[2]); // 7/4 -> 2
+    }
+
+    #[test]
+    fn strided_pointwise_subsamples() {
+        let input = t(&[4, 4, 1], (0..16).map(|v| v as i8).collect());
+        let weight = t(&[1, 1], vec![1]);
+        let out = pointwise(&input, &weight, None, 2, Requant::identity(), NO_CLAMP);
+        assert_eq!(out.shape(), &[2, 2, 1]);
+        assert_eq!(out.data(), &[0, 2, 8, 10]);
+    }
+}

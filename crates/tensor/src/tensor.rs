@@ -1,0 +1,206 @@
+//! Dense row-major tensors.
+//!
+//! MCUs run dense, quantized workloads (§2.1/§4): data is int8 activations
+//! and weights with int32 accumulators, in NHWC layout with batch 1 (so
+//! activations are `[H, W, C]` and dense inputs `[M, K]`). [`Tensor`] is a
+//! minimal bounds-checked row-major container shared by the reference
+//! operators, the kernels, and the planners.
+
+use std::fmt;
+
+/// A dense row-major tensor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tensor<T> {
+    shape: Vec<usize>,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Tensor<T> {
+    /// Creates a zero-initialized tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(
+            shape.iter().all(|&d| d > 0),
+            "tensor dims must be positive, got {shape:?}"
+        );
+        let len = shape.iter().product();
+        Self {
+            shape: shape.to_vec(),
+            data: vec![T::default(); len],
+        }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape volume.
+    pub fn from_vec(shape: &[usize], data: Vec<T>) -> Self {
+        assert!(
+            shape.iter().all(|&d| d > 0),
+            "tensor dims must be positive, got {shape:?}"
+        );
+        let len: usize = shape.iter().product();
+        assert_eq!(data.len(), len, "data length must match shape volume");
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+}
+
+impl<T: Copy> Tensor<T> {
+    /// Tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat data slice (row-major).
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat data slice.
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Row-major strides.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut s = vec![1; self.shape.len()];
+        for d in (0..self.shape.len().saturating_sub(1)).rev() {
+            s[d] = s[d + 1] * self.shape[d + 1];
+        }
+        s
+    }
+
+    /// Flat index of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index rank or any coordinate is out of range.
+    pub fn flat_index(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
+        let mut flat = 0;
+        for (d, (&i, &dim)) in index.iter().zip(&self.shape).enumerate() {
+            assert!(i < dim, "index {i} out of range for dim {d} (size {dim})");
+            flat = flat * dim + i;
+        }
+        flat
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn at(&self, index: &[usize]) -> T {
+        self.data[self.flat_index(index)]
+    }
+
+    /// Mutable element reference at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut T {
+        let flat = self.flat_index(index);
+        &mut self.data[flat]
+    }
+}
+
+impl Tensor<i8> {
+    /// Raw bytes of an int8 tensor (two's complement), for loading into
+    /// simulated memories.
+    pub fn as_bytes(&self) -> Vec<u8> {
+        self.data.iter().map(|&v| v as u8).collect()
+    }
+
+    /// Reconstructs an int8 tensor from raw bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the byte count does not match the shape volume.
+    pub fn from_bytes(shape: &[usize], bytes: &[u8]) -> Self {
+        let data: Vec<i8> = bytes.iter().map(|&b| b as i8).collect();
+        Self::from_vec(shape, data)
+    }
+}
+
+impl<T: Copy + fmt::Display> fmt::Display for Tensor<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}[", self.shape)?;
+        let preview = self.data.len().min(8);
+        for (i, v) in self.data[..preview].iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        if self.data.len() > preview {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_indexing() {
+        let mut t = Tensor::<i32>::zeros(&[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.strides(), vec![12, 4, 1]);
+        *t.at_mut(&[1, 2, 3]) = 42;
+        assert_eq!(t.at(&[1, 2, 3]), 42);
+        assert_eq!(t.data()[23], 42);
+    }
+
+    #[test]
+    fn from_vec_validates_volume() {
+        let t = Tensor::from_vec(&[2, 2], vec![1i8, 2, 3, 4]);
+        assert_eq!(t.at(&[1, 0]), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_rejects_bad_volume() {
+        let _ = Tensor::from_vec(&[2, 2], vec![1i8, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn indexing_is_bounds_checked() {
+        let t = Tensor::<i8>::zeros(&[2, 2]);
+        let _ = t.at(&[0, 2]);
+    }
+
+    #[test]
+    fn byte_round_trip_preserves_sign() {
+        let t = Tensor::from_vec(&[4], vec![-128i8, -1, 0, 127]);
+        let back = Tensor::from_bytes(&[4], &t.as_bytes());
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn display_previews() {
+        let t = Tensor::from_vec(&[10], (0..10i8).collect());
+        let s = t.to_string();
+        assert!(s.contains('…'));
+    }
+}

@@ -1,0 +1,550 @@
+//! The inference engine: plan, deploy, execute, report.
+//!
+//! [`Engine`] ties the whole reproduction together: pick a device and a
+//! planner policy, hand it layers (or whole linear graphs) with weights,
+//! and it stages memory exactly as that policy dictates, runs the
+//! corresponding kernels on the simulated MCU, and reports RAM, latency,
+//! and energy. vMCU plans are additionally validated at run time by the
+//! checked pool — a planning bug turns into a typed error, never a wrong
+//! answer.
+
+use crate::error::EngineError;
+use vmcu_graph::{Graph, LayerDesc, LayerWeights};
+use vmcu_kernels::conv2d::{conv2d_exec_distance, run_conv2d};
+use vmcu_kernels::depthwise::{depthwise_exec_distance, run_depthwise};
+use vmcu_kernels::fc::{fc_exec_distance, run_fc};
+use vmcu_kernels::fused_ib::{ib_exec_distance, run_fused_ib, IbFlash};
+use vmcu_kernels::pointwise::{pointwise_exec_distance, run_pointwise};
+use vmcu_kernels::tinyengine::{
+    run_depthwise_te_inplace, run_ib_te, run_pointwise_te, TeIbLayout, TePointwiseLayout,
+};
+use vmcu_kernels::{IbScheme, PointwiseParams};
+use vmcu_plan::chain::{plan_chain, ChainPlan};
+use vmcu_plan::planner::MemoryPlanner;
+use vmcu_plan::{HmcosPlanner, LayerPlan, TinyEnginePlanner, VmcuPlanner};
+use vmcu_pool::SegmentPool;
+use vmcu_sim::{Device, ExecSummary, Machine};
+use vmcu_tensor::Tensor;
+
+/// Planner/executor policy selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannerKind {
+    /// vMCU segment-level management (fused modules use the given
+    /// workspace scheme).
+    Vmcu(IbScheme),
+    /// TinyEngine tensor-level management.
+    TinyEngine,
+    /// HMCOS scheduling (planned with HMCOS policy; executed with the
+    /// baseline kernels — HMCOS contributes no kernels of its own).
+    Hmcos,
+}
+
+impl PlannerKind {
+    /// Planner display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlannerKind::Vmcu(_) => "vMCU",
+            PlannerKind::TinyEngine => "TinyEngine",
+            PlannerKind::Hmcos => "HMCOS",
+        }
+    }
+
+    fn planner(&self) -> Box<dyn MemoryPlanner> {
+        match self {
+            PlannerKind::Vmcu(scheme) => Box::new(VmcuPlanner { scheme: *scheme }),
+            PlannerKind::TinyEngine => Box::new(TinyEnginePlanner),
+            PlannerKind::Hmcos => Box::new(HmcosPlanner),
+        }
+    }
+}
+
+/// Per-layer execution record.
+#[derive(Debug, Clone)]
+pub struct LayerReport {
+    /// Layer name.
+    pub name: String,
+    /// The memory plan for this layer.
+    pub plan: LayerPlan,
+    /// Counted work, latency, and energy of the layer.
+    pub exec: ExecSummary,
+}
+
+/// Whole-run record.
+#[derive(Debug, Clone)]
+pub struct InferenceReport {
+    /// Final output tensor.
+    pub output: Tensor<i8>,
+    /// Per-layer records in execution order.
+    pub layers: Vec<LayerReport>,
+}
+
+impl InferenceReport {
+    /// Peak measured RAM across layers (bytes, including runtime
+    /// overhead).
+    pub fn peak_ram_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.plan.measured_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total latency in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        self.layers.iter().map(|l| l.exec.latency_ms).sum()
+    }
+
+    /// Total energy in millijoules.
+    pub fn energy_mj(&self) -> f64 {
+        self.layers.iter().map(|l| l.exec.energy_mj).sum()
+    }
+}
+
+/// The inference engine.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    device: Device,
+    kind: PlannerKind,
+}
+
+impl Engine {
+    /// Creates an engine for a device with the default policy
+    /// (vMCU, row-buffer fusion).
+    pub fn new(device: Device) -> Self {
+        Self {
+            device,
+            kind: PlannerKind::Vmcu(IbScheme::RowBuffer),
+        }
+    }
+
+    /// Selects the planner/executor policy.
+    pub fn planner(mut self, kind: PlannerKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// The device this engine targets.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The selected policy.
+    pub fn planner_kind(&self) -> PlannerKind {
+        self.kind
+    }
+
+    /// Plans one layer and checks device fit.
+    fn plan_layer(&self, name: &str, layer: &LayerDesc) -> Result<LayerPlan, EngineError> {
+        let plan = self
+            .kind
+            .planner()
+            .plan(&[(name.to_owned(), layer.clone())], &self.device);
+        let lp = plan.layers.into_iter().next().expect("one layer planned");
+        if !lp.fits {
+            return Err(EngineError::DoesNotFit {
+                layer: name.to_owned(),
+                needed: lp.measured_bytes,
+                available: self.device.ram_bytes,
+            });
+        }
+        Ok(lp)
+    }
+
+    /// Runs a single layer on a fresh machine, returning the output and
+    /// the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::DoesNotFit`] when the plan exceeds device
+    /// RAM, [`EngineError::Unsupported`] for layer kinds the selected
+    /// executor cannot run, and pool/memory errors on internal bugs.
+    pub fn run_layer(
+        &self,
+        name: &str,
+        layer: &LayerDesc,
+        weights: &LayerWeights,
+        input: &Tensor<i8>,
+    ) -> Result<(Tensor<i8>, LayerReport), EngineError> {
+        let plan = self.plan_layer(name, layer)?;
+        let mut machine = Machine::new(self.device.clone());
+        let before = machine.snapshot();
+        let output = match self.kind {
+            PlannerKind::Vmcu(scheme) => {
+                self.exec_vmcu(&mut machine, layer, weights, input, scheme)?
+            }
+            PlannerKind::TinyEngine | PlannerKind::Hmcos => {
+                self.exec_baseline(&mut machine, layer, weights, input)?
+            }
+        };
+        let exec = machine.summarize_since(&before);
+        Ok((
+            output,
+            LayerReport {
+                name: name.to_owned(),
+                plan,
+                exec,
+            },
+        ))
+    }
+
+    /// Runs a linear graph layer by layer (activations are re-staged
+    /// between layers by the host; on hardware the pool pointer of layer
+    /// `i+1` is simply layer `i`'s output pointer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-layer failure.
+    pub fn run_graph(
+        &self,
+        graph: &Graph,
+        weights: &[LayerWeights],
+        input: &Tensor<i8>,
+    ) -> Result<InferenceReport, EngineError> {
+        assert_eq!(weights.len(), graph.len(), "weights/layers mismatch");
+        let mut layers = Vec::with_capacity(graph.len());
+        let mut cur = input.clone();
+        for (i, (layer, w)) in graph.layers().iter().zip(weights).enumerate() {
+            let name = format!("{}#{i}", layer.kind());
+            let (out, report) = self.run_layer(&name, layer, w, &cur)?;
+            layers.push(report);
+            cur = out;
+        }
+        Ok(InferenceReport {
+            output: cur,
+            layers,
+        })
+    }
+
+    /// Runs a linear graph **chained through one circular pool**: each
+    /// layer's input pointer is the previous layer's output pointer, so
+    /// the whole network deploys in a single window of
+    /// `max(per-layer span)` bytes — the paper's multi-layer deployment
+    /// model (§4: "the input tensor initial pointer address is determined
+    /// by the previous layer").
+    ///
+    /// Only available under the vMCU policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Unsupported`] for non-vMCU policies,
+    /// [`EngineError::DoesNotFit`] when the window exceeds RAM, and pool
+    /// errors on planning bugs (never silent corruption).
+    pub fn run_graph_chained(
+        &self,
+        graph: &Graph,
+        weights: &[LayerWeights],
+        input: &Tensor<i8>,
+    ) -> Result<(InferenceReport, ChainPlan), EngineError> {
+        assert_eq!(weights.len(), graph.len(), "weights/layers mismatch");
+        let scheme = match self.kind {
+            PlannerKind::Vmcu(scheme) => scheme,
+            _ => {
+                return Err(EngineError::Unsupported {
+                    kind: "chained graph",
+                    executor: self.kind.name(),
+                })
+            }
+        };
+        let plan = plan_chain(graph, scheme);
+        let needed = plan.total_bytes() + self.device.runtime_overhead_bytes;
+        if needed > self.device.ram_bytes {
+            return Err(EngineError::DoesNotFit {
+                layer: format!("chained {}", graph.name),
+                needed,
+                available: self.device.ram_bytes,
+            });
+        }
+        let mut m = Machine::new(self.device.clone());
+        let seg = match graph.layers().first() {
+            Some(LayerDesc::Ib(p)) => p.seg(),
+            Some(LayerDesc::Pointwise(p)) => p.seg,
+            Some(LayerDesc::Dense(p)) => p.seg,
+            _ => 1,
+        };
+        let mut pool = SegmentPool::new(&m, 0, plan.window, seg.max(1))?;
+        let ws_base = plan.window;
+        pool.host_fill_live(&mut m, plan.bases[0], &input.as_bytes())?;
+        let mut layers = Vec::with_capacity(graph.len());
+        for (i, (layer, w)) in graph.layers().iter().zip(weights).enumerate() {
+            let name = format!("{}#{i}", layer.kind());
+            let before = m.snapshot();
+            let (b_in, b_out) = (plan.bases[i], plan.bases[i + 1]);
+            match (layer, w) {
+                (LayerDesc::Pointwise(p), LayerWeights::Pointwise(wt)) => {
+                    let w_base = m.host_program_flash(&wt.as_bytes())?;
+                    run_pointwise(&mut m, &mut pool, p, b_in, b_out, w_base, None)?;
+                }
+                (LayerDesc::Conv2d(p), LayerWeights::Conv2d(wt)) => {
+                    let w_base = m.host_program_flash(&wt.as_bytes())?;
+                    run_conv2d(&mut m, &mut pool, p, b_in, b_out, w_base, None)?;
+                }
+                (LayerDesc::Depthwise(p), LayerWeights::Depthwise(wt)) => {
+                    let w_base = m.host_program_flash(&wt.as_bytes())?;
+                    run_depthwise(&mut m, &mut pool, p, b_in, b_out, w_base, None)?;
+                }
+                (LayerDesc::Dense(p), LayerWeights::Dense(wt)) => {
+                    let w_base = m.host_program_flash(&wt.as_bytes())?;
+                    run_fc(&mut m, &mut pool, p, b_in, b_out, w_base, None)?;
+                }
+                (LayerDesc::Ib(p), LayerWeights::Ib { w1, wdw, w2 }) => {
+                    let flash = IbFlash {
+                        w1: m.host_program_flash(&w1.as_bytes())?,
+                        wdw: m.host_program_flash(&wdw.as_bytes())?,
+                        w2: m.host_program_flash(&w2.as_bytes())?,
+                    };
+                    run_fused_ib(&mut m, &mut pool, p, scheme, b_in, b_out, &flash, ws_base)?;
+                }
+                _ => {
+                    return Err(EngineError::Unsupported {
+                        kind: layer.kind(),
+                        executor: "vMCU",
+                    })
+                }
+            }
+            let exec = m.summarize_since(&before);
+            layers.push(LayerReport {
+                name,
+                plan: LayerPlan {
+                    name: format!("{}#{i}", layer.kind()),
+                    kind: layer.kind(),
+                    activation_bytes: plan.window,
+                    workspace_bytes: plan.workspace,
+                    measured_bytes: needed,
+                    fits: true,
+                },
+                exec,
+            });
+        }
+        let out_bytes = graph.layers().last().expect("non-empty graph").out_bytes();
+        let out_base = *plan.bases.last().expect("bases non-empty");
+        let out = pool.host_read(&m, out_base, out_bytes)?;
+        let output = Tensor::from_bytes(&graph.out_shape(), &out);
+        Ok((InferenceReport { output, layers }, plan))
+    }
+
+    // ---- vMCU execution path ----------------------------------------------
+
+    fn exec_vmcu(
+        &self,
+        m: &mut Machine,
+        layer: &LayerDesc,
+        weights: &LayerWeights,
+        input: &Tensor<i8>,
+        scheme: IbScheme,
+    ) -> Result<Tensor<i8>, EngineError> {
+        match (layer, weights) {
+            (LayerDesc::Pointwise(p), LayerWeights::Pointwise(w)) => {
+                let w_base = m.host_program_flash(&w.as_bytes())?;
+                let d = pointwise_exec_distance(p);
+                let window = (p.in_bytes() + d.max(0) as usize).max(p.out_bytes());
+                let mut pool = SegmentPool::new(m, 0, window, p.seg)?;
+                pool.host_fill_live(m, 0, &input.as_bytes())?;
+                run_pointwise(m, &mut pool, p, 0, -d, w_base, None)?;
+                let out = pool.host_read(m, -d, p.out_bytes())?;
+                Ok(Tensor::from_bytes(&[p.h, p.w, p.k], &out))
+            }
+            (LayerDesc::Conv2d(p), LayerWeights::Conv2d(w)) => {
+                let w_base = m.host_program_flash(&w.as_bytes())?;
+                let d = conv2d_exec_distance(p);
+                let window = (p.in_bytes() + d.max(0) as usize).max(p.out_bytes());
+                let mut pool = SegmentPool::new(m, 0, window, p.seg)?;
+                pool.host_fill_live(m, 0, &input.as_bytes())?;
+                run_conv2d(m, &mut pool, p, 0, -d, w_base, None)?;
+                let out = pool.host_read(m, -d, p.out_bytes())?;
+                Ok(Tensor::from_bytes(&[p.out_h(), p.out_w(), p.k], &out))
+            }
+            (LayerDesc::Depthwise(p), LayerWeights::Depthwise(w)) => {
+                let w_base = m.host_program_flash(&w.as_bytes())?;
+                let d = depthwise_exec_distance(p);
+                let window = (p.in_bytes() + d.max(0) as usize).max(p.out_bytes());
+                let mut pool = SegmentPool::new(m, 0, window, p.c)?;
+                pool.host_fill_live(m, 0, &input.as_bytes())?;
+                run_depthwise(m, &mut pool, p, 0, -d, w_base, None)?;
+                let out = pool.host_read(m, -d, p.out_bytes())?;
+                Ok(Tensor::from_bytes(&[p.out_h(), p.out_w(), p.c], &out))
+            }
+            (LayerDesc::Dense(p), LayerWeights::Dense(w)) => {
+                let w_base = m.host_program_flash(&w.as_bytes())?;
+                let d = fc_exec_distance(p);
+                let window = (p.in_bytes() + d.max(0) as usize).max(p.out_bytes());
+                let mut pool = SegmentPool::new(m, 0, window, p.seg)?;
+                pool.host_fill_live(m, 0, &input.as_bytes())?;
+                run_fc(m, &mut pool, p, 0, -d, w_base, None)?;
+                let out = pool.host_read(m, -d, p.out_bytes())?;
+                Ok(Tensor::from_bytes(&[p.m, p.n], &out))
+            }
+            (LayerDesc::Ib(p), LayerWeights::Ib { w1, wdw, w2 }) => {
+                let flash = IbFlash {
+                    w1: m.host_program_flash(&w1.as_bytes())?,
+                    wdw: m.host_program_flash(&wdw.as_bytes())?,
+                    w2: m.host_program_flash(&w2.as_bytes())?,
+                };
+                let d = ib_exec_distance(p, scheme);
+                let window = (p.in_bytes() + d.max(0) as usize).max(p.out_bytes());
+                let mut pool = SegmentPool::new(m, 0, window, p.seg())?;
+                pool.host_fill_live(m, 0, &input.as_bytes())?;
+                run_fused_ib(m, &mut pool, p, scheme, 0, -d, &flash, window)?;
+                let out = pool.host_read(m, -d, p.out_bytes())?;
+                Ok(Tensor::from_bytes(&[p.hw2(), p.hw2(), p.c_out], &out))
+            }
+            _ => Err(EngineError::Unsupported {
+                kind: layer.kind(),
+                executor: "vMCU",
+            }),
+        }
+    }
+
+    // ---- baseline execution path (TinyEngine kernels) ----------------------
+
+    fn exec_baseline(
+        &self,
+        m: &mut Machine,
+        layer: &LayerDesc,
+        weights: &LayerWeights,
+        input: &Tensor<i8>,
+    ) -> Result<Tensor<i8>, EngineError> {
+        match (layer, weights) {
+            (LayerDesc::Pointwise(p), LayerWeights::Pointwise(w)) => {
+                let w_base = m.host_program_flash(&w.as_bytes())?;
+                let layout = TePointwiseLayout {
+                    input: 0,
+                    output: p.in_bytes(),
+                    im2col: p.in_bytes() + p.out_bytes(),
+                };
+                m.host_write_ram(layout.input, &input.as_bytes())?;
+                run_pointwise_te(m, p, 1, layout, w_base, None)?;
+                let out = m.host_read_ram(layout.output, p.out_bytes())?;
+                Ok(Tensor::from_bytes(&[p.h, p.w, p.k], &out))
+            }
+            (LayerDesc::Dense(p), LayerWeights::Dense(w)) => {
+                // Dense == pointwise over M "pixels" of one column.
+                let pw = PointwiseParams {
+                    h: p.m,
+                    w: 1,
+                    c: p.k,
+                    k: p.n,
+                    seg: p.seg,
+                    rq: p.rq,
+                    clamp: p.clamp,
+                };
+                let w_base = m.host_program_flash(&w.as_bytes())?;
+                let layout = TePointwiseLayout {
+                    input: 0,
+                    output: pw.in_bytes(),
+                    im2col: pw.in_bytes() + pw.out_bytes(),
+                };
+                m.host_write_ram(layout.input, &input.as_bytes())?;
+                run_pointwise_te(m, &pw, 1, layout, w_base, None)?;
+                let out = m.host_read_ram(layout.output, pw.out_bytes())?;
+                Ok(Tensor::from_bytes(&[p.m, p.n], &out))
+            }
+            (LayerDesc::Depthwise(p), LayerWeights::Depthwise(w)) => {
+                let w_base = m.host_program_flash(&w.as_bytes())?;
+                m.host_write_ram(0, &input.as_bytes())?;
+                run_depthwise_te_inplace(m, p, 0, p.in_bytes(), w_base)?;
+                let out = m.host_read_ram(0, p.out_bytes())?;
+                Ok(Tensor::from_bytes(&[p.out_h(), p.out_w(), p.c], &out))
+            }
+            (LayerDesc::Ib(p), LayerWeights::Ib { w1, wdw, w2 }) => {
+                let w1b = m.host_program_flash(&w1.as_bytes())?;
+                let wdwb = m.host_program_flash(&wdw.as_bytes())?;
+                let w2b = m.host_program_flash(&w2.as_bytes())?;
+                let (layout, _end) = TeIbLayout::packed(p, 0);
+                m.host_write_ram(layout.a, &input.as_bytes())?;
+                run_ib_te(m, p, layout, w1b, wdwb, w2b)?;
+                let out = m.host_read_ram(layout.d, p.out_bytes())?;
+                Ok(Tensor::from_bytes(&[p.hw2(), p.hw2(), p.c_out], &out))
+            }
+            (LayerDesc::Conv2d(_), _) => Err(EngineError::Unsupported {
+                kind: layer.kind(),
+                executor: self.kind.name(),
+            }),
+            _ => Err(EngineError::Unsupported {
+                kind: layer.kind(),
+                executor: self.kind.name(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmcu_graph::zoo;
+    use vmcu_tensor::random;
+
+    fn input_for(layer: &LayerDesc, seed: u64) -> Tensor<i8> {
+        random::tensor_i8(&layer.in_shape(), seed)
+    }
+
+    #[test]
+    fn vmcu_and_tinyengine_agree_functionally() {
+        let layer = LayerDesc::Ib(zoo::mcunet_5fps_vww()[4].params); // S5: 5x5, small
+        let w = LayerWeights::random(&layer, 3);
+        let input = input_for(&layer, 4);
+        let dev = Device::stm32_f767zi();
+        let (out_v, rep_v) = Engine::new(dev.clone())
+            .run_layer("S5", &layer, &w, &input)
+            .unwrap();
+        let (out_t, rep_t) = Engine::new(dev)
+            .planner(PlannerKind::TinyEngine)
+            .run_layer("S5", &layer, &w, &input)
+            .unwrap();
+        assert_eq!(out_v, out_t, "both executors must agree bit-exact");
+        assert!(rep_v.plan.measured_bytes < rep_t.plan.measured_bytes);
+    }
+
+    #[test]
+    fn does_not_fit_is_reported_like_the_paper() {
+        // Figure 7 case 1 on F411RE: TinyEngine exceeds 128 KB; vMCU runs.
+        let case = &zoo::fig7_cases()[0];
+        let layer = LayerDesc::Pointwise(case.params);
+        let w = LayerWeights::random(&layer, 1);
+        let input = input_for(&layer, 2);
+        let dev = Device::stm32_f411re();
+        let err = Engine::new(dev.clone())
+            .planner(PlannerKind::TinyEngine)
+            .run_layer(&case.name, &layer, &w, &input)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::DoesNotFit { .. }));
+        let ok = Engine::new(dev).run_layer(&case.name, &layer, &w, &input);
+        assert!(ok.is_ok(), "vMCU must deploy case 1 on the 128 KB device");
+    }
+
+    #[test]
+    fn graph_run_matches_reference_executor() {
+        let g = zoo::demo_linear_net();
+        let weights = g.random_weights(11);
+        let input = random::tensor_i8(&g.in_shape(), 12);
+        let report = Engine::new(Device::stm32_f767zi())
+            .run_graph(&g, &weights, &input)
+            .unwrap();
+        let reference = vmcu_graph::exec::run_reference(&g, &weights, &input);
+        assert_eq!(&report.output, reference.last().unwrap());
+        assert_eq!(report.layers.len(), g.len());
+        assert!(report.latency_ms() > 0.0);
+        assert!(report.energy_mj() > 0.0);
+        assert!(report.peak_ram_bytes() > 0);
+    }
+
+    #[test]
+    fn vmcu_latency_is_comparable_to_tinyengine_on_modules() {
+        // Table 3's headline: vMCU ~1.03x TinyEngine on fused modules.
+        let layer = LayerDesc::Ib(zoo::mcunet_5fps_vww()[5].params); // S6
+        let w = LayerWeights::random(&layer, 5);
+        let input = input_for(&layer, 6);
+        let dev = Device::stm32_f411re();
+        let (_, rv) = Engine::new(dev.clone())
+            .run_layer("S6", &layer, &w, &input)
+            .unwrap();
+        let (_, rt) = Engine::new(dev)
+            .planner(PlannerKind::TinyEngine)
+            .run_layer("S6", &layer, &w, &input)
+            .unwrap();
+        let ratio = rv.exec.latency_ms / rt.exec.latency_ms;
+        assert!(
+            (0.6..=1.4).contains(&ratio),
+            "latency ratio {ratio:.2} outside comparable band"
+        );
+    }
+}

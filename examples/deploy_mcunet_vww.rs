@@ -1,0 +1,57 @@
+//! Deploy MCUNet-5fps-VWW module by module on a simulated STM32-F411RE,
+//! comparing the three memory planners of the paper's Figure 9 and
+//! executing every module under vMCU.
+//!
+//! Run with: `cargo run --release --example deploy_mcunet_vww`
+
+use vmcu::prelude::*;
+use vmcu::vmcu_graph::zoo;
+use vmcu::vmcu_plan::planner::named_ib_layers;
+use vmcu::vmcu_tensor::random;
+
+fn main() -> Result<(), EngineError> {
+    let device = Device::stm32_f411re();
+    let modules = zoo::mcunet_5fps_vww();
+    let layers = named_ib_layers(&modules);
+
+    // Plan the whole backbone under each policy.
+    let te = TinyEnginePlanner.plan(&layers, &device);
+    let hm = HmcosPlanner.plan(&layers, &device);
+    let vm = VmcuPlanner::default().plan(&layers, &device);
+    println!("{:8} {:>12} {:>12} {:>12}", "module", "TinyEngine", "HMCOS", "vMCU");
+    for ((t, h), v) in te.layers.iter().zip(&hm.layers).zip(&vm.layers) {
+        println!(
+            "{:8} {:>10.1}KB {:>10.1}KB {:>10.1}KB",
+            t.name,
+            t.measured_bytes as f64 / 1000.0,
+            h.measured_bytes as f64 / 1000.0,
+            v.measured_bytes as f64 / 1000.0
+        );
+    }
+    println!(
+        "bottlenecks: TinyEngine {:.1} KB | HMCOS {:.1} KB | vMCU {:.1} KB ({:.1}% reduction)",
+        te.bottleneck_bytes() as f64 / 1000.0,
+        hm.bottleneck_bytes() as f64 / 1000.0,
+        vm.bottleneck_bytes() as f64 / 1000.0,
+        100.0 * (1.0 - vm.bottleneck_bytes() as f64 / te.bottleneck_bytes() as f64)
+    );
+
+    // Execute every module under vMCU and account the whole backbone.
+    let engine = Engine::new(device);
+    let mut total_ms = 0.0;
+    let mut total_mj = 0.0;
+    for m in &modules {
+        let layer = LayerDesc::Ib(m.params);
+        let weights = LayerWeights::random(&layer, 7);
+        let input = random::tensor_i8(&layer.in_shape(), 8);
+        let (_, report) = engine.run_layer(m.name, &layer, &weights, &input)?;
+        total_ms += report.exec.latency_ms;
+        total_mj += report.exec.energy_mj;
+        println!(
+            "executed {:3}: {:>7.1} ms, {:>6.2} mJ, {:>9} MACs",
+            m.name, report.exec.latency_ms, report.exec.energy_mj, report.exec.counters.macs
+        );
+    }
+    println!("backbone total: {total_ms:.1} ms, {total_mj:.2} mJ — all modules within 128 KB");
+    Ok(())
+}

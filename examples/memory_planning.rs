@@ -1,0 +1,70 @@
+//! Inside the §4 formulation: watch the solver place the output pointer.
+//!
+//! Walks the paper's GEMM example (Figure 1(c) / Figure 3), prints the
+//! minimal pointer distance and footprint from all three solvers, and then
+//! renders an ASCII timeline of the circular pool showing output segments
+//! replacing freed input segments — the mechanism behind every RAM number
+//! in the paper.
+//!
+//! Run with: `cargo run --release --example memory_planning`
+
+use vmcu::vmcu_solver::{analytic, closed_form, enumerate, FootprintProblem};
+
+fn main() {
+    let (m, n, k) = (2i64, 2i64, 3i64);
+    println!("GEMM: In[{m}x{k}] x W[{k}x{n}] -> Out[{m}x{n}] (segments)\n");
+
+    let problem = FootprintProblem::gemm(m, n, k);
+    let exact = enumerate::solve(&problem);
+    let fast = analytic::solve(&problem);
+    let closed = closed_form::gemm_min_footprint(m, n, k);
+    println!("exact scan        : D* = {}, footprint = {}", exact.min_distance, exact.footprint);
+    println!("lex decomposition : D* = {}, footprint = {}", fast.min_distance, fast.footprint);
+    println!("paper closed form : footprint = {closed} = max(MN, MK) + min(N, K) - 1");
+    println!("disjoint baseline : footprint = {}\n", problem.in_size + problem.out_size);
+
+    // Timeline: pool of `footprint` slots; input segments i0..i5 start
+    // live; each step stores one output segment into the slot the affine
+    // schedule assigns and frees input as the kernel retires it.
+    let pool = exact.footprint as usize;
+    let b_in = exact.used_distance; // input starts D* slots into the pool
+    println!("pool timeline ({pool} slots, output placed {b_in} behind input):");
+    let mut slots: Vec<String> = (0..pool)
+        .map(|s| {
+            let rel = s as i64 - b_in;
+            if (0..m * k).contains(&rel) {
+                format!("i{rel}")
+            } else {
+                "..".to_owned()
+            }
+        })
+        .collect();
+    println!("  start : {}", slots.join(" "));
+    for mi in 0..m {
+        // Figure 4 order: all N output segments of row mi stored, then the
+        // input row freed.
+        for ni in 0..n {
+            let addr = (mi * n + ni).rem_euclid(pool as i64) as usize;
+            slots[addr] = format!("o{}", mi * n + ni);
+            println!("  store : {}", slots.join(" "));
+        }
+        for ki in 0..k {
+            let addr = (b_in + mi * k + ki).rem_euclid(pool as i64) as usize;
+            if slots[addr].starts_with('i') {
+                slots[addr] = "..".to_owned();
+            }
+        }
+        println!("  free  : {}   (input row {mi} retired)", slots.join(" "));
+    }
+    println!("\nThe output lives where the input used to — {} segments instead of {}.",
+        exact.footprint, problem.in_size + problem.out_size);
+
+    // The same machinery on a padded convolution, where the exact solver
+    // skips padding reads the analytic solver must over-approximate.
+    let conv = FootprintProblem::conv2d(8, 8, 4, 4, 3, 3, 1, 1);
+    println!(
+        "\n3x3 conv 8x8x4 (same padding): exact D* = {} B, analytic (conservative) D* = {} B",
+        enumerate::min_distance(&conv).unwrap(),
+        analytic::min_distance(&conv)
+    );
+}

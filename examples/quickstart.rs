@@ -1,0 +1,68 @@
+//! Quickstart: deploy one convolution layer on a simulated 128 KB MCU.
+//!
+//! Reproduces the headline of the paper's Figure 7 in a dozen lines: the
+//! `80×80×16 → 80×80×16` pointwise convolution needs ~210 KB under
+//! tensor-level memory management (out of memory on an STM32-F411RE) but
+//! fits comfortably once the output is allowed to chase the input through
+//! vMCU's circular segment pool.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use vmcu::prelude::*;
+
+fn main() -> Result<(), EngineError> {
+    // Figure 7, case 1: H/W 80, C 16, K 16, int8.
+    let case = vmcu::vmcu_graph::zoo::fig7_cases()[0].clone();
+    let layer = LayerDesc::Pointwise(case.params);
+    let weights = LayerWeights::random(&layer, 1);
+    let input = vmcu::vmcu_tensor::random::tensor_i8(&layer.in_shape(), 2);
+
+    let device = Device::stm32_f411re();
+    println!("device: {device}");
+    println!("layer:  {} ({})", case.name, layer.kind());
+    println!(
+        "tensors: in {} KB + out {} KB",
+        layer.in_bytes() / 1024,
+        layer.out_bytes() / 1024
+    );
+
+    // Tensor-level management (TinyEngine policy): out of memory.
+    match Engine::new(device.clone())
+        .planner(PlannerKind::TinyEngine)
+        .run_layer(&case.name, &layer, &weights, &input)
+    {
+        Err(EngineError::DoesNotFit { needed, available, .. }) => println!(
+            "TinyEngine: OUT OF MEMORY — needs {} KB, device has {} KB",
+            needed / 1024,
+            available / 1024
+        ),
+        other => println!("TinyEngine: unexpected outcome {other:?}"),
+    }
+
+    // Segment-level management (vMCU): fits and runs.
+    let (output, report) = Engine::new(device).run_layer(&case.name, &layer, &weights, &input)?;
+    println!(
+        "vMCU:       fits — {} KB RAM, {:.1} ms, {:.2} mJ",
+        report.plan.measured_bytes / 1024,
+        report.exec.latency_ms,
+        report.exec.energy_mj
+    );
+    println!("output shape: {:?}", output.shape());
+
+    // The result is bit-exact with the reference operator.
+    let w = match &weights {
+        LayerWeights::Pointwise(w) => w.clone(),
+        _ => unreachable!(),
+    };
+    let expected = vmcu::vmcu_tensor::reference::pointwise(
+        &input,
+        &w,
+        None,
+        1,
+        case.params.rq,
+        case.params.clamp,
+    );
+    assert_eq!(output, expected, "simulated execution matches the oracle");
+    println!("verified bit-exact against the reference operator ✓");
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! # vmcu-repro — workspace root for the vMCU (MLSys 2024) reproduction
+//!
+//! This crate exists to host the repository-level `examples/` and `tests/`
+//! directories; all functionality lives in the workspace crates and is
+//! re-exported through the [`vmcu`] facade.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use vmcu;

@@ -1,0 +1,110 @@
+//! Compiles the emitted C library with the host compiler (scalar fallback
+//! path) and runs it against the same inputs as the IR interpreter: the
+//! generated code must produce bit-identical results.
+//!
+//! Skipped silently when no `cc` is on PATH (e.g. minimal CI images).
+
+use std::io::Write;
+use std::process::Command;
+use vmcu::vmcu_codegen::cgen::emit_library;
+use vmcu::vmcu_codegen::kernels_ir::{build_fc_kernel, FcIrSpec};
+use vmcu::vmcu_tensor::{random, reference, Requant, Tensor, NO_CLAMP};
+
+fn have_cc() -> bool {
+    Command::new("cc")
+        .arg("--version")
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false)
+}
+
+#[test]
+fn generated_c_matches_reference_when_compiled() {
+    if !have_cc() {
+        eprintln!("skipping: no host C compiler");
+        return;
+    }
+    let spec = FcIrSpec {
+        m: 6,
+        k: 8,
+        n: 8,
+        seg: 8,
+        rq: Requant::from_scale(1.0 / 64.0, 3),
+    };
+    let input = random::tensor_i8(&[spec.m, spec.k], 77);
+    let weight = random::tensor_i8(&[spec.k, spec.n], 78);
+    let expected = reference::dense(&input, &weight, None, spec.rq, NO_CLAMP);
+
+    let library = emit_library(&[build_fc_kernel(&spec)]);
+    let d = spec.exec_distance();
+    let window = spec.window_bytes();
+
+    // Test harness: stage the input in the circular pool, run the kernel,
+    // print the output bytes.
+    let fmt_array = |data: &[u8]| {
+        data.iter()
+            .map(|b| format!("{}", *b as i8))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let main_c = format!(
+        r#"
+#include <stdio.h>
+int8_t *vmcu_pool_base;
+int32_t vmcu_pool_len;
+const int8_t *vmcu_flash_base;
+static int8_t pool_mem[{window}];
+static const int8_t flash_mem[] = {{ {flash} }};
+static const int8_t input_mem[] = {{ {input} }};
+int main(void) {{
+  vmcu_pool_base = pool_mem;
+  vmcu_pool_len = {window};
+  vmcu_flash_base = flash_mem;
+  for (int i = 0; i < {in_len}; ++i) pool_mem[vmcu_wrap(i)] = input_mem[i];
+  vmcu_fc(0, {out_base}, 0);
+  for (int i = 0; i < {out_len}; ++i)
+    printf("%d\n", (int)pool_mem[vmcu_wrap({out_base} + i)]);
+  return 0;
+}}
+"#,
+        flash = fmt_array(&weight.as_bytes()),
+        input = fmt_array(&input.as_bytes()),
+        in_len = spec.m * spec.k,
+        out_len = spec.m * spec.n,
+        out_base = -d,
+    );
+
+    let dir = std::env::temp_dir().join(format!("vmcu-cgen-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("kernel_test.c");
+    let bin = dir.join("kernel_test");
+    let mut f = std::fs::File::create(&src).unwrap();
+    f.write_all(library.as_bytes()).unwrap();
+    f.write_all(main_c.as_bytes()).unwrap();
+    drop(f);
+
+    let compile = Command::new("cc")
+        .args(["-O1", "-std=c11", "-o"])
+        .arg(&bin)
+        .arg(&src)
+        .output()
+        .expect("cc invocation");
+    assert!(
+        compile.status.success(),
+        "generated C failed to compile:\n{}",
+        String::from_utf8_lossy(&compile.stderr)
+    );
+
+    let run = Command::new(&bin).output().expect("run compiled kernel");
+    assert!(run.status.success());
+    let got: Vec<i8> = String::from_utf8_lossy(&run.stdout)
+        .lines()
+        .map(|l| l.trim().parse::<i32>().unwrap() as i8)
+        .collect();
+    let got = Tensor::from_vec(&[spec.m, spec.n], got);
+    assert_eq!(
+        got, expected,
+        "compiled C output diverges from the reference operator"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

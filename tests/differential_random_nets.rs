@@ -1,0 +1,56 @@
+//! Differential fuzzing across executors: randomly generated linear
+//! networks must produce bit-identical outputs under every policy
+//! (re-staged and chained), all matching the reference executor. This is
+//! the widest-coverage correctness net in the repository.
+
+use vmcu::prelude::*;
+use vmcu::vmcu_graph::{exec, zoo};
+use vmcu::vmcu_tensor::random;
+
+fn check_seed(seed: u64) {
+    let g = zoo::random_linear_net(seed, 4);
+    let weights = g.random_weights(seed ^ 0xABCD);
+    let input = random::tensor_i8(&g.in_shape(), seed ^ 0x1234);
+    let expected = exec::run_reference(&g, &weights, &input);
+    let expected = expected.last().unwrap();
+    let device = Device::stm32_f767zi();
+
+    for kind in [
+        PlannerKind::Vmcu(IbScheme::RowBuffer),
+        PlannerKind::Vmcu(IbScheme::SlidingWindow),
+        PlannerKind::TinyEngine,
+    ] {
+        let report = Engine::new(device.clone())
+            .planner(kind)
+            .run_graph(&g, &weights, &input)
+            .unwrap_or_else(|e| panic!("seed {seed} {kind:?}: {e}"));
+        assert_eq!(
+            &report.output, expected,
+            "seed {seed}: {kind:?} diverges from reference"
+        );
+    }
+
+    // Chained single-window execution must agree as well.
+    let (chained, plan) = Engine::new(device)
+        .run_graph_chained(&g, &weights, &input)
+        .unwrap_or_else(|e| panic!("seed {seed} chained: {e}"));
+    assert_eq!(
+        &chained.output, expected,
+        "seed {seed}: chained execution diverges"
+    );
+    assert!(plan.window > 0);
+}
+
+#[test]
+fn random_networks_agree_across_all_executors() {
+    for seed in 0..12 {
+        check_seed(seed);
+    }
+}
+
+#[test]
+fn random_networks_agree_more_seeds() {
+    for seed in 12..24 {
+        check_seed(seed);
+    }
+}

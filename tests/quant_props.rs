@@ -1,0 +1,73 @@
+//! Property tests for the quantization substrate: the requantization
+//! arithmetic every executor shares must be monotone, saturating, and
+//! scale-faithful for arbitrary parameters — a wrong epilogue would
+//! silently skew every accuracy-preservation claim.
+
+use proptest::prelude::*;
+use vmcu::vmcu_tensor::{quant::sat8, random, reference, Requant, Tensor, NO_CLAMP};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Requantization is monotone non-decreasing in the accumulator.
+    #[test]
+    fn requant_is_monotone(
+        scale_num in 1u32..4096,
+        zp in -32i32..32,
+        a in -100_000i32..100_000,
+        b in -100_000i32..100_000,
+    ) {
+        let rq = Requant::from_scale(f64::from(scale_num) / 4096.0, zp);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(rq.apply(lo) <= rq.apply(hi));
+    }
+
+    /// The fixed-point approximation tracks the real scale to within one
+    /// output step.
+    #[test]
+    fn requant_tracks_real_scale(
+        scale_num in 1u32..4096,
+        acc in -50_000i32..50_000,
+    ) {
+        let scale = f64::from(scale_num) / 4096.0;
+        let rq = Requant::from_scale(scale, 0);
+        let ideal = sat8((f64::from(acc) * scale).round() as i64);
+        let got = rq.apply(acc);
+        prop_assert!(
+            (i32::from(got) - i32::from(ideal)).abs() <= 1,
+            "acc {acc} scale {scale}: got {got}, ideal {ideal}"
+        );
+    }
+
+    /// Saturation clamps exactly at the int8 boundary.
+    #[test]
+    fn sat8_is_a_clamp(v in -1_000_000i64..1_000_000) {
+        let s = sat8(v);
+        prop_assert_eq!(i64::from(s), v.clamp(-128, 127));
+    }
+
+    /// Zero weights reduce every operator to its (clamped) zero point —
+    /// the reference operators share one epilogue.
+    #[test]
+    fn zero_weights_yield_zero_point(
+        h in 2usize..6,
+        c in 1usize..5,
+        k in 1usize..5,
+        zp in -20i32..20,
+    ) {
+        let rq = Requant::from_scale(0.5, zp);
+        let input = random::tensor_i8(&[h, h, c], 1);
+        let w = Tensor::from_vec(&[c, k], vec![0i8; c * k]);
+        let out = reference::pointwise(&input, &w, None, 1, rq, NO_CLAMP);
+        let expect = rq.apply(0);
+        prop_assert!(out.data().iter().all(|&v| v == expect));
+    }
+
+    /// The residual add commutes and saturates symmetrically.
+    #[test]
+    fn add_commutes(len in 1usize..64, s1 in 0u64..50, s2 in 50u64..100) {
+        let a = random::tensor_i8(&[len], s1);
+        let b = random::tensor_i8(&[len], s2);
+        prop_assert_eq!(reference::add(&a, &b), reference::add(&b, &a));
+    }
+}
