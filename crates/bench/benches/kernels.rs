@@ -46,7 +46,11 @@ fn bench_fused_ib(c: &mut Criterion) {
     for scheme in [IbScheme::RowBuffer, IbScheme::PixelWindow] {
         g.bench_function(format!("{scheme:?}"), |b| {
             let engine = Engine::new(dev.clone()).planner(PlannerKind::Vmcu(scheme));
-            b.iter(|| engine.run_layer(m.name, black_box(&layer), &w, &input).unwrap())
+            b.iter(|| {
+                engine
+                    .run_layer(m.name, black_box(&layer), &w, &input)
+                    .unwrap()
+            })
         });
     }
     g.finish();

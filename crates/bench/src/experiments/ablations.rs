@@ -131,7 +131,11 @@ pub fn ablation_segment_size() -> ExpResult {
     checks.push(Check::new(
         "seg=1 is slowest (modulo per element)",
         latencies[0] >= *latencies.last().unwrap(),
-        format!("{:.2} ms vs {:.2} ms", latencies[0], latencies.last().unwrap()),
+        format!(
+            "{:.2} ms vs {:.2} ms",
+            latencies[0],
+            latencies.last().unwrap()
+        ),
     ));
     checks.push(Check::new(
         "latency improves from seg=1 to seg=24",

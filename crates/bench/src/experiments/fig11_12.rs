@@ -65,7 +65,7 @@ pub fn fig11() -> ExpResult {
         "Image-size increase at TinyEngine-equal RAM (MCUNet-5fps-VWW)",
         "image size (H and W) can grow 1.29x-2.58x",
         (1.29, 2.58),
-        |p, planner, budget| max_image_scale(p, planner, budget),
+        max_image_scale,
     )
 }
 
@@ -76,6 +76,6 @@ pub fn fig12() -> ExpResult {
         "Channel increase at TinyEngine-equal RAM (MCUNet-5fps-VWW)",
         "channel sizes can grow 1.26x-3.17x",
         (1.26, 3.17),
-        |p, planner, budget| max_channel_scale(p, planner, budget),
+        max_channel_scale,
     )
 }

@@ -70,8 +70,18 @@ pub fn fig7() -> ExpResult {
         reductions.iter().cloned().fold(f64::INFINITY, f64::min),
         reductions.iter().cloned().fold(0.0f64, f64::max),
     );
-    checks.push(Check::in_range("min reduction near 12%", band.0, 0.06, 0.26));
-    checks.push(Check::in_range("max reduction near 49.5%", band.1, 0.44, 0.52));
+    checks.push(Check::in_range(
+        "min reduction near 12%",
+        band.0,
+        0.06,
+        0.26,
+    ));
+    checks.push(Check::in_range(
+        "max reduction near 49.5%",
+        band.1,
+        0.44,
+        0.52,
+    ));
 
     ExpResult {
         id: "fig7".into(),

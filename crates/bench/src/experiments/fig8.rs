@@ -72,10 +72,30 @@ pub fn fig8() -> ExpResult {
     };
     let (e_lo, e_hi) = span(&e_cuts);
     let (l_lo, l_hi) = span(&l_cuts);
-    checks.push(Check::in_range("min energy cut (paper 20.6%)", e_lo, 0.08, 0.35));
-    checks.push(Check::in_range("max energy cut (paper 53.0%)", e_hi, 0.30, 0.60));
-    checks.push(Check::in_range("min latency cut (paper 18.5%)", l_lo, 0.08, 0.32));
-    checks.push(Check::in_range("max latency cut (paper 40.0%)", l_hi, 0.25, 0.55));
+    checks.push(Check::in_range(
+        "min energy cut (paper 20.6%)",
+        e_lo,
+        0.08,
+        0.35,
+    ));
+    checks.push(Check::in_range(
+        "max energy cut (paper 53.0%)",
+        e_hi,
+        0.30,
+        0.60,
+    ));
+    checks.push(Check::in_range(
+        "min latency cut (paper 18.5%)",
+        l_lo,
+        0.08,
+        0.32,
+    ));
+    checks.push(Check::in_range(
+        "max latency cut (paper 40.0%)",
+        l_hi,
+        0.25,
+        0.55,
+    ));
 
     ExpResult {
         id: "fig8".into(),

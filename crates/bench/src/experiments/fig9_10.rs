@@ -21,7 +21,13 @@ fn ram_figure(
     let hm = HmcosPlanner.plan(&layers, device);
     let vm = VmcuPlanner::default().plan(&layers, device);
 
-    let mut t = Table::new(&["module", "TinyEngine KB", "HMCOS KB", "vMCU KB", "vMCU vs TE"]);
+    let mut t = Table::new(&[
+        "module",
+        "TinyEngine KB",
+        "HMCOS KB",
+        "vMCU KB",
+        "vMCU vs TE",
+    ]);
     for ((l_te, l_hm), l_vm) in te.layers.iter().zip(&hm.layers).zip(&vm.layers) {
         let r = 1.0 - l_vm.measured_bytes as f64 / l_te.measured_bytes as f64;
         t.row(vec![
@@ -105,7 +111,9 @@ fn ordered(vm: &MemoryPlan, te: &MemoryPlan, hm: &MemoryPlan) -> bool {
         .iter()
         .zip(&te.layers)
         .zip(&hm.layers)
-        .all(|((v, t), h)| v.measured_bytes < t.measured_bytes && t.measured_bytes <= h.measured_bytes)
+        .all(|((v, t), h)| {
+            v.measured_bytes < t.measured_bytes && t.measured_bytes <= h.measured_bytes
+        })
 }
 
 struct Expectations {

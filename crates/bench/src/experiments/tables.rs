@@ -32,8 +32,13 @@ pub fn table1() -> ExpResult {
 
 /// Regenerates Table 2.
 pub fn table2() -> ExpResult {
-    let mut t = Table::new(&["Name", "H/W", "C_in", "C_mid", "C_out", "R/S", "strides", "residual"]);
-    for m in zoo::mcunet_5fps_vww().iter().chain(&zoo::mcunet_320kb_imagenet()) {
+    let mut t = Table::new(&[
+        "Name", "H/W", "C_in", "C_mid", "C_out", "R/S", "strides", "residual",
+    ]);
+    for m in zoo::mcunet_5fps_vww()
+        .iter()
+        .chain(&zoo::mcunet_320kb_imagenet())
+    {
         let p = &m.params;
         t.row(vec![
             m.name.to_owned(),

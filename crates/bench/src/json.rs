@@ -1,0 +1,146 @@
+//! Hand-rolled JSON emission for experiment results.
+//!
+//! The workspace builds offline without `serde`, so the few structures
+//! that need machine-readable output render themselves into this tiny
+//! value tree, which pretty-prints in the same style as
+//! `serde_json::to_string_pretty` (2-space indent, `"key": value`).
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A boolean literal.
+    Bool(bool),
+    /// A string (escaped on output).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Json::Str(s.into())
+    }
+
+    /// Builds an array from anything convertible to values.
+    pub fn array<T: Into<Json>>(items: impl IntoIterator<Item = T>) -> Self {
+        Json::Array(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Renders with 2-space indentation and a trailing newline-free root.
+    #[must_use]
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => write_seq(out, depth, '[', ']', items.len(), |out, i| {
+                items[i].write(out, depth + 1);
+            }),
+            Json::Object(fields) => write_seq(out, depth, '{', '}', fields.len(), |out, i| {
+                let (k, v) = &fields[i];
+                write_escaped(out, k);
+                out.push_str(": ");
+                v.write(out, depth + 1);
+            }),
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::str(s)
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    if len == 0 {
+        out.push(open);
+        out.push(close);
+        return;
+    }
+    out.push(open);
+    for i in 0..len {
+        out.push('\n');
+        for _ in 0..=depth {
+            out.push_str("  ");
+        }
+        item(out, i);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_in_serde_style() {
+        let v = Json::Object(vec![
+            ("name".into(), Json::str("x")),
+            ("passed".into(), Json::Bool(true)),
+            ("rows".into(), Json::array(["a", "b"])),
+            ("empty".into(), Json::Array(vec![])),
+        ]);
+        let s = v.to_string_pretty();
+        assert!(s.contains("\"passed\": true"));
+        assert!(s.contains("  \"rows\": [\n    \"a\",\n    \"b\"\n  ]"));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.starts_with("{\n  \"name\": \"x\","));
+    }
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let s = Json::str("a\"b\\c\nd\u{1}").to_string_pretty();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

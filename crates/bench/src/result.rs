@@ -5,12 +5,12 @@
 //! wins, by roughly what factor). `all_experiments` aggregates them into
 //! `EXPERIMENTS.md` and exits non-zero if any shape check fails.
 
+use crate::json::Json;
 use crate::table::Table;
-use serde::Serialize;
 use std::fmt;
 
 /// One machine-checked shape criterion.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Check {
     /// What is being checked.
     pub name: String,
@@ -38,6 +38,14 @@ impl Check {
             format!("value {value:.2} expected in [{lo:.2}, {hi:.2}]"),
         )
     }
+
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("name".into(), Json::str(&*self.name)),
+            ("passed".into(), Json::Bool(self.passed)),
+            ("detail".into(), Json::str(&*self.detail)),
+        ])
+    }
 }
 
 impl fmt::Display for Check {
@@ -53,7 +61,7 @@ impl fmt::Display for Check {
 }
 
 /// A regenerated table/figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExpResult {
     /// Experiment id (`fig7`, `table3`, …).
     pub id: String,
@@ -73,6 +81,26 @@ impl ExpResult {
     /// Whether every shape check passed.
     pub fn passed(&self) -> bool {
         self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Serializes the experiment as pretty-printed JSON.
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        Json::Object(vec![
+            ("id".into(), Json::str(&*self.id)),
+            ("title".into(), Json::str(&*self.title)),
+            ("paper_claim".into(), Json::str(&*self.paper_claim)),
+            ("table".into(), self.table.to_json()),
+            (
+                "checks".into(),
+                Json::Array(self.checks.iter().map(Check::to_json).collect()),
+            ),
+            (
+                "notes".into(),
+                Json::array(self.notes.iter().map(String::as_str)),
+            ),
+        ])
+        .to_string_pretty()
     }
 
     /// Renders the experiment as a markdown section.

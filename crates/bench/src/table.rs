@@ -1,10 +1,10 @@
 //! Fixed-width table rendering for experiment output.
 
-use serde::Serialize;
+use crate::json::Json;
 use std::fmt;
 
 /// A printable result table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Column headers.
     pub headers: Vec<String>,
@@ -40,6 +40,26 @@ impl Table {
             }
         }
         w
+    }
+
+    /// Serializes headers and rows as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            (
+                "headers".into(),
+                Json::array(self.headers.iter().map(String::as_str)),
+            ),
+            (
+                "rows".into(),
+                Json::Array(
+                    self.rows
+                        .iter()
+                        .map(|r| Json::array(r.iter().map(String::as_str)))
+                        .collect(),
+                ),
+            ),
+        ])
     }
 
     /// Renders as a GitHub-flavoured markdown table.

@@ -32,6 +32,8 @@ pub enum InterpError {
     },
     /// Negative or oversized length operand.
     BadLength(i64),
+    /// `RamStore` from a register wider than one byte per element.
+    StoreFromWide(String),
     /// Pool violation.
     Pool(PoolError),
     /// Raw memory violation.
@@ -47,6 +49,9 @@ impl fmt::Display for InterpError {
                 write!(f, "register `{reg}` index {index} out of range (len {len})")
             }
             InterpError::BadLength(l) => write!(f, "bad length operand {l}"),
+            InterpError::StoreFromWide(r) => {
+                write!(f, "ram store from non-int8 register `{r}` would truncate")
+            }
             InterpError::Pool(e) => write!(f, "pool error: {e}"),
             InterpError::Mem(e) => write!(f, "memory error: {e}"),
         }
@@ -114,12 +119,7 @@ impl Interp<'_> {
         Ok(r.data[off as usize..end as usize].to_vec())
     }
 
-    fn reg_write(
-        &mut self,
-        name: &str,
-        off: i64,
-        values: &[i32],
-    ) -> Result<(), InterpError> {
+    fn reg_write(&mut self, name: &str, off: i64, values: &[i32]) -> Result<(), InterpError> {
         let r = self
             .regs
             .get_mut(name)
@@ -242,6 +242,12 @@ impl Interp<'_> {
                 let off = self.eval(src_off)?;
                 let a = self.eval(addr)?;
                 let n = self.eval_len(len)?;
+                // RAM stores narrow to one byte per element; a kernel must
+                // requantize an Int32 accumulator into an Int8 register
+                // first, exactly as the C backend does.
+                if self.reg(src)?.dtype != DType::Int8 {
+                    return Err(InterpError::StoreFromWide(src.to_owned()));
+                }
                 let vals = self.reg_slice(src, off, n)?;
                 let bytes: Vec<u8> = vals.iter().map(|&v| (v as i8) as u8).collect();
                 self.pool.store(self.machine, &bytes, a)?;
@@ -316,9 +322,6 @@ pub fn interpret(
         }
     }
     interp.exec(&kernel.body)?;
-    // DType is carried for the C backend; the interpreter stores
-    // everything as i32 and narrows at memory boundaries.
-    let _ = interp.regs.values().map(|r| r.dtype).count();
     Ok(())
 }
 
@@ -388,6 +391,19 @@ mod tests {
         interpret(&kb.finish(), &[], &mut m, &mut pool).unwrap();
         let got = pool.host_read(&m, 0, 1).unwrap()[0] as i8;
         assert_eq!(got, rq.apply(100));
+    }
+
+    #[test]
+    fn store_from_wide_register_is_rejected() {
+        let (mut m, mut pool) = setup(16);
+        let mut kb = KernelBuilder::new("wide");
+        kb.reg_alloc_i32("acc", 4, 7);
+        kb.ram_store("acc", 0, 0, 4);
+        let err = interpret(&kb.finish(), &[], &mut m, &mut pool).unwrap_err();
+        assert!(
+            matches!(&err, InterpError::StoreFromWide(r) if r == "acc"),
+            "expected StoreFromWide, got {err:?}"
+        );
     }
 
     #[test]

@@ -60,12 +60,7 @@ pub fn build_fc_kernel(spec: &FcIrSpec) -> Kernel {
         spec.k % spec.seg == 0 && spec.n % spec.seg == 0,
         "IR kernel requires seg | K and seg | N"
     );
-    let (m, k, n, seg) = (
-        spec.m as i64,
-        spec.k as i64,
-        spec.n as i64,
-        spec.seg as i64,
-    );
+    let (m, k, n, seg) = (spec.m as i64, spec.k as i64, spec.n as i64, spec.seg as i64);
     let mut kb = KernelBuilder::new("vmcu_fc");
     kb.param("in_base").param("out_base").param("w_base");
     kb.for_("m", m, |kb| {
@@ -118,7 +113,6 @@ pub fn build_fc_kernel(spec: &FcIrSpec) -> Kernel {
     vmcu_ir::validate::validate(&kernel).expect("generated FC kernel is well-formed");
     kernel
 }
-
 
 /// Geometry of an IR pointwise-convolution kernel (Figure 5 with a 1×1
 /// window — the single-layer workload of the paper's evaluation).
@@ -255,8 +249,7 @@ mod tests {
         .unwrap();
         let out = pool.host_read(&m, -d, spec.h * spec.w * spec.k).unwrap();
         let out = Tensor::from_bytes(&[spec.h, spec.w, spec.k], &out);
-        let expected =
-            reference::pointwise(&input, &weight, None, 1, spec.rq, NO_CLAMP);
+        let expected = reference::pointwise(&input, &weight, None, 1, spec.rq, NO_CLAMP);
         assert_eq!(out, expected);
     }
 

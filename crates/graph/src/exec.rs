@@ -17,7 +17,11 @@ use vmcu_tensor::{reference, Tensor};
 /// Panics if `weights` does not match the graph or shapes mismatch
 /// (construction via [`Graph::linear`] and [`Graph::random_weights`]
 /// guarantees both).
-pub fn run_reference(graph: &Graph, weights: &[LayerWeights], input: &Tensor<i8>) -> Vec<Tensor<i8>> {
+pub fn run_reference(
+    graph: &Graph,
+    weights: &[LayerWeights],
+    input: &Tensor<i8>,
+) -> Vec<Tensor<i8>> {
     assert_eq!(weights.len(), graph.len(), "weights/layers mismatch");
     let mut acts = Vec::with_capacity(graph.len());
     let mut cur = input.clone();

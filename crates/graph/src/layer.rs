@@ -85,9 +85,7 @@ impl LayerDesc {
             LayerDesc::Conv2d(p) => p.r * p.s * p.c * p.k,
             LayerDesc::Depthwise(p) => p.r * p.s * p.c,
             LayerDesc::Dense(p) => p.weight_bytes(),
-            LayerDesc::Ib(p) => {
-                p.c_in * p.c_mid + p.rs * p.rs * p.c_mid + p.c_mid * p.c_out
-            }
+            LayerDesc::Ib(p) => p.c_in * p.c_mid + p.rs * p.rs * p.c_mid + p.c_mid * p.c_out,
         }
     }
 }

@@ -159,7 +159,11 @@ pub fn random_linear_net(seed: u64, layers: usize) -> Graph {
             }
             _ => {
                 let expand = rng.gen_range(2..4);
-                let c_out = if rng.gen_bool(0.5) { c } else { (c + 2).min(12) };
+                let c_out = if rng.gen_bool(0.5) {
+                    c
+                } else {
+                    (c + 2).min(12)
+                };
                 let s2 = if hw >= 8 && rng.gen_bool(0.25) { 2 } else { 1 };
                 let mut p = IbParams::new(hw, c, c * expand, c_out, 3, (1, s2, 1));
                 p.clamp1 = (0, 127);
@@ -183,7 +187,9 @@ mod tests {
         assert_eq!(m.len(), 8);
         assert_eq!(m[0].params.in_bytes(), 6400); // S1: 20*20*16
         assert_eq!(m[0].params.mid_bytes(), 19200); // 20*20*48
-        assert!(m.iter().all(|x| x.params.has_residual() || x.params.c_in != x.params.c_out));
+        assert!(m
+            .iter()
+            .all(|x| x.params.has_residual() || x.params.c_in != x.params.c_out));
         // All VWW modules are stride-1 residual blocks except channel
         // changers S3, S4->? (S3: 24->16 no residual).
         assert!(!m[2].params.has_residual());

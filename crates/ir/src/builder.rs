@@ -20,9 +20,15 @@
 //! kb.param("out_base");
 //! kb.for_("m", Expr::var("M"), |kb| {
 //!     let m = Expr::var("m");
+//!     kb.reg_alloc_i8("val_a", 16, 0);
 //!     kb.reg_alloc_i32("acc", 16, 0);
+//!     kb.reg_alloc_i8("out", 16, 0);
 //!     kb.ram_load("val_a", 0, Expr::var("in_base") + m * 16, 16);
-//!     kb.ram_store("acc", 0, Expr::var("out_base") + Expr::var("m") * 16, 16);
+//!     // ... dot-product intrinsics accumulate into `acc` ...
+//!     // RAM stores are byte-wide: requantize the Int32 accumulator
+//!     // into an Int8 register before storing, as Figure 4 does.
+//!     kb.requant("out", 0, "acc", 0, 16, 1 << 30, 1, 0);
+//!     kb.ram_store("out", 0, Expr::var("out_base") + Expr::var("m") * 16, 16);
 //! });
 //! let kernel = kb.finish();
 //! assert_eq!(kernel.name, "fc");

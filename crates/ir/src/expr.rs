@@ -118,15 +118,10 @@ impl Expr {
     /// # Errors
     ///
     /// Returns the offending variable name if `lookup` cannot resolve it.
-    pub fn eval_with(
-        &self,
-        lookup: &dyn Fn(&str) -> Option<i64>,
-    ) -> Result<i64, UnboundVarError> {
+    pub fn eval_with(&self, lookup: &dyn Fn(&str) -> Option<i64>) -> Result<i64, UnboundVarError> {
         match self {
             Expr::Imm(v) => Ok(*v),
-            Expr::Var(name) => lookup(name).ok_or_else(|| UnboundVarError {
-                name: name.clone(),
-            }),
+            Expr::Var(name) => lookup(name).ok_or_else(|| UnboundVarError { name: name.clone() }),
             Expr::Bin(op, a, b) => Ok(op.eval(a.eval_with(lookup)?, b.eval_with(lookup)?)),
         }
     }

@@ -7,8 +7,8 @@
 //! of backend panics.
 
 use crate::expr::Expr;
-use crate::stmt::{Kernel, Stmt};
-use std::collections::HashSet;
+use crate::stmt::{DType, Kernel, Stmt};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// A validation failure.
@@ -38,6 +38,16 @@ pub enum ValidateError {
         /// Offending step.
         step: i64,
     },
+    /// A `RamStore` from a register wider than one byte per element.
+    ///
+    /// RAM stores narrow to bytes: both backends require the source to be
+    /// an `Int8` register (the interpreter rejects at run time; the C
+    /// backend would silently reinterpret raw accumulator bytes). Kernels
+    /// must requantize `Int32` accumulators into an `Int8` register first.
+    WideStore {
+        /// Offending source register.
+        name: String,
+    },
 }
 
 impl fmt::Display for ValidateError {
@@ -54,6 +64,12 @@ impl fmt::Display for ValidateError {
             ValidateError::BadStep { var, step } => {
                 write!(f, "loop `{var}` has non-positive step {step}")
             }
+            ValidateError::WideStore { name } => {
+                write!(
+                    f,
+                    "ram store from non-int8 register `{name}` would truncate"
+                )
+            }
         }
     }
 }
@@ -62,7 +78,7 @@ impl std::error::Error for ValidateError {}
 
 struct Ctx {
     vars: HashSet<String>,
-    regs: HashSet<String>,
+    regs: HashMap<String, DType>,
 }
 
 impl Ctx {
@@ -78,7 +94,7 @@ impl Ctx {
     }
 
     fn check_reg(&self, name: &str) -> Result<(), ValidateError> {
-        if self.regs.contains(name) {
+        if self.regs.contains_key(name) {
             Ok(())
         } else {
             Err(ValidateError::UnknownReg {
@@ -111,20 +127,25 @@ impl Ctx {
                 }
                 Ok(())
             }
-            Stmt::RegAlloc { name, .. } => {
-                if !self.regs.insert(name.clone()) {
-                    // Reallocating the same accumulator inside a loop body is
-                    // legal and common (fresh accumulators per tile); only a
-                    // *sibling* duplicate in the same linear sequence would be
-                    // suspicious, which this coarse check tolerates.
-                }
+            Stmt::RegAlloc { name, dtype, .. } => {
+                // Reallocating the same accumulator inside a loop body is
+                // legal and common (fresh accumulators per tile); only a
+                // *sibling* duplicate in the same linear sequence would be
+                // suspicious, which this coarse check tolerates.
+                self.regs.insert(name.clone(), *dtype);
                 Ok(())
             }
             Stmt::RamLoad {
-                dst, dst_off, addr, len,
+                dst,
+                dst_off,
+                addr,
+                len,
             }
             | Stmt::FlashLoad {
-                dst, dst_off, addr, len,
+                dst,
+                dst_off,
+                addr,
+                len,
             } => {
                 self.check_reg(dst)?;
                 self.check_expr(dst_off)?;
@@ -152,9 +173,15 @@ impl Ctx {
                 self.check_expr(b_off)
             }
             Stmt::RamStore {
-                src, src_off, addr, len,
+                src,
+                src_off,
+                addr,
+                len,
             } => {
                 self.check_reg(src)?;
+                if self.regs.get(src) != Some(&DType::Int8) {
+                    return Err(ValidateError::WideStore { name: src.clone() });
+                }
                 self.check_expr(src_off)?;
                 self.check_expr(addr)?;
                 self.check_expr(len)
@@ -164,7 +191,10 @@ impl Ctx {
                 self.check_expr(len)
             }
             Stmt::Broadcast {
-                dst, dst_off, value, ..
+                dst,
+                dst_off,
+                value,
+                ..
             } => {
                 self.check_reg(dst)?;
                 self.check_expr(dst_off)?;
@@ -199,7 +229,7 @@ impl Ctx {
 pub fn validate(kernel: &Kernel) -> Result<(), ValidateError> {
     let mut ctx = Ctx {
         vars: kernel.params.iter().cloned().collect(),
-        regs: HashSet::new(),
+        regs: HashMap::new(),
     };
     ctx.check_stmt(&kernel.body)
 }
@@ -245,6 +275,15 @@ mod tests {
                 name: "ghost".into()
             }
         );
+    }
+
+    #[test]
+    fn rejects_store_from_wide_register() {
+        let mut kb = KernelBuilder::new("bad");
+        kb.reg_alloc_i32("acc", 4, 0);
+        kb.ram_store("acc", 0, 0, 4);
+        let err = validate(&kb.finish()).unwrap_err();
+        assert_eq!(err, ValidateError::WideStore { name: "acc".into() });
     }
 
     #[test]

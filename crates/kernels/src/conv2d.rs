@@ -117,16 +117,13 @@ pub fn run_conv2d(
                         let mut c0 = 0;
                         while c0 < p.c {
                             let cw = seg.min(p.c - c0);
-                            let in_addr =
-                                ((y as usize * p.w + x as usize) * p.c + c0) as i64;
+                            let in_addr = ((y as usize * p.w + x as usize) * p.c + c0) as i64;
                             pool.load(m, b_in + in_addr, &mut a_reg[..cw])?;
                             for cc in 0..cw {
-                                let row =
-                                    w_base + ((ri * p.s + si) * p.c + c0 + cc) * p.k + k0;
+                                let row = w_base + ((ri * p.s + si) * p.c + c0 + cc) * p.k + k0;
                                 m.flash_load(row, &mut w_tile[cc * kw..cc * kw + kw])?;
                             }
-                            let a_i8: Vec<i8> =
-                                a_reg[..cw].iter().map(|&b| b as i8).collect();
+                            let a_i8: Vec<i8> = a_reg[..cw].iter().map(|&b| b as i8).collect();
                             let w_i8: Vec<i8> =
                                 w_tile[..cw * kw].iter().map(|&b| b as i8).collect();
                             dot_tile(m, &a_i8, &w_i8, kw, &mut acc[..kw], true);
@@ -176,10 +173,7 @@ mod tests {
         pool.host_fill_live(&mut m, 0, &input.as_bytes()).unwrap();
         run_conv2d(&mut m, &mut pool, p, 0, -d, w_base, None)?;
         let out = pool.host_read(&m, -d, p.out_bytes())?;
-        Ok((
-            Tensor::from_bytes(&[p.out_h(), p.out_w(), p.k], &out),
-            m,
-        ))
+        Ok((Tensor::from_bytes(&[p.out_h(), p.out_w(), p.k], &out), m))
     }
 
     fn expected(p: &Conv2dParams) -> Tensor<i8> {

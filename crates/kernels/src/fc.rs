@@ -145,7 +145,8 @@ mod tests {
         let mut pool = SegmentPool::new(&m, 0, window, p.seg).unwrap();
         let b_in: i64 = 0;
         let b_out = b_in - d;
-        pool.host_fill_live(&mut m, b_in, &input.as_bytes()).unwrap();
+        pool.host_fill_live(&mut m, b_in, &input.as_bytes())
+            .unwrap();
         run_fc(&mut m, &mut pool, p, b_in, b_out, w_base, None)?;
         let out = pool.host_read(&m, b_out, p.out_bytes())?;
         Ok((Tensor::from_bytes(&[p.m, p.n], &out), m))
@@ -227,10 +228,7 @@ mod tests {
         assert_eq!(m.counters.macs, p.macs());
         assert!(m.counters.modulo_ops > 0, "boundary checks must be charged");
         // Weights are re-read from Flash once per input row.
-        assert_eq!(
-            m.counters.flash_read_bytes,
-            (p.m * p.weight_bytes()) as u64
-        );
+        assert_eq!(m.counters.flash_read_bytes, (p.m * p.weight_bytes()) as u64);
     }
 
     #[test]

@@ -223,6 +223,9 @@ fn expand_pixel(
 /// # Errors
 ///
 /// Propagates pool violations (offset too tight) and memory errors.
+// Bases and offsets stay unbundled to mirror the on-device kernel ABI
+// (§6.1), where each lands in its own register-passed argument.
+#[allow(clippy::too_many_arguments)]
 pub fn run_fused_ib(
     m: &mut Machine,
     pool: &mut SegmentPool,
@@ -311,10 +314,7 @@ pub fn run_fused_ib(
                                 IbScheme::SlidingWindow => x1 as usize % p.rs,
                                 _ => s,
                             };
-                            m.ram_store(
-                                ws_base + (r * p.rs + slot) * p.c_mid,
-                                &b_pixel,
-                            )?;
+                            m.ram_store(ws_base + (r * p.rs + slot) * p.c_mid, &b_pixel)?;
                         }
                     }
                 }
@@ -333,8 +333,7 @@ pub fn run_fused_ib(
                         let ws_addr = match scheme {
                             IbScheme::RowBuffer => {
                                 ws_base
-                                    + ((b as usize % p.rs.min(h1)) * w1_w + x1 as usize)
-                                        * p.c_mid
+                                    + ((b as usize % p.rs.min(h1)) * w1_w + x1 as usize) * p.c_mid
                             }
                             IbScheme::PixelWindow => ws_base + (r * p.rs + s) * p.c_mid,
                             IbScheme::SlidingWindow => {
@@ -344,8 +343,7 @@ pub fn run_fused_ib(
                         m.ram_load(ws_addr, &mut b_pixel)?;
                         m.flash_load(flash.wdw + (r * p.rs + s) * p.c_mid, &mut wdw_reg)?;
                         for c in 0..p.c_mid {
-                            acc_mid[c] +=
-                                i32::from(b_pixel[c] as i8) * i32::from(wdw_reg[c] as i8);
+                            acc_mid[c] += i32::from(b_pixel[c] as i8) * i32::from(wdw_reg[c] as i8);
                         }
                         m.charge_macs(p.c_mid as u64, true);
                     }
@@ -456,7 +454,11 @@ mod tests {
         let mut p = IbParams::new(9, 3, 8, 6, 3, (2, 1, 1));
         p.rq1 = Requant::from_scale(1.0 / 16.0, 0);
         assert!(!p.has_residual());
-        for scheme in [IbScheme::RowBuffer, IbScheme::PixelWindow, IbScheme::SlidingWindow] {
+        for scheme in [
+            IbScheme::RowBuffer,
+            IbScheme::PixelWindow,
+            IbScheme::SlidingWindow,
+        ] {
             assert_eq!(run_case(&p, scheme, 0).unwrap(), expected(&p), "{scheme:?}");
         }
     }
@@ -466,7 +468,11 @@ mod tests {
         // B2-style: dw stride 2 with a large 5x5 window.
         let mut p = IbParams::new(10, 4, 8, 6, 5, (1, 2, 1));
         p.rq2 = Requant::from_scale(1.0 / 64.0, 1);
-        for scheme in [IbScheme::RowBuffer, IbScheme::PixelWindow, IbScheme::SlidingWindow] {
+        for scheme in [
+            IbScheme::RowBuffer,
+            IbScheme::PixelWindow,
+            IbScheme::SlidingWindow,
+        ] {
             assert_eq!(run_case(&p, scheme, 0).unwrap(), expected(&p), "{scheme:?}");
         }
     }
@@ -476,7 +482,11 @@ mod tests {
         // S3-style: stride 1 everywhere but C_in != C_out -> no residual.
         let p = IbParams::new(6, 6, 18, 4, 3, (1, 1, 1));
         assert!(!p.has_residual());
-        for scheme in [IbScheme::RowBuffer, IbScheme::PixelWindow, IbScheme::SlidingWindow] {
+        for scheme in [
+            IbScheme::RowBuffer,
+            IbScheme::PixelWindow,
+            IbScheme::SlidingWindow,
+        ] {
             assert_eq!(run_case(&p, scheme, 0).unwrap(), expected(&p), "{scheme:?}");
         }
     }
@@ -484,7 +494,11 @@ mod tests {
     #[test]
     fn exec_distance_is_tight_for_both_schemes() {
         let p = small_residual();
-        for scheme in [IbScheme::RowBuffer, IbScheme::PixelWindow, IbScheme::SlidingWindow] {
+        for scheme in [
+            IbScheme::RowBuffer,
+            IbScheme::PixelWindow,
+            IbScheme::SlidingWindow,
+        ] {
             assert!(run_case(&p, scheme, 0).is_ok(), "{scheme:?}");
             assert!(
                 matches!(
@@ -501,7 +515,11 @@ mod tests {
         // Table 2 S1: fused pool window + workspace must be far below the
         // A+B peak that tensor-level managers pay.
         let p = IbParams::new(20, 16, 48, 16, 3, (1, 1, 1));
-        for scheme in [IbScheme::RowBuffer, IbScheme::PixelWindow, IbScheme::SlidingWindow] {
+        for scheme in [
+            IbScheme::RowBuffer,
+            IbScheme::PixelWindow,
+            IbScheme::SlidingWindow,
+        ] {
             let total = ib_exec_footprint(&p, scheme) + ib_workspace_bytes(&p, scheme);
             assert!(
                 total < p.in_bytes() + p.mid_bytes(),
@@ -518,7 +536,7 @@ mod tests {
             ib_workspace_bytes(&p, IbScheme::PixelWindow)
                 < ib_workspace_bytes(&p, IbScheme::RowBuffer)
         );
-        let mut mac = |scheme| {
+        let mac = |scheme| {
             let mut m = Machine::new(Device::stm32_f767zi());
             let input = random::tensor_i8(&[p.hw, p.hw, p.c_in], 70);
             let (w1, wdw, w2) = weights(&p);

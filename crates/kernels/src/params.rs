@@ -331,7 +331,14 @@ pub struct IbParams {
 impl IbParams {
     /// Creates a module with shared default quantization (suitable for the
     /// shape-driven experiments; tests override per-stage scales).
-    pub fn new(hw: usize, c_in: usize, c_mid: usize, c_out: usize, rs: usize, strides: (usize, usize, usize)) -> Self {
+    pub fn new(
+        hw: usize,
+        c_in: usize,
+        c_mid: usize,
+        c_out: usize,
+        rs: usize,
+        strides: (usize, usize, usize),
+    ) -> Self {
         let rq = Requant::from_scale(1.0 / 64.0, 0);
         Self {
             hw,

@@ -60,8 +60,8 @@ pub fn run_pointwise_te(
     let (h_out, w_out) = ((p.h - 1) / stride + 1, (p.w - 1) / stride + 1);
     let mut a_reg = vec![0u8; p.c];
     let mut w_full = vec![0u8; p.c * p.k];
-    let mut acc = vec![0i32; TE_COL_TILE];
-    let mut out_reg = vec![0u8; TE_COL_TILE];
+    let mut acc = [0i32; TE_COL_TILE];
+    let mut out_reg = [0u8; TE_COL_TILE];
     for pi in 0..h_out {
         // im2col: stage the (subsampled) input row even though a pointwise
         // conv does not need it — TinyEngine does not bypass this step.
@@ -94,10 +94,7 @@ pub fn run_pointwise_te(
                 // Fixed-depth unrolling: the stall penalty applies.
                 dot_tile(m, &a_i8, &w_i8[k0..], p.k, &mut acc[..kw], false);
                 requant_row(m, &acc[..kw], p.rq, p.clamp, &mut out_reg[..kw]);
-                m.ram_store(
-                    layout.output + (pi * w_out + qi) * p.k + k0,
-                    &out_reg[..kw],
-                )?;
+                m.ram_store(layout.output + (pi * w_out + qi) * p.k + k0, &out_reg[..kw])?;
                 m.charge_branches(1);
                 k0 += kw;
             }

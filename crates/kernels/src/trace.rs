@@ -58,9 +58,9 @@ pub fn exec_distance(in_size: usize, events: impl IntoIterator<Item = ExecEvent>
                 assert!(addr >= 0, "free below input base");
                 let start = addr as usize;
                 assert!(start + len <= in_size, "free past input end");
-                for b in start..start + len {
-                    assert!(!freed[b], "double free at input byte {b}");
-                    freed[b] = true;
+                for (b, f) in freed.iter_mut().enumerate().skip(start).take(len) {
+                    assert!(!*f, "double free at input byte {b}");
+                    *f = true;
                 }
                 while frontier < in_size && freed[frontier] {
                     frontier += 1;
@@ -99,12 +99,7 @@ mod tests {
     #[test]
     fn eager_frees_allow_in_place() {
         // Free input byte x, then store output byte x: D = x - (x+1) + 1 = 0.
-        let events = (0..8).flat_map(|x| {
-            [
-                Free { addr: x, len: 1 },
-                Store { addr: x, len: 1 },
-            ]
-        });
+        let events = (0..8).flat_map(|x| [Free { addr: x, len: 1 }, Store { addr: x, len: 1 }]);
         assert_eq!(exec_distance(8, events), 0);
     }
 
@@ -141,10 +136,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "double free")]
     fn double_free_is_a_kernel_bug() {
-        let _ = exec_distance(
-            4,
-            [Free { addr: 0, len: 2 }, Free { addr: 1, len: 2 }],
-        );
+        let _ = exec_distance(4, [Free { addr: 0, len: 2 }, Free { addr: 1, len: 2 }]);
     }
 
     #[test]

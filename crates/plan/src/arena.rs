@@ -70,8 +70,7 @@ pub fn plan_arena(graph: &Graph) -> ArenaPlan {
                 let a = &slots[i];
                 let b = &slots[j];
                 let lifetimes_overlap = a.born <= b.dies && b.born <= a.dies;
-                let ranges_overlap =
-                    offset < b.offset + b.size && b.offset < offset + a.size;
+                let ranges_overlap = offset < b.offset + b.size && b.offset < offset + a.size;
                 lifetimes_overlap && ranges_overlap
             });
             match conflict {

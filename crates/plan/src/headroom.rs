@@ -105,7 +105,11 @@ mod tests {
                 "{}: channel scale {r:.2} should exceed 1.1",
                 m.name
             );
-            assert!(r < 5.0, "{}: channel scale {r:.2} implausibly large", m.name);
+            assert!(
+                r < 5.0,
+                "{}: channel scale {r:.2} implausibly large",
+                m.name
+            );
         }
     }
 

@@ -28,12 +28,7 @@ impl MemoryPlanner for HmcosPlanner {
             LayerDesc::Depthwise(p) => (p.in_bytes() + p.out_bytes(), 0),
             LayerDesc::Dense(p) => (p.in_bytes() + p.out_bytes(), 0),
             LayerDesc::Ib(p) => {
-                let (a, b, c, d) = (
-                    p.in_bytes(),
-                    p.mid_bytes(),
-                    p.dw_out_bytes(),
-                    p.out_bytes(),
-                );
+                let (a, b, c, d) = (p.in_bytes(), p.mid_bytes(), p.dw_out_bytes(), p.out_bytes());
                 let residual_pin = if p.has_residual() { a } else { 0 };
                 // HMCOS schedules the same library kernels the baseline
                 // executes, so the pointwise stages carry the same im2col

@@ -84,8 +84,7 @@ mod tests {
     fn imagenet_bottleneck_is_b2_at_247_8_kb() {
         // §7.3: "the bottleneck of TinyEngine is 247.8KB (B2)".
         let device = Device::stm32_f767zi();
-        let plan =
-            TinyEnginePlanner.plan(&named_ib_layers(&zoo::mcunet_320kb_imagenet()), &device);
+        let plan = TinyEnginePlanner.plan(&named_ib_layers(&zoo::mcunet_320kb_imagenet()), &device);
         let b = plan.bottleneck();
         assert_eq!(plan.layers[b].name, "B2");
         let planned_kb = plan.layers[b].planned_bytes() as f64 / 1000.0;

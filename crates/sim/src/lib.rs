@@ -31,15 +31,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod counters;
 pub mod cost;
+pub mod counters;
 pub mod device;
 pub mod energy;
 pub mod machine;
 pub mod memory;
 
-pub use counters::Counters;
 pub use cost::CostModel;
+pub use counters::Counters;
 pub use device::{Core, Device, PlatformSummary, TABLE1_PLATFORMS};
 pub use energy::EnergyModel;
 pub use machine::{ExecSummary, Machine};

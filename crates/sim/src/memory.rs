@@ -34,12 +34,20 @@ pub enum MemError {
 impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MemError::RamOutOfRange { addr, len, capacity } => write!(
+            MemError::RamOutOfRange {
+                addr,
+                len,
+                capacity,
+            } => write!(
                 f,
                 "RAM access [{addr}, {}) exceeds capacity {capacity}",
                 addr + len
             ),
-            MemError::FlashOutOfRange { addr, len, capacity } => write!(
+            MemError::FlashOutOfRange {
+                addr,
+                len,
+                capacity,
+            } => write!(
                 f,
                 "flash access [{addr}, {}) exceeds capacity {capacity}",
                 addr + len
@@ -70,7 +78,10 @@ impl Ram {
     }
 
     fn check(&self, addr: usize, len: usize) -> Result<(), MemError> {
-        if addr.checked_add(len).is_some_and(|end| end <= self.data.len()) {
+        if addr
+            .checked_add(len)
+            .is_some_and(|end| end <= self.data.len())
+        {
             Ok(())
         } else {
             Err(MemError::RamOutOfRange {
@@ -168,7 +179,10 @@ impl Flash {
     /// Returns [`MemError::FlashOutOfRange`] when the range exceeds
     /// capacity.
     pub fn read(&self, addr: usize, len: usize) -> Result<&[u8], MemError> {
-        if addr.checked_add(len).is_some_and(|end| end <= self.data.len()) {
+        if addr
+            .checked_add(len)
+            .is_some_and(|end| end <= self.data.len())
+        {
             Ok(&self.data[addr..addr + len])
         } else {
             Err(MemError::FlashOutOfRange {
@@ -197,7 +211,11 @@ mod tests {
         let mut ram = Ram::new(16);
         assert!(matches!(
             ram.write(15, &[0, 0]),
-            Err(MemError::RamOutOfRange { addr: 15, len: 2, capacity: 16 })
+            Err(MemError::RamOutOfRange {
+                addr: 15,
+                len: 2,
+                capacity: 16
+            })
         ));
         assert!(ram.read(16, 1).is_err());
         assert!(ram.read(usize::MAX, 2).is_err()); // overflow-safe
@@ -208,7 +226,10 @@ mod tests {
     fn ram_fill() {
         let mut ram = Ram::new(8);
         ram.fill(2, 4, 0xAB).unwrap();
-        assert_eq!(ram.read(0, 8).unwrap(), &[0, 0, 0xAB, 0xAB, 0xAB, 0xAB, 0, 0]);
+        assert_eq!(
+            ram.read(0, 8).unwrap(),
+            &[0, 0, 0xAB, 0xAB, 0xAB, 0xAB, 0, 0]
+        );
         assert!(ram.fill(6, 4, 0).is_err());
     }
 

@@ -57,13 +57,13 @@ fn pair_max(extents: &[i64], write: &LinearAccess, read: &LinearAccess) -> i64 {
             continue; // j_t < i_t infeasible on a unit extent
         }
         let mut v = base;
-        for c in 0..t {
-            v += axis_max(write.coef[c] - read.coef[c], extents[c] - 1);
+        for (c, &ext) in extents.iter().enumerate().take(t) {
+            v += axis_max(write.coef[c] - read.coef[c], ext - 1);
         }
         v += triangle_max(write.coef[t], read.coef[t], extents[t] - 1);
-        for c in (t + 1)..d {
-            v += axis_max(write.coef[c], extents[c] - 1);
-            v += axis_max(-read.coef[c], extents[c] - 1);
+        for (c, &ext) in extents.iter().enumerate().skip(t + 1) {
+            v += axis_max(write.coef[c], ext - 1);
+            v += axis_max(-read.coef[c], ext - 1);
         }
         best = best.max(v);
     }

@@ -198,9 +198,8 @@ mod tests {
         assert_eq!(min_distance_events(events), None);
         let fused = FusedProblem {
             domain: IterDomain::new(vec![2]),
-            stages: vec![FusedStage::new("read-only").read(ReadAccess::unbounded(
-                LinearAccess::new(vec![1], 0),
-            ))],
+            stages: vec![FusedStage::new("read-only")
+                .read(ReadAccess::unbounded(LinearAccess::new(vec![1], 0)))],
             in_size: 2,
             out_size: 1,
         };

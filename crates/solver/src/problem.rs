@@ -107,7 +107,11 @@ impl FootprintProblem {
             );
         }
         for w in &writes {
-            assert_eq!(w.dims(), domain.dims(), "write access dims must match domain");
+            assert_eq!(
+                w.dims(),
+                domain.dims(),
+                "write access dims must match domain"
+            );
         }
         Self {
             domain,

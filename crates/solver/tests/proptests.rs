@@ -14,10 +14,7 @@ fn domain() -> impl Strategy<Value = Vec<i64>> {
 
 /// Strategy: a random linear access over `dims` dimensions.
 fn access(dims: usize) -> impl Strategy<Value = LinearAccess> {
-    (
-        prop::collection::vec(-4i64..=4, dims),
-        -10i64..=10,
-    )
+    (prop::collection::vec(-4i64..=4, dims), -10i64..=10)
         .prop_map(|(coef, off)| LinearAccess::new(coef, off))
 }
 

@@ -66,8 +66,16 @@ pub fn conv2d(
     );
     assert_eq!(c, wc, "conv2d channel mismatch");
     assert!(stride >= 1, "stride must be >= 1");
-    let p = (h + 2 * pad).checked_sub(r).expect("window larger than padded input") / stride + 1;
-    let q = (w + 2 * pad).checked_sub(s).expect("window larger than padded input") / stride + 1;
+    let p = (h + 2 * pad)
+        .checked_sub(r)
+        .expect("window larger than padded input")
+        / stride
+        + 1;
+    let q = (w + 2 * pad)
+        .checked_sub(s)
+        .expect("window larger than padded input")
+        / stride
+        + 1;
     if let Some(b) = bias {
         assert_eq!(b.len(), k, "conv2d bias length mismatch");
     }
@@ -152,8 +160,16 @@ pub fn depthwise(
     let (h, w, c) = (input.shape()[0], input.shape()[1], input.shape()[2]);
     let (r, s, wc) = (weight.shape()[0], weight.shape()[1], weight.shape()[2]);
     assert_eq!(c, wc, "depthwise channel mismatch");
-    let p = (h + 2 * pad).checked_sub(r).expect("window larger than padded input") / stride + 1;
-    let q = (w + 2 * pad).checked_sub(s).expect("window larger than padded input") / stride + 1;
+    let p = (h + 2 * pad)
+        .checked_sub(r)
+        .expect("window larger than padded input")
+        / stride
+        + 1;
+    let q = (w + 2 * pad)
+        .checked_sub(s)
+        .expect("window larger than padded input")
+        / stride
+        + 1;
     if let Some(b) = bias {
         assert_eq!(b.len(), c, "depthwise bias length mismatch");
     }

@@ -34,7 +34,8 @@ fn main() {
     let w_base = machine.host_program_flash(&weight.as_bytes()).unwrap() as i64;
     let d = spec.exec_distance();
     let mut pool = SegmentPool::new(&machine, 0, spec.window_bytes(), spec.seg).unwrap();
-    pool.host_fill_live(&mut machine, 0, &input.as_bytes()).unwrap();
+    pool.host_fill_live(&mut machine, 0, &input.as_bytes())
+        .unwrap();
     interpret(
         &kernel,
         &[("in_base", 0), ("out_base", -d), ("w_base", w_base)],
@@ -53,6 +54,9 @@ fn main() {
 
     // Emit the deployable C library.
     let library = emit_library(&[kernel]);
-    println!("\n===== generated C library ({} lines) =====\n", library.lines().count());
+    println!(
+        "\n===== generated C library ({} lines) =====\n",
+        library.lines().count()
+    );
     println!("{library}");
 }

@@ -18,7 +18,10 @@ fn main() -> Result<(), EngineError> {
     let te = TinyEnginePlanner.plan(&layers, &device);
     let hm = HmcosPlanner.plan(&layers, &device);
     let vm = VmcuPlanner::default().plan(&layers, &device);
-    println!("{:8} {:>12} {:>12} {:>12}", "module", "TinyEngine", "HMCOS", "vMCU");
+    println!(
+        "{:8} {:>12} {:>12} {:>12}",
+        "module", "TinyEngine", "HMCOS", "vMCU"
+    );
     for ((t, h), v) in te.layers.iter().zip(&hm.layers).zip(&vm.layers) {
         println!(
             "{:8} {:>10.1}KB {:>10.1}KB {:>10.1}KB",

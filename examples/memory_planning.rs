@@ -18,10 +18,19 @@ fn main() {
     let exact = enumerate::solve(&problem);
     let fast = analytic::solve(&problem);
     let closed = closed_form::gemm_min_footprint(m, n, k);
-    println!("exact scan        : D* = {}, footprint = {}", exact.min_distance, exact.footprint);
-    println!("lex decomposition : D* = {}, footprint = {}", fast.min_distance, fast.footprint);
+    println!(
+        "exact scan        : D* = {}, footprint = {}",
+        exact.min_distance, exact.footprint
+    );
+    println!(
+        "lex decomposition : D* = {}, footprint = {}",
+        fast.min_distance, fast.footprint
+    );
     println!("paper closed form : footprint = {closed} = max(MN, MK) + min(N, K) - 1");
-    println!("disjoint baseline : footprint = {}\n", problem.in_size + problem.out_size);
+    println!(
+        "disjoint baseline : footprint = {}\n",
+        problem.in_size + problem.out_size
+    );
 
     // Timeline: pool of `footprint` slots; input segments i0..i5 start
     // live; each step stores one output segment into the slot the affine
@@ -56,8 +65,11 @@ fn main() {
         }
         println!("  free  : {}   (input row {mi} retired)", slots.join(" "));
     }
-    println!("\nThe output lives where the input used to — {} segments instead of {}.",
-        exact.footprint, problem.in_size + problem.out_size);
+    println!(
+        "\nThe output lives where the input used to — {} segments instead of {}.",
+        exact.footprint,
+        problem.in_size + problem.out_size
+    );
 
     // The same machinery on a padded convolution, where the exact solver
     // skips padding reads the analytic solver must over-approximate.

@@ -31,7 +31,9 @@ fn main() -> Result<(), EngineError> {
         .planner(PlannerKind::TinyEngine)
         .run_layer(&case.name, &layer, &weights, &input)
     {
-        Err(EngineError::DoesNotFit { needed, available, .. }) => println!(
+        Err(EngineError::DoesNotFit {
+            needed, available, ..
+        }) => println!(
             "TinyEngine: OUT OF MEMORY — needs {} KB, device has {} KB",
             needed / 1024,
             available / 1024

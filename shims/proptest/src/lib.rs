@@ -1,0 +1,472 @@
+//! Minimal offline stand-in for the crates.io `proptest` crate.
+//!
+//! This workspace builds in environments with no network access, so the
+//! property-testing surface the reproduction uses is provided here:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! * integer range strategies (`0u8..2`, `1i64..=6`, …),
+//! * tuple strategies, [`Just`], and [`prop::collection::vec`],
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`,
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`].
+//!
+//! Differences from real proptest: generation is plain seeded-PRNG
+//! sampling (no size ramping) and **there is no shrinking** — a failure
+//! reports the generated arguments verbatim instead of a minimal
+//! counterexample. Seeds derive deterministically from the test name, so
+//! failures reproduce exactly across runs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` accepted cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by [`prop_assume!`]; it does not count.
+    Reject,
+    /// A property assertion failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    #[must_use]
+    pub fn fail(msg: String) -> Self {
+        Self::Fail(msg)
+    }
+}
+
+/// Deterministic SplitMix64 generator driving strategy sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name (FNV-1a), so every property
+    /// gets a distinct but reproducible stream.
+    #[must_use]
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { state: h }
+    }
+
+    /// Returns the next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn span(&mut self, lo: i128, hi_inclusive: i128) -> i128 {
+        assert!(lo <= hi_inclusive, "cannot sample from an empty range");
+        let span = (hi_inclusive - lo) as u128 + 1;
+        lo + (u128::from(self.next_u64()) % span) as i128
+    }
+}
+
+/// A generator of test-case values (stand-in for `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into `f` to build a dependent strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                rng.span(self.start as i128, self.end as i128 - 1) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.span(*self.start() as i128, *self.end() as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// A size bound for collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        Self {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+/// Namespace mirror of the crate root, as re-exported by the prelude
+/// (`prop::collection::vec(..)`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+
+        /// A strategy producing `Vec`s of `element` with a length drawn
+        /// from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// See [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = rng.span(self.size.lo as i128, self.size.hi_inclusive as i128) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, reporting the
+/// generated arguments on failure instead of panicking immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects the current generated case without failing the property.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    let ctx = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                            rejected += 1;
+                            assert!(
+                                rejected <= config.cases.saturating_mul(20) + 1000,
+                                "prop_assume! rejected too many cases ({rejected})"
+                            );
+                        }
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property `{}` failed after {} passing case(s): {}\n  inputs: {}",
+                                stringify!($name),
+                                accepted,
+                                msg,
+                                ctx
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = i64> {
+        (0i64..50).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds(v in 1i64..=6, w in 8usize..64) {
+            prop_assert!((1..=6).contains(&v));
+            prop_assert!((8..64).contains(&w));
+        }
+
+        /// prop_map applies; assume rejects without failing.
+        #[test]
+        fn map_and_assume(e in evens(), raw in 0u8..10) {
+            prop_assert_eq!(e % 2, 0);
+            prop_assume!(raw < 9);
+            prop_assert_ne!(raw, 9);
+        }
+
+        /// Collections honour their size range; flat_map sees the
+        /// dependent value.
+        #[test]
+        fn vec_and_flat_map(
+            v in prop::collection::vec(0i64..4, 1..=5),
+            pair in (1usize..4).prop_flat_map(|n| (Just(n), prop::collection::vec(0u8..2, n..n + 1))),
+        ) {
+            prop_assert!((1..=5).contains(&v.len()));
+            let (n, items) = pair;
+            prop_assert_eq!(items.len(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn failure_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(v in 0i64..2) {
+                prop_assert!(v > 100, "v was {v}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,195 @@
+//! Minimal offline stand-in for the crates.io `rand` crate.
+//!
+//! This workspace builds in environments with no network access, so the
+//! handful of `rand` APIs the reproduction uses are provided here, backed
+//! by a SplitMix64 generator. The surface is intentionally tiny:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over integer ranges, and [`Rng::gen_bool`].
+//!
+//! Determinism is the only contract the reproduction relies on (seeded
+//! synthetic tensors, the random-net generator in `vmcu-graph::zoo`);
+//! statistical quality beyond SplitMix64 is not required. Swapping the
+//! real `rand` back in only changes which pseudo-random values are drawn,
+//! never correctness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generator constructors (stand-in for `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random value generation (stand-in for `rand::Rng`).
+pub trait Rng {
+    /// Returns the next raw 64-bit output of the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // 53 bits of mantissa gives a uniform draw in [0, 1).
+        let draw = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        draw < p
+    }
+}
+
+/// A range that values of type `T` can be sampled from.
+///
+/// Implemented as blanket impls over [`UniformInt`] (rather than one impl
+/// per integer type) so that integer-literal inference unifies through
+/// the range exactly as it does with the real `rand` crate.
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Integer types uniformly sampleable through an `i128` widening.
+pub trait UniformInt: Copy {
+    /// Narrows from the sampling domain.
+    fn from_i128(v: i128) -> Self;
+    /// Widens into the sampling domain.
+    fn to_i128(self) -> i128;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+fn sample_span(rng: &mut (impl Rng + ?Sized), lo: i128, hi_inclusive: i128) -> i128 {
+    assert!(lo <= hi_inclusive, "cannot sample from an empty range");
+    let span = (hi_inclusive - lo) as u128 + 1;
+    // Modulo bias is negligible for the tiny spans this workspace samples.
+    lo + (u128::from(rng.next_u64()) % span) as i128
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::from_i128(sample_span(
+            rng,
+            self.start.to_i128(),
+            self.end.to_i128() - 1,
+        ))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::from_i128(sample_span(
+            rng,
+            self.start().to_i128(),
+            self.end().to_i128(),
+        ))
+    }
+}
+
+/// Concrete generators (stand-in for `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-64i8..=63);
+            assert!((-64..=63).contains(&v));
+            let u = rng.gen_range(0usize..3);
+            assert!(u < 3);
+            let w = rng.gen_range(-512i32..=512);
+            assert!((-512..=512).contains(&w));
+        }
+    }
+
+    #[test]
+    fn all_values_of_small_ranges_appear() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[rng.gen_range(0usize..3)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2000..4000).contains(&hits), "got {hits}");
+    }
+}

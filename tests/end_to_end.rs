@@ -77,20 +77,16 @@ fn reports_expose_consistent_totals() {
 #[test]
 fn oversized_layer_is_rejected_not_corrupted() {
     // A layer that cannot fit 128 KB under any policy.
-    let layer = LayerDesc::Pointwise(PointwiseParams::new(
-        128,
-        128,
-        16,
-        16,
-        Requant::identity(),
-    ));
+    let layer = LayerDesc::Pointwise(PointwiseParams::new(128, 128, 16, 16, Requant::identity()));
     let weights = LayerWeights::random(&layer, 1);
     let input = random::tensor_i8(&layer.in_shape(), 2);
     let err = Engine::new(Device::stm32_f411re())
         .run_layer("too-big", &layer, &weights, &input)
         .unwrap_err();
     match err {
-        EngineError::DoesNotFit { needed, available, .. } => {
+        EngineError::DoesNotFit {
+            needed, available, ..
+        } => {
             assert!(needed > available);
         }
         other => panic!("expected DoesNotFit, got {other}"),
@@ -136,7 +132,11 @@ fn chained_graph_runs_in_one_window_and_matches_reference() {
 
     // The single window must be far below the sum of all activations and
     // below the per-layer (re-staged) peak as well.
-    let sum: usize = g.layers().iter().map(|l| l.in_bytes() + l.out_bytes()).sum();
+    let sum: usize = g
+        .layers()
+        .iter()
+        .map(|l| l.in_bytes() + l.out_bytes())
+        .sum();
     assert!(plan.window < sum);
     let per_layer = engine.run_graph(&g, &weights, &input).unwrap();
     assert!(plan.total_bytes() <= per_layer.peak_ram_bytes());

@@ -41,7 +41,10 @@ fn figure9_bottlenecks() {
     let layers = named_ib_layers(&zoo::mcunet_5fps_vww());
     let te = TinyEnginePlanner.plan(&layers, &device).bottleneck_bytes() as f64 / 1000.0;
     let hm = HmcosPlanner.plan(&layers, &device).bottleneck_bytes() as f64 / 1000.0;
-    let vm = VmcuPlanner::default().plan(&layers, &device).bottleneck_bytes() as f64 / 1000.0;
+    let vm = VmcuPlanner::default()
+        .plan(&layers, &device)
+        .bottleneck_bytes() as f64
+        / 1000.0;
     assert!((32.4..=39.6).contains(&te), "TinyEngine {te:.1} KB");
     assert!((43.9..=53.7).contains(&hm), "HMCOS {hm:.1} KB");
     assert!((11.8..=16.0).contains(&vm), "vMCU {vm:.1} KB");
@@ -78,8 +81,16 @@ fn figure11_12_headroom_positive() {
     let planner = VmcuPlanner::default();
     for m in zoo::mcunet_5fps_vww() {
         let budget = tinyengine_budget(&m.params);
-        assert!(max_image_scale(&m.params, &planner, budget) > 1.05, "{}", m.name);
-        assert!(max_channel_scale(&m.params, &planner, budget) > 1.05, "{}", m.name);
+        assert!(
+            max_image_scale(&m.params, &planner, budget) > 1.05,
+            "{}",
+            m.name
+        );
+        assert!(
+            max_channel_scale(&m.params, &planner, budget) > 1.05,
+            "{}",
+            m.name
+        );
     }
 }
 
@@ -93,7 +104,11 @@ fn single_layer_reduction_bounded_by_half() {
     let vm = VmcuPlanner::default().plan(&layers, &device);
     for (t, v) in te.layers.iter().zip(&vm.layers) {
         let r = 1.0 - v.planned_bytes() as f64 / t.planned_bytes() as f64;
-        assert!(r < 0.52, "{}: single-layer reduction {r:.3} breaks the bound", t.name);
+        assert!(
+            r < 0.52,
+            "{}: single-layer reduction {r:.3} breaks the bound",
+            t.name
+        );
     }
     // Fused modules go beyond 50% (Figure 9's 61.5%): checked in
     // figure9_bottlenecks above via the bottleneck cut.

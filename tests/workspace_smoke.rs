@@ -1,0 +1,58 @@
+//! Workspace smoke test: the one-layer headline result of the paper.
+//!
+//! Figure 7's first case (`H/W80,C16,K16` on the 128 KB STM32-F411RE) is
+//! the paper in miniature: the disjoint TinyEngine-policy plan needs more
+//! RAM than the device has, while the vMCU segment-pool plan fits and the
+//! kernel actually executes under it. If this test passes, the whole
+//! build graph — tensor, sim, pool, solver, kernels, graph, plan, engine
+//! facade — is wired and functional.
+
+use vmcu::prelude::*;
+use vmcu::vmcu_graph::zoo;
+use vmcu::vmcu_plan::planner::named_pointwise_layers;
+use vmcu::vmcu_tensor::random;
+
+const DEVICE_RAM: usize = 128 * 1024;
+
+#[test]
+fn fig7_case_one_runs_under_vmcu_and_ooms_under_the_disjoint_baseline() {
+    let case = zoo::fig7_cases()[0].clone();
+    assert_eq!(case.name, "H/W80,C16,K16", "zoo case order changed");
+
+    // The vMCU engine executes the layer end-to-end on the simulated
+    // STM32-F411RE and the measured footprint fits the device.
+    let layer = LayerDesc::Pointwise(case.params);
+    let weights = LayerWeights::random(&layer, 1);
+    let input = random::tensor_i8(&layer.in_shape(), 2);
+    let engine = Engine::new(Device::stm32_f411re());
+    let (output, report) = engine
+        .run_layer(&case.name, &layer, &weights, &input)
+        .expect("vMCU must deploy Figure 7 case 1");
+    assert_eq!(output.shape(), &[80, 80, 16]);
+    assert!(report.plan.fits, "vMCU plan must fit the 128 KB device");
+    assert!(
+        report.plan.measured_bytes <= DEVICE_RAM,
+        "vMCU measured {} bytes exceeds 128 KB",
+        report.plan.measured_bytes
+    );
+
+    // The disjoint (tensor-level, TinyEngine-policy) plan for the same
+    // layer does not fit — the paper's out-of-memory case in Figure 7.
+    let device = Device::stm32_f411re();
+    let layers = named_pointwise_layers(&zoo::fig7_cases());
+    let te = TinyEnginePlanner.plan(&layers, &device);
+    assert!(
+        !te.layers[0].fits,
+        "disjoint baseline unexpectedly fits: {} bytes",
+        te.layers[0].measured_bytes
+    );
+    assert!(
+        te.layers[0].measured_bytes > DEVICE_RAM,
+        "disjoint baseline should exceed 128 KB, measured {}",
+        te.layers[0].measured_bytes
+    );
+    assert!(
+        report.plan.measured_bytes < te.layers[0].measured_bytes,
+        "vMCU must use strictly less RAM than the disjoint plan"
+    );
+}
