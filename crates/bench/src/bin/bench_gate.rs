@@ -1,0 +1,153 @@
+//! CI bench-regression gate.
+//!
+//! Compares a freshly emitted `BENCH_fleet.json` (from `fleet_throughput`)
+//! against the committed baseline and fails when requests/sec or the
+//! admission rate drops more than the allowed fraction for any planner
+//! present in both files. One direction-correctness carve-out: a
+//! requests/sec drop that comes with *more admitted requests* is waived —
+//! serving previously-rejected heavy models lengthens the makespan, and
+//! punishing that would gate out genuine capacity improvements (rejecting
+//! heavy work always looks "faster" per completed request).
+//!
+//! Fleet numbers are simulated device time, so on an unchanged tree
+//! current == baseline exactly; the 20% margin only buys room for
+//! intentional small trade-offs, not for machine noise.
+//!
+//! Usage:
+//! `bench_gate [--current BENCH_fleet.json] [--baseline ci/bench_baseline.json] [--max-drop 0.20]`
+
+use vmcu_bench::json::Json;
+
+struct Args {
+    current: String,
+    baseline: String,
+    max_drop: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        current: "BENCH_fleet.json".to_owned(),
+        baseline: "ci/bench_baseline.json".to_owned(),
+        max_drop: 0.20,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match a.as_str() {
+            "--current" => args.current = value("--current"),
+            "--baseline" => args.baseline = value("--baseline"),
+            "--max-drop" => {
+                args.max_drop = value("--max-drop").parse().expect("--max-drop: fraction");
+                assert!(
+                    (0.0..1.0).contains(&args.max_drop),
+                    "--max-drop must be in [0, 1)"
+                );
+            }
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+    args
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("reading {path}: {e} (run fleet_throughput first?)"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
+}
+
+struct PlannerRow {
+    name: String,
+    requests_per_sec: f64,
+    admission_rate: f64,
+    admitted: f64,
+}
+
+fn planner_rows(doc: &Json, path: &str) -> Vec<PlannerRow> {
+    doc.get("planners")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| panic!("{path}: missing `planners` array"))
+        .iter()
+        .map(|row| {
+            let field = |key: &str| {
+                row.get(key)
+                    .and_then(Json::as_f64)
+                    .unwrap_or_else(|| panic!("{path}: planner row missing number `{key}`"))
+            };
+            PlannerRow {
+                name: row
+                    .get("planner")
+                    .and_then(Json::as_str)
+                    .unwrap_or_else(|| panic!("{path}: planner row missing `planner`"))
+                    .to_owned(),
+                requests_per_sec: field("requests_per_sec"),
+                admission_rate: field("admission_rate"),
+                admitted: field("admitted"),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args();
+    let current = planner_rows(&load(&args.current), &args.current);
+    let baseline = planner_rows(&load(&args.baseline), &args.baseline);
+
+    let mut ok = true;
+    let mut compared = 0usize;
+    println!(
+        "bench gate: {} vs baseline {} (max drop {:.0}%)",
+        args.current,
+        args.baseline,
+        args.max_drop * 100.0
+    );
+    for base in &baseline {
+        let name = &base.name;
+        let Some(cur) = current.iter().find(|r| r.name == *name) else {
+            println!("  [FAIL] {name}: planner missing from current report");
+            ok = false;
+            continue;
+        };
+        compared += 1;
+        for (metric, b, c) in [
+            (
+                "requests_per_sec",
+                base.requests_per_sec,
+                cur.requests_per_sec,
+            ),
+            ("admission_rate", base.admission_rate, cur.admission_rate),
+        ] {
+            let floor = b * (1.0 - args.max_drop);
+            let mut passed = c >= floor;
+            // Direction-correctness: completed-per-makespan drops when
+            // previously-rejected heavy models get served. More admitted
+            // work excuses a requests/sec drop (never the reverse).
+            let mut tag = if passed { "PASS" } else { "FAIL" };
+            if !passed && metric == "requests_per_sec" && cur.admitted > base.admitted {
+                passed = true;
+                tag = "WAIVED";
+            }
+            let delta = if b > 0.0 { (c - b) / b * 100.0 } else { 0.0 };
+            println!(
+                "  [{tag}] {name} {metric}: {c:.3} vs baseline {b:.3} ({delta:+.1}%){}",
+                if tag == "WAIVED" {
+                    format!(" — admitted rose {} -> {}", base.admitted, cur.admitted)
+                } else {
+                    String::new()
+                }
+            );
+            ok &= passed;
+        }
+    }
+    if compared == 0 {
+        println!("  [FAIL] no planners in common between current and baseline");
+        ok = false;
+    }
+    if !ok {
+        println!(
+            "regression gate failed — if the slowdown is intentional, regenerate {} from \
+             `cargo run --release --bin fleet_throughput -- --light` and commit it",
+            args.baseline
+        );
+    }
+    std::process::exit(i32::from(!ok));
+}

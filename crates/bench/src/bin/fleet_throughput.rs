@@ -1,0 +1,168 @@
+//! Fleet-throughput experiment: the same seeded request stream offered to
+//! an N-device 128 KB fleet under vMCU, TinyEngine, and HMCOS planning.
+//!
+//! Emits `BENCH_fleet.json` (requests/sec, admission rate, p50/p99
+//! latency per planner — all in simulated device time, bit-reproducible
+//! across machines) and exits non-zero unless vMCU planning admits
+//! strictly more requests than both disjoint baselines. The CI bench
+//! gate (`bench_gate`) consumes the emitted file.
+//!
+//! Flags: `--light` (shorter stream for CI), `--workers N`, `--requests N`,
+//! `--seed S`, `--out PATH`.
+
+use vmcu::prelude::*;
+use vmcu_bench::json::Json;
+use vmcu_serve::{random_stream, Fleet, FleetConfig, FleetStats, ModelCatalog};
+
+struct Args {
+    light: bool,
+    workers: usize,
+    requests: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        light: false,
+        workers: 4,
+        requests: 96,
+        seed: 2024,
+        out: "BENCH_fleet.json".to_owned(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match a.as_str() {
+            "--light" => args.light = true,
+            "--workers" => args.workers = value("--workers").parse().expect("--workers: integer"),
+            "--requests" => {
+                args.requests = value("--requests").parse().expect("--requests: integer");
+            }
+            "--seed" => args.seed = value("--seed").parse().expect("--seed: integer"),
+            "--out" => args.out = value("--out"),
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+    if args.light {
+        args.requests = args.requests.min(32);
+    }
+    args
+}
+
+fn stats_json(planner: &str, stats: &FleetStats) -> Json {
+    Json::Object(vec![
+        ("planner".into(), Json::str(planner)),
+        ("offered".into(), Json::from(stats.offered)),
+        ("admitted".into(), Json::from(stats.admitted)),
+        ("completed".into(), Json::from(stats.completed)),
+        ("rejected".into(), Json::from(stats.rejected)),
+        ("failed".into(), Json::from(stats.failed)),
+        ("admission_rate".into(), Json::from(stats.admission_rate)),
+        (
+            "requests_per_sec".into(),
+            Json::from(stats.requests_per_sec),
+        ),
+        ("makespan_ms".into(), Json::from(stats.makespan_ms)),
+        ("p50_latency_ms".into(), Json::from(stats.p50_latency_ms)),
+        ("p99_latency_ms".into(), Json::from(stats.p99_latency_ms)),
+        ("energy_mj".into(), Json::from(stats.energy_mj)),
+        ("host_wall_ms".into(), Json::from(stats.host_wall_ms)),
+    ])
+}
+
+fn main() {
+    let args = parse_args();
+    let device = Device::stm32_f411re();
+    let catalog = ModelCatalog::standard();
+    let requests = random_stream(catalog.models(), args.requests, args.seed);
+
+    let planners = [
+        ("vMCU", PlannerKind::Vmcu(IbScheme::RowBuffer)),
+        ("TinyEngine", PlannerKind::TinyEngine),
+        ("HMCOS", PlannerKind::Hmcos),
+    ];
+    let mut rows = Vec::new();
+    let mut per_planner = Vec::new();
+    println!(
+        "fleet_throughput: {} x {} | {} requests, seed {}",
+        args.workers, device, args.requests, args.seed
+    );
+    for (name, kind) in planners {
+        let fleet = Fleet::new(
+            FleetConfig::new(device.clone(), args.workers, kind),
+            catalog.clone(),
+        );
+        let report = fleet.run_batch(&requests);
+        let s = &report.stats;
+        println!(
+            "  {name:<10} admitted {:>3}/{:<3} ({:>5.1}%)  {:>8.2} req/s  p50 {:>7.3} ms  p99 {:>7.3} ms  {:>7.2} mJ",
+            s.admitted,
+            s.offered,
+            s.admission_rate * 100.0,
+            s.requests_per_sec,
+            s.p50_latency_ms,
+            s.p99_latency_ms,
+            s.energy_mj
+        );
+        rows.push(stats_json(name, s));
+        per_planner.push((name, s.clone()));
+    }
+
+    // The headline criterion: segment-level planning must admit strictly
+    // more of the same offered load than both disjoint baselines.
+    let vmcu = &per_planner[0].1;
+    let checks: Vec<(String, bool, String)> = per_planner[1..]
+        .iter()
+        .map(|(name, s)| {
+            (
+                format!("vmcu_admits_more_than_{}", name.to_lowercase()),
+                vmcu.admitted > s.admitted,
+                format!("vMCU {} vs {} {}", vmcu.admitted, name, s.admitted),
+            )
+        })
+        .chain(std::iter::once((
+            "no_execution_failures".to_owned(),
+            per_planner.iter().all(|(_, s)| s.failed == 0),
+            "typed engine errors during admitted runs".to_owned(),
+        )))
+        .collect();
+
+    let doc = Json::Object(vec![
+        ("id".into(), Json::str("fleet_throughput")),
+        ("device".into(), Json::str(device.name.clone())),
+        ("workers".into(), Json::from(args.workers)),
+        ("requests".into(), Json::from(args.requests)),
+        ("seed".into(), Json::from(args.seed)),
+        ("light".into(), Json::from(args.light)),
+        ("planners".into(), Json::Array(rows)),
+        (
+            "checks".into(),
+            Json::Array(
+                checks
+                    .iter()
+                    .map(|(name, passed, detail)| {
+                        Json::Object(vec![
+                            ("name".into(), Json::str(name.clone())),
+                            ("passed".into(), Json::Bool(*passed)),
+                            ("detail".into(), Json::str(detail.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&args.out, doc.to_string_pretty() + "\n")
+        .unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    println!("wrote {}", args.out);
+
+    let mut ok = true;
+    for (name, passed, detail) in &checks {
+        println!(
+            "  [{}] {name} — {detail}",
+            if *passed { "PASS" } else { "FAIL" }
+        );
+        ok &= *passed;
+    }
+    std::process::exit(i32::from(!ok));
+}

@@ -1,17 +1,24 @@
-//! Hand-rolled JSON emission for experiment results.
+//! Hand-rolled JSON emission and parsing for experiment results.
 //!
 //! The workspace builds offline without `serde`, so the few structures
 //! that need machine-readable output render themselves into this tiny
 //! value tree, which pretty-prints in the same style as
-//! `serde_json::to_string_pretty` (2-space indent, `"key": value`).
+//! `serde_json::to_string_pretty` (2-space indent, `"key": value`). The
+//! matching [`Json::parse`] reads those files back — the CI bench gate
+//! uses it to compare a fresh `BENCH_fleet.json` against the committed
+//! baseline.
 
 use std::fmt::Write as _;
 
 /// A JSON value tree.
 #[derive(Debug, Clone)]
 pub enum Json {
+    /// The null literal.
+    Null,
     /// A boolean literal.
     Bool(bool),
+    /// A finite number.
+    Num(f64),
     /// A string (escaped on output).
     Str(String),
     /// An ordered array.
@@ -20,10 +27,80 @@ pub enum Json {
     Object(Vec<(String, Json)>),
 }
 
+/// JSON parse failure: byte offset plus what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What the parser expected or found.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
 impl Json {
     /// Builds a string value.
     pub fn str(s: impl Into<String>) -> Self {
         Json::Str(s.into())
+    }
+
+    /// Looks up a key in an object (None for other variants).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document (the subset this module emits: null, bool,
+    /// finite numbers, strings with standard escapes, arrays, objects).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonParseError`] with the byte offset of the first
+    /// syntax error, including trailing garbage after the root value.
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonParseError {
+                at: pos,
+                message: "trailing characters after JSON value".into(),
+            });
+        }
+        Ok(value)
     }
 
     /// Builds an array from anything convertible to values.
@@ -41,8 +118,13 @@ impl Json {
 
     fn write(&self, out: &mut String, depth: usize) {
         match self {
+            Json::Null => out.push_str("null"),
             Json::Bool(b) => {
                 let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => {
+                assert!(n.is_finite(), "JSON numbers must be finite");
+                let _ = write!(out, "{n}");
             }
             Json::Str(s) => write_escaped(out, s),
             Json::Array(items) => write_seq(out, depth, '[', ']', items.len(), |out, i| {
@@ -68,6 +150,190 @@ impl From<String> for Json {
     fn from(s: String) -> Self {
         Json::Str(s)
     }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Self {
+        Json::Num(n)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Self {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Self {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Json::Bool(b)
+    }
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn err(at: usize, message: impl Into<String>) -> JsonParseError {
+    JsonParseError {
+        at,
+        message: message.into(),
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), JsonParseError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(err(*pos, format!("expected `{lit}`")))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonParseError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(err(*pos, "expected `,` or `]` in array")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(err(*pos, "expected `:` after object key"));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(fields));
+                    }
+                    _ => return Err(err(*pos, "expected `,` or `}` in object")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonParseError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(err(*pos, "expected string"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = bytes
+                    .get(*pos)
+                    .ok_or_else(|| err(*pos, "unterminated escape"))?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| err(*pos, "non-ASCII \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err(*pos, "invalid \\u escape"))?;
+                        // Surrogates never appear in this module's output.
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| err(*pos, "invalid codepoint in \\u escape"))?,
+                        );
+                        *pos += 4;
+                    }
+                    other => {
+                        return Err(err(*pos, format!("unknown escape `\\{}`", *other as char)))
+                    }
+                }
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (bytes are valid UTF-8 by
+                // construction: the input is a &str).
+                let s = std::str::from_utf8(&bytes[*pos..]).expect("input was a valid &str");
+                let c = s.chars().next().expect("non-empty remainder");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonParseError> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII number bytes");
+    text.parse::<f64>()
+        .ok()
+        .filter(|n| n.is_finite())
+        .map(Json::Num)
+        .ok_or_else(|| err(start, "invalid number"))
 }
 
 fn write_seq(
@@ -142,5 +408,74 @@ mod tests {
     fn escapes_control_and_quote_characters() {
         let s = Json::str("a\"b\\c\nd\u{1}").to_string_pretty();
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_print_plainly() {
+        assert_eq!(Json::Num(42.0).to_string_pretty(), "42");
+        assert_eq!(Json::Num(1.5).to_string_pretty(), "1.5");
+        assert_eq!(Json::from(7usize).to_string_pretty(), "7");
+        assert_eq!(Json::Null.to_string_pretty(), "null");
+    }
+
+    #[test]
+    fn parse_round_trips_emitted_documents() {
+        let v = Json::Object(vec![
+            ("name".into(), Json::str("fleet \"x\"\n")),
+            ("rps".into(), Json::Num(1234.5)),
+            ("neg".into(), Json::Num(-2e3)),
+            ("ok".into(), Json::Bool(true)),
+            ("none".into(), Json::Null),
+            (
+                "rows".into(),
+                Json::Array(vec![Json::Num(1.0), Json::str("a\u{1}b")]),
+            ),
+            ("empty".into(), Json::Array(vec![])),
+        ]);
+        let text = v.to_string_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        // Round trip: re-emitting the parsed tree reproduces the text.
+        assert_eq!(parsed.to_string_pretty(), text);
+        assert_eq!(parsed.get("rps").and_then(Json::as_f64), Some(1234.5));
+        assert_eq!(
+            parsed.get("name").and_then(Json::as_str),
+            Some("fleet \"x\"\n")
+        );
+        assert_eq!(
+            parsed
+                .get("rows")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+        assert!(matches!(parsed.get("none"), Some(Json::Null)));
+        assert!(parsed.get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_reports_errors_with_offsets() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "tru",
+            "1.2.3",
+            "{} extra",
+            "\"unterminated",
+        ] {
+            let e = Json::parse(bad).unwrap_err();
+            assert!(!e.to_string().is_empty(), "{bad}: {e}");
+        }
+        assert_eq!(Json::parse("{} x").unwrap_err().at, 3);
+    }
+
+    #[test]
+    fn parse_accepts_plain_json_from_other_tools() {
+        let parsed =
+            Json::parse("  {\"a\": [1, 2.5, {\"b\": null}], \"c\": \"\\u0041\"} ").unwrap();
+        assert_eq!(parsed.get("c").and_then(Json::as_str), Some("A"));
+        let a = parsed.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(a[1].as_f64(), Some(2.5));
     }
 }

@@ -1,7 +1,7 @@
 //! # vmcu-graph — model graphs and the evaluation model zoo
 //!
 //! Linear DNN [graphs](graph::Graph) over the kernel parameter blocks, a
-//! [reference executor](exec) (oracle), and the [zoo](zoo) containing
+//! [reference executor](exec) (oracle), and the [zoo] containing
 //! every workload of the paper's evaluation: the nine Figure 7/8
 //! single-layer cases and all Table 2 inverted-bottleneck modules of
 //! MCUNet-5fps-VWW and MCUNet-320KB-ImageNet.

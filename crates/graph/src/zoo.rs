@@ -7,7 +7,9 @@
 //! * [`mcunet_320kb_imagenet`] — the 17 measured modules of
 //!   MCUNet-320KB-ImageNet (Table 2, B1–B17);
 //! * [`demo_linear_net`] — a small shape-chained network for end-to-end
-//!   examples and tests.
+//!   examples and tests;
+//! * [`fleet_catalog`] — the named deployable models a `vmcu-serve`
+//!   request stream draws from.
 
 use crate::graph::Graph;
 use crate::layer::LayerDesc;
@@ -133,6 +135,67 @@ pub fn demo_linear_net() -> Graph {
     .expect("demo net shapes chain")
 }
 
+/// A named deployable model for fleet serving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedGraph {
+    /// Catalog name requests refer to.
+    pub name: &'static str,
+    /// The model graph.
+    pub graph: Graph,
+}
+
+/// The fleet-serving catalog: the models a `vmcu-serve` request stream
+/// draws from. Every entry is executable by both the vMCU and the
+/// TinyEngine executors (no dense 2D convolutions), and the mix spans the
+/// interesting admission regimes at 128 KB: tiny always-fit modules
+/// (S5/S6), mid-size chains (the demo net), and the Figure 7 boundary
+/// cases that deploy under vMCU but not under tensor-level planning.
+pub fn fleet_catalog() -> Vec<NamedGraph> {
+    let fig7 = fig7_cases();
+    let vww = mcunet_5fps_vww();
+    let single_pw = |i: usize| {
+        Graph::linear(
+            fig7[i].name.clone(),
+            vec![LayerDesc::Pointwise(fig7[i].params)],
+        )
+        .expect("single layer always chains")
+    };
+    let single_ib = |i: usize| {
+        Graph::linear(vww[i].name, vec![LayerDesc::Ib(vww[i].params)])
+            .expect("single layer always chains")
+    };
+    vec![
+        NamedGraph {
+            name: "demo-linear-net",
+            graph: demo_linear_net(),
+        },
+        NamedGraph {
+            name: "vww-s5",
+            graph: single_ib(4),
+        },
+        NamedGraph {
+            name: "vww-s6",
+            graph: single_ib(5),
+        },
+        // Fig. 7 case 1 (H/W80,C16,K16): fits 128 KB under vMCU only.
+        NamedGraph {
+            name: "fig7-hw80-c16-k16",
+            graph: single_pw(0),
+        },
+        // Fig. 7 case 5 (H/W40,C32,K16): borderline — vMCU comfortably
+        // in, tensor-level close to the edge.
+        NamedGraph {
+            name: "fig7-hw40-c32-k16",
+            graph: single_pw(4),
+        },
+        // A deeper mixed chain from the differential-test generator.
+        NamedGraph {
+            name: "mixed-chain-9",
+            graph: random_linear_net(9, 4),
+        },
+    ]
+}
+
 /// A random shape-chained linear network for differential testing: a mix
 /// of pointwise, depthwise, and inverted-bottleneck layers whose shapes
 /// compose. Deterministic per seed.
@@ -231,6 +294,22 @@ mod tests {
     #[test]
     fn random_nets_are_deterministic() {
         assert_eq!(random_linear_net(7, 5), random_linear_net(7, 5));
+    }
+
+    #[test]
+    fn fleet_catalog_is_named_and_deterministic() {
+        let cat = fleet_catalog();
+        assert!(cat.len() >= 5);
+        let mut names: Vec<_> = cat.iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), cat.len(), "catalog names must be unique");
+        assert_eq!(fleet_catalog(), cat, "catalog must be deterministic");
+        // Serving executors support everything except dense 2D conv.
+        assert!(cat
+            .iter()
+            .flat_map(|m| m.graph.layers())
+            .all(|l| !matches!(l, LayerDesc::Conv2d(_))));
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Capacity lookups: how much SRAM a whole model demands under a policy,
+//! and how many instances of it a device can host concurrently.
+//!
+//! This is the planning surface the fleet scheduler's admission
+//! controller (`vmcu-serve`) is built on: a model's *peak demand* is the
+//! maximum per-layer `activations + workspace` bytes its planner reports,
+//! and a device admits models until their summed demands exhaust the
+//! SRAM left after runtime overhead. Because vMCU's segment-level plans
+//! peak far below tensor-level plans (§7), the same device admits
+//! strictly more concurrent vMCU models — the paper's RAM savings
+//! restated as serving capacity.
+
+use crate::planner::{MemoryPlan, MemoryPlanner};
+use vmcu_graph::{Graph, LayerDesc};
+use vmcu_sim::Device;
+
+/// Names each layer of a linear graph `kind#index` — the same naming the
+/// facade engine uses in its reports, so plans and execution logs line
+/// up.
+pub fn named_graph_layers(graph: &Graph) -> Vec<(String, LayerDesc)> {
+    graph
+        .layers()
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (format!("{}#{i}", l.kind()), l.clone()))
+        .collect()
+}
+
+/// Plans every layer of a linear graph for a device.
+pub fn plan_graph(planner: &dyn MemoryPlanner, graph: &Graph, device: &Device) -> MemoryPlan {
+    planner.plan(&named_graph_layers(graph), device)
+}
+
+/// Peak SRAM demand of a model under a policy: the maximum per-layer
+/// `activations + workspace` bytes, excluding the device's fixed runtime
+/// overhead (which is paid once per device, not once per model).
+pub fn peak_demand_bytes(planner: &dyn MemoryPlanner, graph: &Graph) -> usize {
+    graph
+        .layers()
+        .iter()
+        .map(|l| {
+            let (act, ws) = planner.plan_layer(l);
+            act + ws
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// How many instances of this model fit a device's usable SRAM at once
+/// (0 when even one does not fit).
+pub fn concurrent_capacity(planner: &dyn MemoryPlanner, graph: &Graph, device: &Device) -> usize {
+    let demand = peak_demand_bytes(planner, graph);
+    if demand == 0 {
+        return 0;
+    }
+    device.usable_ram_bytes() / demand
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tinyengine_planner::TinyEnginePlanner;
+    use crate::vmcu_planner::VmcuPlanner;
+    use vmcu_graph::zoo;
+
+    #[test]
+    fn named_layers_match_graph_order() {
+        let g = zoo::demo_linear_net();
+        let named = named_graph_layers(&g);
+        assert_eq!(named.len(), g.len());
+        assert_eq!(named[0].0, "pointwise#0");
+        assert_eq!(named[1].0, "inverted-bottleneck#1");
+    }
+
+    #[test]
+    fn plan_graph_covers_every_layer() {
+        let g = zoo::demo_linear_net();
+        let device = Device::stm32_f411re();
+        let plan = plan_graph(&VmcuPlanner::default(), &g, &device);
+        assert_eq!(plan.layers.len(), g.len());
+        assert!(plan.deployable());
+    }
+
+    #[test]
+    fn peak_demand_is_the_bottleneck_layer() {
+        let g = zoo::demo_linear_net();
+        let device = Device::stm32_f411re();
+        let planner = VmcuPlanner::default();
+        let demand = peak_demand_bytes(&planner, &g);
+        let plan = plan_graph(&planner, &g, &device);
+        assert_eq!(
+            demand,
+            plan.bottleneck_bytes() - device.runtime_overhead_bytes
+        );
+    }
+
+    #[test]
+    fn vmcu_capacity_beats_tinyengine_on_fig7_case1() {
+        // Figure 7 case 1 at 128 KB: vMCU hosts one instance, TinyEngine
+        // hosts none — the deployability gap as a capacity number.
+        let case = &zoo::fig7_cases()[0];
+        let g = Graph::linear(case.name.clone(), vec![LayerDesc::Pointwise(case.params)]).unwrap();
+        let device = Device::stm32_f411re();
+        let vm = concurrent_capacity(&VmcuPlanner::default(), &g, &device);
+        let te = concurrent_capacity(&TinyEnginePlanner, &g, &device);
+        assert!(vm >= 1, "vMCU must host Fig. 7 case 1 ({vm})");
+        assert_eq!(te, 0, "TinyEngine must not fit case 1 at 128 KB");
+    }
+
+    #[test]
+    fn small_modules_pack_more_densely_under_vmcu() {
+        let s5 = &zoo::mcunet_5fps_vww()[4];
+        let g = Graph::linear(s5.name, vec![LayerDesc::Ib(s5.params)]).unwrap();
+        let device = Device::stm32_f411re();
+        let vm = concurrent_capacity(&VmcuPlanner::default(), &g, &device);
+        let te = concurrent_capacity(&TinyEnginePlanner, &g, &device);
+        assert!(
+            vm > te,
+            "vMCU capacity {vm} must exceed TinyEngine capacity {te}"
+        );
+    }
+
+    #[test]
+    fn empty_capacity_is_zero_not_divide_by_zero() {
+        let g = Graph::linear("empty", vec![]).unwrap();
+        let device = Device::stm32_f411re();
+        assert_eq!(peak_demand_bytes(&VmcuPlanner::default(), &g), 0);
+        assert_eq!(concurrent_capacity(&VmcuPlanner::default(), &g, &device), 0);
+    }
+}

@@ -11,7 +11,10 @@
 //! * [`HmcosPlanner`] — scheduling only, no in-place (weakest on linear
 //!   chains);
 //! * [`arena`] — a TFLM-style greedy arena as an extra baseline;
-//! * [`headroom`] — the Figure 11/12 NAS-headroom searches.
+//! * [`headroom`] — the Figure 11/12 NAS-headroom searches;
+//! * [`capacity`] — whole-graph peak-demand and concurrent-capacity
+//!   lookups, the admission-control surface used by fleet serving
+//!   (`vmcu-serve`).
 //!
 //! # Examples
 //!
@@ -32,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 pub mod arena;
+pub mod capacity;
 pub mod chain;
 pub mod headroom;
 pub mod hmcos_planner;
@@ -39,6 +43,7 @@ pub mod planner;
 pub mod tinyengine_planner;
 pub mod vmcu_planner;
 
+pub use capacity::{concurrent_capacity, peak_demand_bytes, plan_graph};
 pub use chain::{plan_chain, ChainPlan};
 pub use hmcos_planner::HmcosPlanner;
 pub use planner::{LayerPlan, MemoryPlan, MemoryPlanner};

@@ -1,0 +1,62 @@
+//! The fleet's model catalog: the set of deployable models requests may
+//! name.
+
+use vmcu_graph::zoo::{self, NamedGraph};
+
+/// Name-indexed collection of deployable models.
+#[derive(Debug, Clone)]
+pub struct ModelCatalog {
+    models: Vec<NamedGraph>,
+}
+
+impl ModelCatalog {
+    /// Builds a catalog from explicit models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two models share a name — requests address models by
+    /// name, so ambiguity would route traffic nondeterministically.
+    pub fn new(models: Vec<NamedGraph>) -> Self {
+        let mut names: Vec<&str> = models.iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), models.len(), "catalog names must be unique");
+        Self { models }
+    }
+
+    /// The standard serving catalog ([`zoo::fleet_catalog`]).
+    pub fn standard() -> Self {
+        Self::new(zoo::fleet_catalog())
+    }
+
+    /// Looks a model up by name.
+    pub fn get(&self, name: &str) -> Option<&NamedGraph> {
+        self.models.iter().find(|m| m.name == name)
+    }
+
+    /// All models, in catalog order.
+    pub fn models(&self) -> &[NamedGraph] {
+        &self.models
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_catalog_resolves_names() {
+        let cat = ModelCatalog::standard();
+        assert!(cat.get("demo-linear-net").is_some());
+        assert!(cat.get("vww-s5").is_some());
+        assert!(cat.get("no-such-model").is_none());
+        assert!(!cat.models().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn duplicate_names_are_rejected() {
+        let m = ModelCatalog::standard().models()[0].clone();
+        let _ = ModelCatalog::new(vec![m.clone(), m]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Fleet-level statistics: latency percentiles, throughput, admission
+//! rate.
+//!
+//! Everything here is computed from *simulated* device time, so the
+//! numbers are bit-reproducible across hosts — which is what lets CI gate
+//! on them without noise margins. Host wall-clock is carried separately,
+//! for information only.
+
+use vmcu_sim::Counters;
+
+/// Aggregated execution record of one worker (device) over a batch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Requests this worker executed.
+    pub executed: usize,
+    /// Simulated busy time in milliseconds (sum of inference latencies).
+    pub busy_ms: f64,
+    /// Simulated energy in millijoules.
+    pub energy_mj: f64,
+    /// Summed device counters (MACs, RAM/flash traffic, cycles).
+    pub counters: Counters,
+}
+
+/// Whole-fleet statistics over one batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStats {
+    /// Requests offered to the fleet.
+    pub offered: usize,
+    /// Requests admitted by the controller.
+    pub admitted: usize,
+    /// Requests admitted and executed to completion.
+    pub completed: usize,
+    /// Requests refused by admission control.
+    pub rejected: usize,
+    /// Admitted requests that failed during execution (a planner/kernel
+    /// bug surfaced as a typed error; always 0 in a healthy build).
+    pub failed: usize,
+    /// `admitted / offered` in `[0, 1]` (1 for an empty batch).
+    pub admission_rate: f64,
+    /// Simulated makespan: the busiest worker's total device time, ms.
+    pub makespan_ms: f64,
+    /// Completed requests per simulated second of makespan.
+    pub requests_per_sec: f64,
+    /// Median simulated inference latency, ms.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile simulated inference latency, ms.
+    pub p99_latency_ms: f64,
+    /// Total simulated energy, mJ.
+    pub energy_mj: f64,
+    /// Real host time the batch took, ms (informational; the only
+    /// non-deterministic field).
+    pub host_wall_ms: f64,
+}
+
+/// Nearest-rank percentile of an unsorted sample (`q` in `[0, 1]`).
+/// Returns 0 for an empty sample.
+pub fn percentile_ms(samples: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+impl FleetStats {
+    /// Assembles fleet statistics from per-request latencies and
+    /// per-worker records.
+    pub fn aggregate(
+        offered: usize,
+        rejected: usize,
+        failed: usize,
+        latencies_ms: &[f64],
+        workers: &[WorkerStats],
+        host_wall_ms: f64,
+    ) -> Self {
+        let completed = latencies_ms.len();
+        let admitted = completed + failed;
+        let makespan_ms = workers.iter().map(|w| w.busy_ms).fold(0.0, f64::max);
+        Self {
+            offered,
+            admitted,
+            completed,
+            rejected,
+            failed,
+            admission_rate: if offered == 0 {
+                1.0
+            } else {
+                admitted as f64 / offered as f64
+            },
+            makespan_ms,
+            requests_per_sec: if makespan_ms > 0.0 {
+                completed as f64 * 1e3 / makespan_ms
+            } else {
+                0.0
+            },
+            p50_latency_ms: percentile_ms(latencies_ms, 0.50),
+            p99_latency_ms: percentile_ms(latencies_ms, 0.99),
+            energy_mj: workers.iter().map(|w| w.energy_mj).sum(),
+            host_wall_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let s = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile_ms(&s, 0.5), 2.0);
+        assert_eq!(percentile_ms(&s, 0.99), 4.0);
+        assert_eq!(percentile_ms(&s, 0.0), 1.0);
+        assert_eq!(percentile_ms(&s, 1.0), 4.0);
+        assert_eq!(percentile_ms(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn aggregate_computes_rates_and_makespan() {
+        let workers = vec![
+            WorkerStats {
+                executed: 2,
+                busy_ms: 10.0,
+                energy_mj: 1.0,
+                counters: Counters::new(),
+            },
+            WorkerStats {
+                executed: 1,
+                busy_ms: 40.0,
+                energy_mj: 2.0,
+                counters: Counters::new(),
+            },
+        ];
+        let s = FleetStats::aggregate(5, 2, 0, &[10.0, 5.0, 40.0], &workers, 7.0);
+        assert_eq!(s.offered, 5);
+        assert_eq!(s.admitted, 3);
+        assert_eq!(s.completed, 3);
+        assert_eq!(s.rejected, 2);
+        assert_eq!(s.admission_rate, 0.6);
+        assert_eq!(s.makespan_ms, 40.0);
+        assert_eq!(s.requests_per_sec, 3.0 * 1e3 / 40.0);
+        assert_eq!(s.p50_latency_ms, 10.0);
+        assert_eq!(s.energy_mj, 3.0);
+        assert_eq!(s.host_wall_ms, 7.0);
+    }
+
+    #[test]
+    fn empty_batch_does_not_divide_by_zero() {
+        let s = FleetStats::aggregate(0, 0, 0, &[], &[], 0.1);
+        assert_eq!(s.admission_rate, 1.0);
+        assert_eq!(s.requests_per_sec, 0.0);
+        assert_eq!(s.p50_latency_ms, 0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! The worker: one thread owning one simulated device.
+//!
+//! A worker is handed its batch slice (requests pinned to its device by
+//! admission control) and executes them sequentially — an MCU runs one
+//! inference at a time. Across requests it reuses a single
+//! [`InferenceScratch`] (the device's SRAM allocation) and a per-model
+//! weight cache, mirroring a real deployment where weights are flashed
+//! once and stay resident.
+
+use crate::catalog::ModelCatalog;
+use crate::request::{Completion, RequestSpec};
+use crate::stats::WorkerStats;
+use std::collections::HashMap;
+use vmcu::prelude::*;
+use vmcu_tensor::random;
+
+/// Deterministic per-model weight seed: requests to the same model must
+/// see the same deployed weights on every worker and every run.
+fn model_weight_seed(name: &str) -> u64 {
+    // FNV-1a over the model name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Result of one worker's batch slice.
+///
+/// Results are keyed by the request's *submission slot* (its position in
+/// the batch), not by `RequestSpec::id` — ids are caller-supplied and
+/// carry no uniqueness guarantee, so routing by slot is what keeps a
+/// batch with duplicate ids well-defined.
+#[derive(Debug)]
+pub(crate) struct WorkerRun {
+    /// Completions keyed by submission slot.
+    pub completed: Vec<(usize, Completion)>,
+    /// Execution failures keyed by submission slot (typed engine errors
+    /// rendered to strings; empty in a healthy build).
+    pub failed: Vec<(usize, String)>,
+    /// Aggregated device statistics.
+    pub stats: WorkerStats,
+}
+
+/// One simulated device plus its reusable execution state.
+#[derive(Debug)]
+pub(crate) struct Worker {
+    index: usize,
+    engine: Engine,
+    scratch: InferenceScratch,
+    weights: HashMap<String, Vec<LayerWeights>>,
+}
+
+impl Worker {
+    pub(crate) fn new(index: usize, device: Device, kind: PlannerKind) -> Self {
+        Self {
+            index,
+            engine: Engine::new(device).planner(kind),
+            scratch: InferenceScratch::new(),
+            weights: HashMap::new(),
+        }
+    }
+
+    /// Executes the worker's slice of the batch (submission slot + spec
+    /// pairs) in submission order.
+    pub(crate) fn run(
+        mut self,
+        catalog: &ModelCatalog,
+        jobs: &[(usize, RequestSpec)],
+    ) -> WorkerRun {
+        let mut run = WorkerRun {
+            completed: Vec::with_capacity(jobs.len()),
+            failed: Vec::new(),
+            stats: WorkerStats::default(),
+        };
+        for (slot, job) in jobs {
+            let model = catalog
+                .get(&job.model)
+                .expect("admission only assigns cataloged models");
+            let weights = self
+                .weights
+                .entry(job.model.clone())
+                .or_insert_with(|| model.graph.random_weights(model_weight_seed(&job.model)));
+            let input = random::tensor_i8(&model.graph.in_shape(), job.seed);
+            match self
+                .engine
+                .run_graph_scratch(&model.graph, weights, &input, &mut self.scratch)
+            {
+                Ok(report) => {
+                    let latency_ms = report.latency_ms();
+                    run.stats.executed += 1;
+                    run.stats.busy_ms += latency_ms;
+                    run.stats.energy_mj += report.energy_mj();
+                    for layer in &report.layers {
+                        run.stats.counters += layer.exec.counters;
+                    }
+                    run.completed.push((
+                        *slot,
+                        Completion {
+                            worker: self.index,
+                            latency_ms,
+                            energy_mj: report.energy_mj(),
+                            peak_ram_bytes: report.peak_ram_bytes(),
+                        },
+                    ));
+                }
+                Err(e) => run.failed.push((*slot, e.to_string())),
+            }
+        }
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_seeds_are_stable_and_distinct() {
+        assert_eq!(model_weight_seed("vww-s5"), model_weight_seed("vww-s5"));
+        assert_ne!(model_weight_seed("vww-s5"), model_weight_seed("vww-s6"));
+    }
+
+    #[test]
+    fn worker_executes_jobs_and_aggregates_device_time() {
+        let catalog = ModelCatalog::standard();
+        let jobs = vec![
+            (
+                0,
+                RequestSpec {
+                    id: 0,
+                    model: "vww-s5".into(),
+                    seed: 1,
+                },
+            ),
+            (
+                1,
+                RequestSpec {
+                    id: 1,
+                    model: "vww-s5".into(),
+                    seed: 2,
+                },
+            ),
+            (
+                2,
+                RequestSpec {
+                    id: 2,
+                    model: "demo-linear-net".into(),
+                    seed: 3,
+                },
+            ),
+        ];
+        let worker = Worker::new(
+            0,
+            Device::stm32_f411re(),
+            PlannerKind::Vmcu(IbScheme::RowBuffer),
+        );
+        let run = worker.run(&catalog, &jobs);
+        assert_eq!(run.completed.len(), 3);
+        assert!(run.failed.is_empty());
+        assert_eq!(run.stats.executed, 3);
+        assert!(run.stats.busy_ms > 0.0);
+        assert!(run.stats.energy_mj > 0.0);
+        assert!(run.stats.counters.macs > 0);
+        let total: f64 = run.completed.iter().map(|(_, c)| c.latency_ms).sum();
+        assert!((run.stats.busy_ms - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worker_results_are_deterministic() {
+        let catalog = ModelCatalog::standard();
+        let jobs = vec![(
+            0,
+            RequestSpec {
+                id: 0,
+                model: "demo-linear-net".into(),
+                seed: 9,
+            },
+        )];
+        let mk =
+            || Worker::new(0, Device::stm32_f767zi(), PlannerKind::TinyEngine).run(&catalog, &jobs);
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.stats, b.stats);
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! The vMCU paper evaluates on STM32 boards (Cortex-M4/M7); this crate is
 //! the hardware substitution: byte-accurate simulated [RAM](memory::Ram)
-//! and [Flash](memory::Flash), [device models](device::Device) for the two
+//! and [`Flash`], [device models](device::Device) for the two
 //! evaluation platforms, an instruction-class [cost model](cost::CostModel)
 //! (packed-SIMD MACs, memcpy traffic, modulo boundary checks, unrolling
 //! stalls) and an [energy model](energy::EnergyModel)

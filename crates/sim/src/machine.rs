@@ -50,6 +50,16 @@ impl Machine {
         }
     }
 
+    /// Resets the machine to its freshly booted state — zeroed RAM, erased
+    /// Flash, zeroed counters — without reallocating the simulated
+    /// memories. A fleet worker serving thousands of requests reuses one
+    /// machine instead of re-allocating hundreds of KB per inference.
+    pub fn reset(&mut self) {
+        self.ram.clear();
+        self.flash.reset();
+        self.counters = Counters::new();
+    }
+
     // ---- costed on-device operations -------------------------------------
 
     /// `RAMLoad` data path: copies `dst.len()` bytes of RAM into registers,
@@ -223,6 +233,20 @@ mod tests {
         m.host_write_ram(0, &[1; 64]).unwrap();
         let _ = m.host_read_ram(0, 64).unwrap();
         assert_eq!(m.snapshot(), Counters::new());
+    }
+
+    #[test]
+    fn reset_is_indistinguishable_from_fresh_boot() {
+        let mut m = machine();
+        m.host_write_ram(0, &[9; 128]).unwrap();
+        m.host_program_flash(&[7; 64]).unwrap();
+        m.charge_macs(1000, true);
+        m.reset();
+        assert_eq!(m.snapshot(), Counters::new());
+        assert_eq!(m.host_read_ram(0, 128).unwrap(), vec![0; 128]);
+        assert_eq!(m.flash.used(), 0);
+        // Reprogramming starts at the flash base again.
+        assert_eq!(m.host_program_flash(&[1]).unwrap(), 0);
     }
 
     #[test]

@@ -123,6 +123,13 @@ impl Ram {
         self.data[addr..addr + len].fill(value);
         Ok(())
     }
+
+    /// Zeroes all of RAM in place, keeping the allocation. A cleared RAM
+    /// is indistinguishable from a freshly booted one, which lets a
+    /// long-lived worker reuse its simulated SRAM across inferences.
+    pub fn clear(&mut self) {
+        self.data.fill(0);
+    }
 }
 
 /// Simulated Flash: written once while building the firmware image,
@@ -170,6 +177,15 @@ impl Flash {
         self.data[addr..addr + bytes.len()].copy_from_slice(bytes);
         self.len_used += bytes.len();
         Ok(addr)
+    }
+
+    /// Erases all programmed images, returning the flash to its erased
+    /// (0xFF) state without reallocating. Only the used prefix is
+    /// rewritten, so re-deploying small firmware images on a large flash
+    /// stays cheap.
+    pub fn reset(&mut self) {
+        self.data[..self.len_used].fill(0xFF);
+        self.len_used = 0;
     }
 
     /// Reads `len` bytes at `addr`.
@@ -231,6 +247,26 @@ mod tests {
             &[0, 0, 0xAB, 0xAB, 0xAB, 0xAB, 0, 0]
         );
         assert!(ram.fill(6, 4, 0).is_err());
+    }
+
+    #[test]
+    fn ram_clear_restores_boot_state() {
+        let mut ram = Ram::new(32);
+        ram.write(5, &[9; 10]).unwrap();
+        ram.clear();
+        assert_eq!(ram.read(0, 32).unwrap(), &[0; 32]);
+        assert_eq!(ram.capacity(), 32);
+    }
+
+    #[test]
+    fn flash_reset_erases_and_allows_reprogramming() {
+        let mut flash = Flash::new(8);
+        flash.program(&[1, 2, 3, 4, 5, 6]).unwrap();
+        flash.reset();
+        assert_eq!(flash.used(), 0);
+        assert_eq!(flash.read(0, 8).unwrap(), &[0xFF; 8]);
+        // The full capacity is available again after a reset.
+        assert_eq!(flash.program(&[7; 8]).unwrap(), 0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! rather than the naive `O(|domain|²)`, which keeps it usable as a ground
 //! truth even for full-size layers (millions of instances).
 //!
-//! Padding reads (out-of-bounds per [`ReadAccess::bounds`]) are skipped —
+//! Padding reads (out-of-bounds per [`crate::ReadAccess::bounds`]) are skipped —
 //! the analytic solver treats them conservatively, so `enumerate ≤
 //! analytic` on padded problems and `enumerate == analytic` on unpadded
 //! ones (property-tested).

@@ -4,7 +4,7 @@
 //! [`Tensor`]s (int8 activations/weights, int32 accumulators),
 //! TFLite-style fixed-point [requantization](quant::Requant), seeded
 //! [synthetic data](random), and nested-loop [reference
-//! operators](reference) that act as the correctness oracle for every
+//! operators](mod@reference) that act as the correctness oracle for every
 //! optimized kernel in the workspace.
 //!
 //! # Examples

@@ -21,7 +21,7 @@ use vmcu_kernels::tinyengine::{
 use vmcu_kernels::{IbScheme, PointwiseParams};
 use vmcu_plan::chain::{plan_chain, ChainPlan};
 use vmcu_plan::planner::MemoryPlanner;
-use vmcu_plan::{HmcosPlanner, LayerPlan, TinyEnginePlanner, VmcuPlanner};
+use vmcu_plan::{HmcosPlanner, LayerPlan, MemoryPlan, TinyEnginePlanner, VmcuPlanner};
 use vmcu_pool::SegmentPool;
 use vmcu_sim::{Device, ExecSummary, Machine};
 use vmcu_tensor::Tensor;
@@ -49,7 +49,10 @@ impl PlannerKind {
         }
     }
 
-    fn planner(&self) -> Box<dyn MemoryPlanner> {
+    /// The planning policy object for this kind — the same one the
+    /// engine plans with, so external capacity math (admission control)
+    /// can never disagree with execution.
+    pub fn planner(&self) -> Box<dyn MemoryPlanner> {
         match self {
             PlannerKind::Vmcu(scheme) => Box::new(VmcuPlanner { scheme: *scheme }),
             PlannerKind::TinyEngine => Box::new(TinyEnginePlanner),
@@ -100,6 +103,36 @@ impl InferenceReport {
     }
 }
 
+/// Reusable per-worker execution state.
+///
+/// Engines are stateless between runs; what *is* worth keeping is the
+/// simulated machine itself — its RAM buffer alone is the full device
+/// SRAM (128–512 KB). A long-lived worker thread passes one scratch to
+/// every inference it executes, and the machine is reset (zeroed, not
+/// reallocated) between layers. A fresh default scratch reproduces the
+/// old allocate-per-layer behavior bit-for-bit.
+#[derive(Debug, Default)]
+pub struct InferenceScratch {
+    machine: Option<Machine>,
+}
+
+impl InferenceScratch {
+    /// Creates an empty scratch; the first run lazily boots its machine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A freshly booted machine for `device`, reusing the previous
+    /// allocation when the device model matches.
+    fn machine_for(&mut self, device: &Device) -> &mut Machine {
+        match &mut self.machine {
+            Some(m) if m.device == *device => m.reset(),
+            slot => *slot = Some(Machine::new(device.clone())),
+        }
+        self.machine.as_mut().expect("machine just ensured")
+    }
+}
+
 /// The inference engine.
 #[derive(Debug, Clone)]
 pub struct Engine {
@@ -115,6 +148,45 @@ impl Engine {
             device,
             kind: PlannerKind::Vmcu(IbScheme::RowBuffer),
         }
+    }
+
+    /// Creates an engine for a device and policy, verifying up front that
+    /// `graph` deploys within the device's SRAM. This is the checked
+    /// construction path used by admission control: a model too large for
+    /// the device is a typed [`EngineError::DoesNotFit`], never a panic
+    /// at run time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::DoesNotFit`] naming the bottleneck layer
+    /// when any layer's planned RAM exceeds the device.
+    pub fn with_model(
+        device: Device,
+        kind: PlannerKind,
+        graph: &Graph,
+    ) -> Result<Self, EngineError> {
+        let engine = Self { device, kind };
+        engine.check_fit(graph)?;
+        Ok(engine)
+    }
+
+    /// Plans the whole graph and verifies every layer fits the device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::DoesNotFit`] for the bottleneck layer of a
+    /// non-deployable plan.
+    pub fn check_fit(&self, graph: &Graph) -> Result<MemoryPlan, EngineError> {
+        let plan = vmcu_plan::plan_graph(&*self.kind.planner(), graph, &self.device);
+        if !plan.deployable() {
+            let worst = &plan.layers[plan.bottleneck()];
+            return Err(EngineError::DoesNotFit {
+                layer: worst.name.clone(),
+                needed: worst.measured_bytes,
+                available: self.device.ram_bytes,
+            });
+        }
+        Ok(plan)
     }
 
     /// Selects the planner/executor policy.
@@ -165,15 +237,31 @@ impl Engine {
         weights: &LayerWeights,
         input: &Tensor<i8>,
     ) -> Result<(Tensor<i8>, LayerReport), EngineError> {
+        self.run_layer_scratch(name, layer, weights, input, &mut InferenceScratch::new())
+    }
+
+    /// [`run_layer`](Self::run_layer) with a caller-owned
+    /// [`InferenceScratch`], reusing the simulated machine allocation
+    /// between calls. Results are identical to `run_layer`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`run_layer`](Self::run_layer).
+    pub fn run_layer_scratch(
+        &self,
+        name: &str,
+        layer: &LayerDesc,
+        weights: &LayerWeights,
+        input: &Tensor<i8>,
+        scratch: &mut InferenceScratch,
+    ) -> Result<(Tensor<i8>, LayerReport), EngineError> {
         let plan = self.plan_layer(name, layer)?;
-        let mut machine = Machine::new(self.device.clone());
+        let machine = scratch.machine_for(&self.device);
         let before = machine.snapshot();
         let output = match self.kind {
-            PlannerKind::Vmcu(scheme) => {
-                self.exec_vmcu(&mut machine, layer, weights, input, scheme)?
-            }
+            PlannerKind::Vmcu(scheme) => self.exec_vmcu(machine, layer, weights, input, scheme)?,
             PlannerKind::TinyEngine | PlannerKind::Hmcos => {
-                self.exec_baseline(&mut machine, layer, weights, input)?
+                self.exec_baseline(machine, layer, weights, input)?
             }
         };
         let exec = machine.summarize_since(&before);
@@ -200,12 +288,30 @@ impl Engine {
         weights: &[LayerWeights],
         input: &Tensor<i8>,
     ) -> Result<InferenceReport, EngineError> {
+        self.run_graph_scratch(graph, weights, input, &mut InferenceScratch::new())
+    }
+
+    /// [`run_graph`](Self::run_graph) with a caller-owned
+    /// [`InferenceScratch`]: every layer reuses one simulated machine,
+    /// and so does every subsequent inference through the same scratch.
+    /// This is the hot path of the `vmcu-serve` worker loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-layer failure.
+    pub fn run_graph_scratch(
+        &self,
+        graph: &Graph,
+        weights: &[LayerWeights],
+        input: &Tensor<i8>,
+        scratch: &mut InferenceScratch,
+    ) -> Result<InferenceReport, EngineError> {
         assert_eq!(weights.len(), graph.len(), "weights/layers mismatch");
         let mut layers = Vec::with_capacity(graph.len());
         let mut cur = input.clone();
         for (i, (layer, w)) in graph.layers().iter().zip(weights).enumerate() {
             let name = format!("{}#{i}", layer.kind());
-            let (out, report) = self.run_layer(&name, layer, w, &cur)?;
+            let (out, report) = self.run_layer_scratch(&name, layer, w, &cur, scratch)?;
             layers.push(report);
             cur = out;
         }
@@ -525,6 +631,108 @@ mod tests {
         assert!(report.latency_ms() > 0.0);
         assert!(report.energy_mj() > 0.0);
         assert!(report.peak_ram_bytes() > 0);
+    }
+
+    #[test]
+    fn engine_and_work_items_are_send() {
+        // The fleet scheduler moves engines and scratches into worker
+        // threads; regressions here break `vmcu-serve` at compile time.
+        fn assert_send<T: Send>() {}
+        assert_send::<Engine>();
+        assert_send::<InferenceScratch>();
+        assert_send::<InferenceReport>();
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_machines() {
+        let g = zoo::demo_linear_net();
+        let weights = g.random_weights(21);
+        let input = random::tensor_i8(&g.in_shape(), 22);
+        let engine = Engine::new(Device::stm32_f767zi());
+        let fresh = engine.run_graph(&g, &weights, &input).unwrap();
+        let mut scratch = InferenceScratch::new();
+        // Second pass through a warm scratch must agree in outputs AND
+        // in measured counters (the reset must not leak state).
+        engine
+            .run_graph_scratch(&g, &weights, &input, &mut scratch)
+            .unwrap();
+        let warm = engine
+            .run_graph_scratch(&g, &weights, &input, &mut scratch)
+            .unwrap();
+        assert_eq!(warm.output, fresh.output);
+        assert_eq!(warm.latency_ms(), fresh.latency_ms());
+        assert_eq!(warm.energy_mj(), fresh.energy_mj());
+        assert_eq!(warm.peak_ram_bytes(), fresh.peak_ram_bytes());
+    }
+
+    #[test]
+    fn scratch_adapts_when_the_device_changes() {
+        let layer = LayerDesc::Ib(zoo::mcunet_5fps_vww()[4].params);
+        let w = LayerWeights::random(&layer, 3);
+        let input = input_for(&layer, 4);
+        let mut scratch = InferenceScratch::new();
+        let (out_small, _) = Engine::new(Device::stm32_f411re())
+            .run_layer_scratch("S5", &layer, &w, &input, &mut scratch)
+            .unwrap();
+        // Same scratch, bigger device: machine is rebuilt, not reused.
+        let (out_big, _) = Engine::new(Device::stm32_f767zi())
+            .run_layer_scratch("S5", &layer, &w, &input, &mut scratch)
+            .unwrap();
+        assert_eq!(out_small, out_big);
+    }
+
+    #[test]
+    fn oversized_model_is_a_typed_error_under_both_planners() {
+        // 200x200x16 -> 16 pointwise: ~640 KB of input alone, far beyond
+        // the 128 KB device under every policy.
+        let huge = LayerDesc::Pointwise(vmcu_kernels::PointwiseParams::new(
+            200,
+            200,
+            16,
+            16,
+            vmcu_tensor::Requant::identity(),
+        ));
+        let g = Graph::linear("huge", vec![huge.clone()]).unwrap();
+        let dev = Device::stm32_f411re();
+        for kind in [
+            PlannerKind::Vmcu(IbScheme::RowBuffer),
+            PlannerKind::TinyEngine,
+        ] {
+            let err = Engine::with_model(dev.clone(), kind, &g).unwrap_err();
+            match err {
+                EngineError::DoesNotFit {
+                    needed, available, ..
+                } => {
+                    assert!(needed > available, "{kind:?}: {needed} vs {available}");
+                    assert_eq!(available, dev.ram_bytes);
+                }
+                other => panic!("{kind:?}: expected DoesNotFit, got {other}"),
+            }
+            // The run path reports the same typed error instead of
+            // panicking.
+            let w = LayerWeights::random(&huge, 1);
+            let input = input_for(&huge, 2);
+            let err = Engine::new(dev.clone())
+                .planner(kind)
+                .run_layer("huge", &huge, &w, &input)
+                .unwrap_err();
+            assert!(matches!(err, EngineError::DoesNotFit { .. }), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn check_fit_returns_the_full_plan_when_deployable() {
+        let g = zoo::demo_linear_net();
+        let plan = Engine::new(Device::stm32_f411re()).check_fit(&g).unwrap();
+        assert_eq!(plan.layers.len(), g.len());
+        assert!(plan.deployable());
+        // Checked construction succeeds for the same model.
+        assert!(Engine::with_model(
+            Device::stm32_f411re(),
+            PlannerKind::Vmcu(IbScheme::RowBuffer),
+            &g
+        )
+        .is_ok());
     }
 
     #[test]

@@ -49,7 +49,7 @@
 pub mod engine;
 pub mod error;
 
-pub use engine::{Engine, InferenceReport, LayerReport, PlannerKind};
+pub use engine::{Engine, InferenceReport, InferenceScratch, LayerReport, PlannerKind};
 pub use error::EngineError;
 
 // Re-export the workspace crates under their natural names.
@@ -65,7 +65,7 @@ pub use vmcu_tensor;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use crate::engine::{Engine, InferenceReport, LayerReport, PlannerKind};
+    pub use crate::engine::{Engine, InferenceReport, InferenceScratch, LayerReport, PlannerKind};
     pub use crate::error::EngineError;
     pub use vmcu_graph::{Graph, LayerDesc, LayerWeights};
     pub use vmcu_kernels::{IbParams, IbScheme, PointwiseParams};

@@ -7,6 +7,19 @@ use vmcu::prelude::*;
 use vmcu::vmcu_graph::{exec, zoo};
 use vmcu::vmcu_tensor::random;
 
+/// Base seed for the generated networks. Defaults to 0 (the committed CI
+/// run); set `VMCU_TEST_SEED=<n>` to explore other net/weight/input
+/// combinations or to reproduce a CI failure locally — every panic
+/// message names the exact seed to export.
+fn base_seed() -> u64 {
+    match std::env::var("VMCU_TEST_SEED") {
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|e| panic!("VMCU_TEST_SEED=`{s}` is not a u64: {e}")),
+        Err(_) => 0,
+    }
+}
+
 fn check_seed(seed: u64) {
     let g = zoo::random_linear_net(seed, 4);
     let weights = g.random_weights(seed ^ 0xABCD);
@@ -23,34 +36,36 @@ fn check_seed(seed: u64) {
         let report = Engine::new(device.clone())
             .planner(kind)
             .run_graph(&g, &weights, &input)
-            .unwrap_or_else(|e| panic!("seed {seed} {kind:?}: {e}"));
+            .unwrap_or_else(|e| panic!("VMCU_TEST_SEED={seed} reproduces: {kind:?} failed: {e}"));
         assert_eq!(
             &report.output, expected,
-            "seed {seed}: {kind:?} diverges from reference"
+            "VMCU_TEST_SEED={seed} reproduces: {kind:?} diverges from reference"
         );
     }
 
     // Chained single-window execution must agree as well.
     let (chained, plan) = Engine::new(device)
         .run_graph_chained(&g, &weights, &input)
-        .unwrap_or_else(|e| panic!("seed {seed} chained: {e}"));
+        .unwrap_or_else(|e| panic!("VMCU_TEST_SEED={seed} reproduces: chained: {e}"));
     assert_eq!(
         &chained.output, expected,
-        "seed {seed}: chained execution diverges"
+        "VMCU_TEST_SEED={seed} reproduces: chained execution diverges"
     );
     assert!(plan.window > 0);
 }
 
 #[test]
 fn random_networks_agree_across_all_executors() {
-    for seed in 0..12 {
+    let base = base_seed();
+    for seed in base..base + 12 {
         check_seed(seed);
     }
 }
 
 #[test]
 fn random_networks_agree_more_seeds() {
-    for seed in 12..24 {
+    let base = base_seed();
+    for seed in base + 12..base + 24 {
         check_seed(seed);
     }
 }

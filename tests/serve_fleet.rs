@@ -1,0 +1,108 @@
+//! Fleet-serving integration suite: the paper's RAM savings must show up
+//! as admission capacity on a 128 KB fleet, and the scheduler must be
+//! deterministic end to end.
+
+use vmcu::prelude::*;
+use vmcu_serve::{random_stream, Fleet, FleetConfig, ModelCatalog, Outcome, RejectReason};
+
+fn fleet_128kb(planner: PlannerKind, workers: usize) -> Fleet {
+    Fleet::new(
+        FleetConfig::new(Device::stm32_f411re(), workers, planner),
+        ModelCatalog::standard(),
+    )
+}
+
+#[test]
+fn vmcu_admits_strictly_more_concurrent_requests_than_disjoint_at_128kb() {
+    // The acceptance criterion: same offered load, same 128 KB devices —
+    // segment-level planning admits strictly more than both
+    // tensor-level (TinyEngine) and scheduling-only (HMCOS) baselines.
+    let requests = random_stream(ModelCatalog::standard().models(), 64, 2024);
+    let vmcu = fleet_128kb(PlannerKind::Vmcu(IbScheme::RowBuffer), 4).run_batch(&requests);
+    for disjoint_kind in [PlannerKind::TinyEngine, PlannerKind::Hmcos] {
+        let disjoint = fleet_128kb(disjoint_kind, 4).run_batch(&requests);
+        assert!(
+            vmcu.stats.admitted > disjoint.stats.admitted,
+            "vMCU admitted {} must strictly exceed {} admitted {}",
+            vmcu.stats.admitted,
+            disjoint_kind.name(),
+            disjoint.stats.admitted
+        );
+        assert!(vmcu.stats.admission_rate > disjoint.stats.admission_rate);
+    }
+    assert_eq!(vmcu.stats.failed, 0);
+}
+
+#[test]
+fn rejections_are_the_papers_oom_cases() {
+    // Fig. 7 case 1 requests must be the ones TinyEngine rejects: the
+    // paper's "fails to run" outcome, per-request.
+    let mut requests = random_stream(ModelCatalog::standard().models(), 48, 7);
+    requests.iter_mut().for_each(|r| {
+        if r.id % 3 == 0 {
+            r.model = "fig7-hw80-c16-k16".to_owned();
+        }
+    });
+    let report = fleet_128kb(PlannerKind::TinyEngine, 2).run_batch(&requests);
+    for (req, outcome) in &report.outcomes {
+        if req.model == "fig7-hw80-c16-k16" {
+            assert!(
+                matches!(
+                    outcome,
+                    Outcome::Rejected(RejectReason::TooLargeForDevice { .. })
+                ),
+                "request {} should be rejected as too large, got {outcome:?}",
+                req.id
+            );
+        }
+    }
+    // The same stream under vMCU serves every case-1 request.
+    let report = fleet_128kb(PlannerKind::Vmcu(IbScheme::RowBuffer), 2).run_batch(&requests);
+    assert!(report
+        .outcomes
+        .iter()
+        .filter(|(r, _)| r.model == "fig7-hw80-c16-k16")
+        .all(|(_, o)| o.completion().is_some()));
+}
+
+#[test]
+fn fleet_reports_are_deterministic_and_within_device_limits() {
+    let f = fleet_128kb(PlannerKind::Vmcu(IbScheme::RowBuffer), 3);
+    let requests = random_stream(f.catalog().models(), 36, 99);
+    let a = f.run_batch(&requests);
+    let b = f.run_batch(&requests);
+    assert_eq!(a.outcomes, b.outcomes, "scheduling must be deterministic");
+    for (_, outcome) in &a.outcomes {
+        if let Some(c) = outcome.completion() {
+            assert!(c.peak_ram_bytes <= 128 * 1024);
+            assert!(c.latency_ms > 0.0);
+            assert!(c.energy_mj > 0.0);
+            assert!(c.worker < 3);
+        }
+    }
+    assert!(a.stats.p50_latency_ms <= a.stats.p99_latency_ms);
+    assert!(a.stats.requests_per_sec > 0.0);
+}
+
+#[test]
+fn capacity_api_and_fleet_agree_on_single_worker_residency() {
+    // plan::concurrent_capacity predicts how many distinct clones of one
+    // model a single device admits.
+    let catalog = ModelCatalog::standard();
+    let model = catalog.get("vww-s6").unwrap();
+    let device = Device::stm32_f411re();
+    let kind = PlannerKind::Vmcu(IbScheme::RowBuffer);
+    let predicted = vmcu::vmcu_plan::concurrent_capacity(&*kind.planner(), &model.graph, &device);
+    let mut controller = vmcu_serve::AdmissionController::new(device, kind, 1);
+    let mut admitted = 0usize;
+    for i in 0..predicted + 8 {
+        if controller
+            .admit(&format!("s6-clone-{i}"), &model.graph)
+            .is_ok()
+        {
+            admitted += 1;
+        }
+    }
+    assert_eq!(admitted, predicted);
+    assert!(predicted >= 2, "S6 should fit several times under vMCU");
+}
