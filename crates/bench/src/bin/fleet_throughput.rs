@@ -1,10 +1,12 @@
 //! Fleet-throughput experiment: the same seeded request stream offered to
-//! an N-device 128 KB fleet under vMCU, TinyEngine, and HMCOS planning.
+//! an N-device 128 KB fleet under vMCU, vMCU-fused (the multi-layer
+//! segment fusion pipeline), TinyEngine, and HMCOS planning.
 //!
 //! Emits `BENCH_fleet.json` (requests/sec, admission rate, p50/p99
 //! latency per planner — all in simulated device time, bit-reproducible
 //! across machines) and exits non-zero unless vMCU planning admits
-//! strictly more requests than both disjoint baselines. The CI bench
+//! strictly more requests than both disjoint baselines and the fused
+//! policy admits at least as many as single-layer vMCU. The CI bench
 //! gate (`bench_gate`) consumes the emitted file.
 //!
 //! Flags: `--light` (shorter stream for CI), `--workers N`, `--requests N`,
@@ -79,6 +81,7 @@ fn main() {
 
     let planners = [
         ("vMCU", PlannerKind::Vmcu(IbScheme::RowBuffer)),
+        ("vMCU-fused", PlannerKind::VmcuFused(IbScheme::RowBuffer)),
         ("TinyEngine", PlannerKind::TinyEngine),
         ("HMCOS", PlannerKind::Hmcos),
     ];
@@ -109,18 +112,33 @@ fn main() {
         per_planner.push((name, s.clone()));
     }
 
-    // The headline criterion: segment-level planning must admit strictly
-    // more of the same offered load than both disjoint baselines.
-    let vmcu = &per_planner[0].1;
-    let checks: Vec<(String, bool, String)> = per_planner[1..]
+    // The headline criteria: segment-level planning must admit strictly
+    // more of the same offered load than both disjoint baselines, and
+    // the fusion pass may only add capacity on top of it.
+    let by_name = |wanted: &str| {
+        &per_planner
+            .iter()
+            .find(|(name, _)| *name == wanted)
+            .expect("planner ran")
+            .1
+    };
+    let vmcu = by_name("vMCU");
+    let fused = by_name("vMCU-fused");
+    let checks: Vec<(String, bool, String)> = ["TinyEngine", "HMCOS"]
         .iter()
-        .map(|(name, s)| {
+        .map(|name| {
+            let s = by_name(name);
             (
                 format!("vmcu_admits_more_than_{}", name.to_lowercase()),
                 vmcu.admitted > s.admitted,
                 format!("vMCU {} vs {} {}", vmcu.admitted, name, s.admitted),
             )
         })
+        .chain(std::iter::once((
+            "fused_admits_at_least_vmcu".to_owned(),
+            fused.admitted >= vmcu.admitted,
+            format!("vMCU-fused {} vs vMCU {}", fused.admitted, vmcu.admitted),
+        )))
         .chain(std::iter::once((
             "no_execution_failures".to_owned(),
             per_planner.iter().all(|(_, s)| s.failed == 0),

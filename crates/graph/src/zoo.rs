@@ -135,6 +135,53 @@ pub fn demo_linear_net() -> Graph {
     .expect("demo net shapes chain")
 }
 
+/// An inverted bottleneck written out as **three separate layers**
+/// (pointwise expand → depthwise → pointwise project) instead of one
+/// fused [`LayerDesc::Ib`] module. Layer-at-a-time planning must pay the
+/// expanded 20×20×48 intermediate; the multi-layer fusion pass
+/// (`vmcu_plan::fusion`) pipelines the chain through line-buffer rings
+/// and never materializes it — the zoo model demonstrating the paper's
+/// multi-layer claim.
+pub fn mbv2_block_unfused() -> Graph {
+    let rq = Requant::from_scale(1.0 / 64.0, 0);
+    let mut expand = PointwiseParams::new(20, 20, 16, 48, rq);
+    expand.clamp = (0, 127);
+    let mut dw = DepthwiseParams::new(20, 20, 48, 3, 3, 1, 1, rq);
+    dw.clamp = (0, 127);
+    let project = PointwiseParams::new(20, 20, 48, 16, rq);
+    Graph::linear(
+        "mbv2-block-unfused",
+        vec![
+            LayerDesc::Pointwise(expand),
+            LayerDesc::Depthwise(dw),
+            LayerDesc::Pointwise(project),
+        ],
+    )
+    .expect("block shapes chain")
+}
+
+/// A wide expand–project chain whose 40×40×96 intermediate (153.6 KB)
+/// exceeds the 128 KB device outright: layer-at-a-time planning cannot
+/// deploy it under **any** policy, the fused pipeline can — the "only
+/// fits fused" regime.
+pub fn wide_expand_chain() -> Graph {
+    let rq = Requant::from_scale(1.0 / 64.0, 0);
+    let mut expand = PointwiseParams::new(40, 40, 16, 96, rq);
+    expand.clamp = (0, 127);
+    let mut dw = DepthwiseParams::new(40, 40, 96, 3, 3, 1, 1, rq);
+    dw.clamp = (0, 127);
+    let project = PointwiseParams::new(40, 40, 96, 16, rq);
+    Graph::linear(
+        "wide-expand-chain",
+        vec![
+            LayerDesc::Pointwise(expand),
+            LayerDesc::Depthwise(dw),
+            LayerDesc::Pointwise(project),
+        ],
+    )
+    .expect("chain shapes chain")
+}
+
 /// A named deployable model for fleet serving.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NamedGraph {
@@ -192,6 +239,13 @@ pub fn fleet_catalog() -> Vec<NamedGraph> {
         NamedGraph {
             name: "mixed-chain-9",
             graph: random_linear_net(9, 4),
+        },
+        // The unfused inverted bottleneck: admitted by every planner, but
+        // the fusion pass prices it far below layer-at-a-time vMCU, so
+        // the fused policy packs more clones per device.
+        NamedGraph {
+            name: "mbv2-block-unfused",
+            graph: mbv2_block_unfused(),
         },
     ]
 }

@@ -12,6 +12,8 @@
 //!   needs;
 //! * [`fused_ib`] — the fused inverted-bottleneck kernel (Figure 6) in
 //!   both workspace schemes;
+//! * [`fused_chain`] — the generalized multi-layer fused chain kernel
+//!   (line-buffer rings per intermediate, one pool window end to end);
 //! * [`tinyengine`] — the TinyEngine-policy baseline kernels (tensor-level
 //!   memory, im2col, fixed-depth unrolling, in-place depthwise);
 //! * [`trace`] — the executable-schedule trace machinery and the
@@ -28,6 +30,7 @@
 pub mod conv2d;
 pub mod depthwise;
 pub mod fc;
+pub mod fused_chain;
 pub mod fused_ib;
 pub mod intrinsics;
 pub mod params;
@@ -35,5 +38,6 @@ pub mod pointwise;
 pub mod tinyengine;
 pub mod trace;
 
+pub use fused_chain::{ChainOp, FusedChain};
 pub use fused_ib::{IbFlash, IbScheme};
 pub use params::{Conv2dParams, DepthwiseParams, FcParams, IbParams, PointwiseParams};

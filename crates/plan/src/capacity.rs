@@ -26,24 +26,50 @@ pub fn named_graph_layers(graph: &Graph) -> Vec<(String, LayerDesc)> {
         .collect()
 }
 
-/// Plans every layer of a linear graph for a device.
+/// Plans a whole model for a device — one plan entry per execution node
+/// (per layer for per-layer planners, per fused group for the fusion
+/// pass).
+///
+/// # Examples
+///
+/// ```
+/// use vmcu_plan::{plan_graph, VmcuPlanner};
+/// use vmcu_graph::zoo;
+/// use vmcu_sim::Device;
+///
+/// let g = zoo::demo_linear_net();
+/// let plan = plan_graph(&VmcuPlanner::default(), &g, &Device::stm32_f411re());
+/// assert_eq!(plan.layers.len(), g.len());
+/// assert!(plan.deployable());
+/// ```
 pub fn plan_graph(planner: &dyn MemoryPlanner, graph: &Graph, device: &Device) -> MemoryPlan {
-    planner.plan(&named_graph_layers(graph), device)
+    planner.plan_model(graph, device)
 }
 
-/// Peak SRAM demand of a model under a policy: the maximum per-layer
+/// Peak SRAM demand of a model under a policy: the bottleneck node's
 /// `activations + workspace` bytes, excluding the device's fixed runtime
 /// overhead (which is paid once per device, not once per model).
+///
+/// # Examples
+///
+/// The admission-control pricing surface: segment-level planning demands
+/// far less than tensor-level planning for the same model, and the fused
+/// multi-layer pipeline undercuts both on chains with fat intermediates:
+///
+/// ```
+/// use vmcu_plan::fusion::FusedPlanner;
+/// use vmcu_plan::{peak_demand_bytes, TinyEnginePlanner, VmcuPlanner};
+/// use vmcu_graph::zoo;
+///
+/// let g = zoo::mbv2_block_unfused();
+/// let te = peak_demand_bytes(&TinyEnginePlanner, &g);
+/// let vm = peak_demand_bytes(&VmcuPlanner::default(), &g);
+/// let fused = peak_demand_bytes(&FusedPlanner::default(), &g);
+/// assert!(vm < te);
+/// assert!(fused < vm);
+/// ```
 pub fn peak_demand_bytes(planner: &dyn MemoryPlanner, graph: &Graph) -> usize {
-    graph
-        .layers()
-        .iter()
-        .map(|l| {
-            let (act, ws) = planner.plan_layer(l);
-            act + ws
-        })
-        .max()
-        .unwrap_or(0)
+    planner.model_demand_bytes(graph)
 }
 
 /// How many instances of this model fit a device's usable SRAM at once

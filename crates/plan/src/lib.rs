@@ -14,7 +14,10 @@
 //! * [`headroom`] — the Figure 11/12 NAS-headroom searches;
 //! * [`capacity`] — whole-graph peak-demand and concurrent-capacity
 //!   lookups, the admission-control surface used by fleet serving
-//!   (`vmcu-serve`).
+//!   (`vmcu-serve`);
+//! * [`fusion`] — the multi-layer segment fusion pass and the
+//!   fusion-aware [`FusedPlanner`], which groups fusable layer runs into
+//!   single fused chains so fat intermediates never materialize.
 //!
 //! # Examples
 //!
@@ -37,6 +40,7 @@
 pub mod arena;
 pub mod capacity;
 pub mod chain;
+pub mod fusion;
 pub mod headroom;
 pub mod hmcos_planner;
 pub mod planner;
@@ -45,6 +49,7 @@ pub mod vmcu_planner;
 
 pub use capacity::{concurrent_capacity, peak_demand_bytes, plan_graph};
 pub use chain::{plan_chain, ChainPlan};
+pub use fusion::{fuse_graph, FusedPlanner, FusionNode, FusionPlan};
 pub use hmcos_planner::HmcosPlanner;
 pub use planner::{LayerPlan, MemoryPlan, MemoryPlanner};
 pub use tinyengine_planner::TinyEnginePlanner;

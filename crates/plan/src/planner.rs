@@ -6,7 +6,7 @@
 //! (TinyEngine), scheduling without in-place (HMCOS) — which is exactly
 //! the comparison of §7.
 
-use vmcu_graph::LayerDesc;
+use vmcu_graph::{Graph, LayerDesc};
 use vmcu_sim::Device;
 
 /// Per-layer planning result.
@@ -82,6 +82,28 @@ pub trait MemoryPlanner {
 
     /// Plans one layer: returns `(activation_bytes, workspace_bytes)`.
     fn plan_layer(&self, layer: &LayerDesc) -> (usize, usize);
+
+    /// Peak SRAM demand of a whole model (activations + workspace at the
+    /// bottleneck, no runtime overhead). The default is the per-layer
+    /// maximum; graph-aware planners (the fusion pass) override it.
+    fn model_demand_bytes(&self, graph: &Graph) -> usize {
+        graph
+            .layers()
+            .iter()
+            .map(|l| {
+                let (act, ws) = self.plan_layer(l);
+                act + ws
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Plans a whole model for a device. The default plans layer by
+    /// layer; graph-aware planners (the fusion pass) override it with
+    /// one plan entry per execution node.
+    fn plan_model(&self, graph: &Graph, device: &Device) -> MemoryPlan {
+        self.plan(&crate::capacity::named_graph_layers(graph), device)
+    }
 
     /// Plans a sequence of named layers for a device.
     fn plan(&self, layers: &[(String, LayerDesc)], device: &Device) -> MemoryPlan {

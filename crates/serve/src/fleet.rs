@@ -249,15 +249,19 @@ mod tests {
     }
 
     #[test]
-    fn makespan_shrinks_with_more_workers() {
+    fn more_workers_admit_no_less_and_serve_strictly_faster() {
         let requests = random_stream(ModelCatalog::standard().models(), 24, 11);
         let one = fleet(PlannerKind::Vmcu(IbScheme::RowBuffer), 1).run_batch(&requests);
         let four = fleet(PlannerKind::Vmcu(IbScheme::RowBuffer), 4).run_batch(&requests);
-        // More devices, same load: strictly better parallel makespan and
-        // therefore higher fleet throughput (completions may also rise
-        // with capacity, which only helps).
-        assert!(four.stats.makespan_ms < one.stats.makespan_ms);
+        // More devices never hurt: admission can only grow (more SRAM to
+        // commit residencies against) and throughput must rise. The
+        // makespan itself is not monotone — a single capacity-limited
+        // device admits *less* of the offered load, so it can finish its
+        // smaller batch sooner.
+        assert!(four.stats.admitted >= one.stats.admitted);
         assert!(four.stats.requests_per_sec > one.stats.requests_per_sec);
+        // Everything the small fleet served, the big one serves too.
+        assert!(four.stats.completed >= one.stats.completed);
     }
 
     #[test]

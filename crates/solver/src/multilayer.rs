@@ -17,7 +17,21 @@
 //!   iteration domain, solved by lexicographic scan (exact);
 //! * [`min_distance_events`] — a raw execution trace of reads/writes, for
 //!   schedules that are easier to emit than to express affinely (the
-//!   row-buffer inverted-bottleneck pipeline).
+//!   row-buffer inverted-bottleneck pipeline and the generalized fused
+//!   chain — `vmcu_plan::fusion` bounds every chain it builds with it).
+//!
+//! # Examples
+//!
+//! A streaming copy reads byte `x` then writes byte `x`: each write lands
+//! one byte behind the next read, so the output may trail the input by a
+//! single byte (`D* = −1`) and the two tensors overlap almost entirely:
+//!
+//! ```
+//! use vmcu_solver::multilayer::{min_distance_events, Event};
+//!
+//! let events = (0..8).flat_map(|x| [Event::Read(x), Event::Write(x)]);
+//! assert_eq!(min_distance_events(events), Some(-1));
+//! ```
 
 use crate::problem::{OffsetSolution, ReadAccess};
 use vmcu_ir::affine::{IterDomain, LinearAccess};

@@ -13,6 +13,7 @@ use vmcu_graph::{Graph, LayerDesc, LayerWeights};
 use vmcu_kernels::conv2d::{conv2d_exec_distance, run_conv2d};
 use vmcu_kernels::depthwise::{depthwise_exec_distance, run_depthwise};
 use vmcu_kernels::fc::{fc_exec_distance, run_fc};
+use vmcu_kernels::fused_chain::run_fused_chain;
 use vmcu_kernels::fused_ib::{ib_exec_distance, run_fused_ib, IbFlash};
 use vmcu_kernels::pointwise::{pointwise_exec_distance, run_pointwise};
 use vmcu_kernels::tinyengine::{
@@ -20,8 +21,11 @@ use vmcu_kernels::tinyengine::{
 };
 use vmcu_kernels::{IbScheme, PointwiseParams};
 use vmcu_plan::chain::{plan_chain, ChainPlan};
+use vmcu_plan::fusion::{fuse_graph, FusionNode, FusionPlan};
 use vmcu_plan::planner::MemoryPlanner;
-use vmcu_plan::{HmcosPlanner, LayerPlan, MemoryPlan, TinyEnginePlanner, VmcuPlanner};
+use vmcu_plan::{
+    FusedPlanner, HmcosPlanner, LayerPlan, MemoryPlan, TinyEnginePlanner, VmcuPlanner,
+};
 use vmcu_pool::SegmentPool;
 use vmcu_sim::{Device, ExecSummary, Machine};
 use vmcu_tensor::Tensor;
@@ -32,6 +36,10 @@ pub enum PlannerKind {
     /// vMCU segment-level management (fused modules use the given
     /// workspace scheme).
     Vmcu(IbScheme),
+    /// vMCU segment-level management **plus** the multi-layer segment
+    /// fusion pass: runs of fusable layers execute as one fused chain in
+    /// a single pool window, so fat intermediates never materialize.
+    VmcuFused(IbScheme),
     /// TinyEngine tensor-level management.
     TinyEngine,
     /// HMCOS scheduling (planned with HMCOS policy; executed with the
@@ -44,6 +52,7 @@ impl PlannerKind {
     pub fn name(&self) -> &'static str {
         match self {
             PlannerKind::Vmcu(_) => "vMCU",
+            PlannerKind::VmcuFused(_) => "vMCU-fused",
             PlannerKind::TinyEngine => "TinyEngine",
             PlannerKind::Hmcos => "HMCOS",
         }
@@ -55,6 +64,7 @@ impl PlannerKind {
     pub fn planner(&self) -> Box<dyn MemoryPlanner> {
         match self {
             PlannerKind::Vmcu(scheme) => Box::new(VmcuPlanner { scheme: *scheme }),
+            PlannerKind::VmcuFused(scheme) => Box::new(FusedPlanner { scheme: *scheme }),
             PlannerKind::TinyEngine => Box::new(TinyEnginePlanner),
             PlannerKind::Hmcos => Box::new(HmcosPlanner),
         }
@@ -111,9 +121,14 @@ impl InferenceReport {
 /// every inference it executes, and the machine is reset (zeroed, not
 /// reallocated) between layers. A fresh default scratch reproduces the
 /// old allocate-per-layer behavior bit-for-bit.
+///
+/// Under the fused policy the scratch also memoizes the [`FusionPlan`]:
+/// the plan depends only on `(graph, scheme)`, so a worker serving the
+/// same model repeatedly replans nothing on the hot path.
 #[derive(Debug, Default)]
 pub struct InferenceScratch {
     machine: Option<Machine>,
+    fusion: Option<(Graph, IbScheme, FusionPlan)>,
 }
 
 impl InferenceScratch {
@@ -130,6 +145,17 @@ impl InferenceScratch {
             slot => *slot = Some(Machine::new(device.clone())),
         }
         self.machine.as_mut().expect("machine just ensured")
+    }
+
+    /// The fusion plan for `(graph, scheme)`, recomputed only when they
+    /// change (structural graph equality, so a same-named but different
+    /// model can never reuse a stale plan).
+    fn fusion_plan_for(&mut self, graph: &Graph, scheme: IbScheme) -> &FusionPlan {
+        let hit = matches!(&self.fusion, Some((g, s, _)) if *s == scheme && g == graph);
+        if !hit {
+            self.fusion = Some((graph.clone(), scheme, fuse_graph(graph, scheme)));
+        }
+        &self.fusion.as_ref().expect("fusion plan just ensured").2
     }
 }
 
@@ -259,7 +285,9 @@ impl Engine {
         let machine = scratch.machine_for(&self.device);
         let before = machine.snapshot();
         let output = match self.kind {
-            PlannerKind::Vmcu(scheme) => self.exec_vmcu(machine, layer, weights, input, scheme)?,
+            PlannerKind::Vmcu(scheme) | PlannerKind::VmcuFused(scheme) => {
+                self.exec_vmcu(machine, layer, weights, input, scheme)?
+            }
             PlannerKind::TinyEngine | PlannerKind::Hmcos => {
                 self.exec_baseline(machine, layer, weights, input)?
             }
@@ -307,6 +335,9 @@ impl Engine {
         scratch: &mut InferenceScratch,
     ) -> Result<InferenceReport, EngineError> {
         assert_eq!(weights.len(), graph.len(), "weights/layers mismatch");
+        if let PlannerKind::VmcuFused(scheme) = self.kind {
+            return self.run_graph_fused(graph, weights, input, scratch, scheme);
+        }
         let mut layers = Vec::with_capacity(graph.len());
         let mut cur = input.clone();
         for (i, (layer, w)) in graph.layers().iter().zip(weights).enumerate() {
@@ -314,6 +345,86 @@ impl Engine {
             let (out, report) = self.run_layer_scratch(&name, layer, w, &cur, scratch)?;
             layers.push(report);
             cur = out;
+        }
+        Ok(InferenceReport {
+            output: cur,
+            layers,
+        })
+    }
+
+    /// Executes a graph under the multi-layer fusion pass: fused groups
+    /// run as one chain kernel in a single pool window (intermediates
+    /// live only as line-buffer rings), singleton nodes run through the
+    /// regular per-layer vMCU path. One [`LayerReport`] per execution
+    /// node.
+    fn run_graph_fused(
+        &self,
+        graph: &Graph,
+        weights: &[LayerWeights],
+        input: &Tensor<i8>,
+        scratch: &mut InferenceScratch,
+        scheme: IbScheme,
+    ) -> Result<InferenceReport, EngineError> {
+        let fusion = scratch.fusion_plan_for(graph, scheme).clone();
+        let mut layers = Vec::with_capacity(fusion.nodes.len());
+        let mut cur = input.clone();
+        for node in &fusion.nodes {
+            match node {
+                FusionNode::Single { index, .. } => {
+                    let layer = &graph.layers()[*index];
+                    let name = format!("{}#{index}", layer.kind());
+                    let (out, report) =
+                        self.run_layer_scratch(&name, layer, &weights[*index], &cur, scratch)?;
+                    layers.push(report);
+                    cur = out;
+                }
+                FusionNode::Fused(group) => {
+                    // One accounting source: the same LayerPlan the
+                    // planning surface reports.
+                    let plan = group.layer_plan(&self.device);
+                    if !plan.fits {
+                        return Err(EngineError::DoesNotFit {
+                            layer: plan.name,
+                            needed: plan.measured_bytes,
+                            available: self.device.ram_bytes,
+                        });
+                    }
+                    let m = scratch.machine_for(&self.device);
+                    let before = m.snapshot();
+                    let mut flash = Vec::with_capacity(group.chain.len());
+                    for (layer, w) in graph.layers()[group.start..group.end]
+                        .iter()
+                        .zip(&weights[group.start..group.end])
+                    {
+                        let bytes = match (layer, w) {
+                            (LayerDesc::Pointwise(_), LayerWeights::Pointwise(t))
+                            | (LayerDesc::Conv2d(_), LayerWeights::Conv2d(t))
+                            | (LayerDesc::Depthwise(_), LayerWeights::Depthwise(t))
+                            | (LayerDesc::Dense(_), LayerWeights::Dense(t)) => t.as_bytes(),
+                            _ => {
+                                return Err(EngineError::Unsupported {
+                                    kind: layer.kind(),
+                                    executor: "vMCU-fused",
+                                })
+                            }
+                        };
+                        flash.push(m.host_program_flash(&bytes)?);
+                    }
+                    let d = group.exec_distance;
+                    let mut pool = SegmentPool::new(m, 0, group.window, group.chain.seg())?;
+                    pool.host_fill_live(m, 0, &cur.as_bytes())?;
+                    run_fused_chain(m, &mut pool, &group.chain, 0, -d, &flash, group.window)?;
+                    let out_layer = &graph.layers()[group.end - 1];
+                    let out = pool.host_read(m, -d, out_layer.out_bytes())?;
+                    cur = Tensor::from_bytes(&out_layer.out_shape(), &out);
+                    let exec = m.summarize_since(&before);
+                    layers.push(LayerReport {
+                        name: plan.name.clone(),
+                        plan,
+                        exec,
+                    });
+                }
+            }
         }
         Ok(InferenceReport {
             output: cur,
@@ -733,6 +844,81 @@ mod tests {
             &g
         )
         .is_ok());
+    }
+
+    #[test]
+    fn fused_graph_run_matches_reference_executor() {
+        for g in [zoo::demo_linear_net(), zoo::mbv2_block_unfused()] {
+            let weights = g.random_weights(31);
+            let input = random::tensor_i8(&g.in_shape(), 32);
+            let report = Engine::new(Device::stm32_f767zi())
+                .planner(PlannerKind::VmcuFused(IbScheme::RowBuffer))
+                .run_graph(&g, &weights, &input)
+                .unwrap();
+            let reference = vmcu_graph::exec::run_reference(&g, &weights, &input);
+            assert_eq!(&report.output, reference.last().unwrap(), "{}", g.name);
+            assert!(report.latency_ms() > 0.0);
+        }
+    }
+
+    #[test]
+    fn fused_peak_ram_is_strictly_below_vmcu_on_the_zoo_chain() {
+        let g = zoo::mbv2_block_unfused();
+        let weights = g.random_weights(41);
+        let input = random::tensor_i8(&g.in_shape(), 42);
+        let dev = Device::stm32_f411re();
+        let fused = Engine::new(dev.clone())
+            .planner(PlannerKind::VmcuFused(IbScheme::RowBuffer))
+            .run_graph(&g, &weights, &input)
+            .unwrap();
+        let vmcu = Engine::new(dev).run_graph(&g, &weights, &input).unwrap();
+        assert_eq!(fused.output, vmcu.output, "policies must agree bit-exact");
+        assert!(
+            fused.peak_ram_bytes() < vmcu.peak_ram_bytes(),
+            "fused {} must be strictly below vMCU {}",
+            fused.peak_ram_bytes(),
+            vmcu.peak_ram_bytes()
+        );
+        // One report node for the whole fused chain.
+        assert_eq!(fused.layers.len(), 1);
+        assert_eq!(fused.layers[0].plan.kind, "fused-chain");
+    }
+
+    #[test]
+    fn wide_chain_deploys_only_under_the_fused_policy() {
+        let g = zoo::wide_expand_chain();
+        let weights = g.random_weights(51);
+        let input = random::tensor_i8(&g.in_shape(), 52);
+        let dev = Device::stm32_f411re();
+        let err = Engine::with_model(dev.clone(), PlannerKind::Vmcu(IbScheme::RowBuffer), &g)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::DoesNotFit { .. }));
+        let engine =
+            Engine::with_model(dev, PlannerKind::VmcuFused(IbScheme::RowBuffer), &g).unwrap();
+        let report = engine.run_graph(&g, &weights, &input).unwrap();
+        let reference = vmcu_graph::exec::run_reference(&g, &weights, &input);
+        assert_eq!(&report.output, reference.last().unwrap());
+        assert!(report.peak_ram_bytes() <= 128 * 1024);
+    }
+
+    #[test]
+    fn fused_scratch_reuse_is_bit_identical_to_fresh_machines() {
+        let g = zoo::mbv2_block_unfused();
+        let weights = g.random_weights(61);
+        let input = random::tensor_i8(&g.in_shape(), 62);
+        let engine = Engine::new(Device::stm32_f411re())
+            .planner(PlannerKind::VmcuFused(IbScheme::RowBuffer));
+        let fresh = engine.run_graph(&g, &weights, &input).unwrap();
+        let mut scratch = InferenceScratch::new();
+        engine
+            .run_graph_scratch(&g, &weights, &input, &mut scratch)
+            .unwrap();
+        let warm = engine
+            .run_graph_scratch(&g, &weights, &input, &mut scratch)
+            .unwrap();
+        assert_eq!(warm.output, fresh.output);
+        assert_eq!(warm.latency_ms(), fresh.latency_ms());
+        assert_eq!(warm.peak_ram_bytes(), fresh.peak_ram_bytes());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! | [`vmcu_pool`] | §3–4 | the circular segment pool with clobber detection |
 //! | [`vmcu_kernels`] | §5, §6.1 | segment-aware kernels + TinyEngine baselines |
 //! | [`vmcu_graph`] | §7 | model graphs + the Table 2 / Figure 7 zoo |
-//! | [`vmcu_plan`] | §2.3, §4 | vMCU / TinyEngine / HMCOS / arena planners |
+//! | [`vmcu_plan`] | §2.3, §4, §5.2 | vMCU / TinyEngine / HMCOS / arena planners + the multi-layer fusion pass |
 //! | [`vmcu_codegen`] | §6 | IR → C emission and the IR interpreter |
 //!
 //! ## Quickstart
@@ -69,7 +69,9 @@ pub mod prelude {
     pub use crate::error::EngineError;
     pub use vmcu_graph::{Graph, LayerDesc, LayerWeights};
     pub use vmcu_kernels::{IbParams, IbScheme, PointwiseParams};
-    pub use vmcu_plan::{HmcosPlanner, MemoryPlanner, TinyEnginePlanner, VmcuPlanner};
+    pub use vmcu_plan::{
+        FusedPlanner, HmcosPlanner, MemoryPlanner, TinyEnginePlanner, VmcuPlanner,
+    };
     pub use vmcu_sim::Device;
     pub use vmcu_tensor::{Requant, Tensor};
 }

@@ -9,3 +9,10 @@
 #![forbid(unsafe_code)]
 
 pub use vmcu;
+
+/// The README, included as rustdoc so its code blocks (the engine
+/// quickstart and the fleet-serving example, which uses the
+/// `vmcu-serve` dev-dependency) compile and run under
+/// `cargo test --doc` — the README cannot drift from the API.
+#[doc = include_str!("../README.md")]
+mod readme_doctests {}

@@ -31,6 +31,7 @@ fn check_seed(seed: u64) {
     for kind in [
         PlannerKind::Vmcu(IbScheme::RowBuffer),
         PlannerKind::Vmcu(IbScheme::SlidingWindow),
+        PlannerKind::VmcuFused(IbScheme::RowBuffer),
         PlannerKind::TinyEngine,
     ] {
         let report = Engine::new(device.clone())

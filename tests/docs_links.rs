@@ -1,0 +1,138 @@
+//! Documentation link checker: every relative markdown link in
+//! `README.md` and `docs/ARCHITECTURE.md` must point at a file that
+//! exists, and every `#anchor` must match a heading in the target — so
+//! the architecture tour's anchors referenced from the README cannot
+//! rot.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Extracts `[text](target)` link targets, skipping fenced code blocks.
+fn markdown_links(text: &str) -> Vec<String> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+                if let Some(end) = line[i + 2..].find(')') {
+                    links.push(line[i + 2..i + 2 + end].to_owned());
+                    i += 2 + end;
+                }
+            }
+            i += 1;
+        }
+    }
+    links
+}
+
+/// GitHub-style heading slugs: lowercase, spaces to dashes, punctuation
+/// dropped.
+fn heading_anchors(text: &str) -> HashSet<String> {
+    let mut anchors = HashSet::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence || !line.starts_with('#') {
+            continue;
+        }
+        let title = line.trim_start_matches('#').trim();
+        let slug: String = title
+            .chars()
+            .filter_map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    Some(c.to_ascii_lowercase())
+                } else if c == ' ' || c == '-' {
+                    Some('-')
+                } else {
+                    None
+                }
+            })
+            .collect();
+        anchors.insert(slug);
+    }
+    anchors
+}
+
+fn check_file_links(doc: &Path) {
+    let text =
+        std::fs::read_to_string(doc).unwrap_or_else(|e| panic!("reading {}: {e}", doc.display()));
+    let base = doc.parent().expect("doc has a parent directory");
+    for link in markdown_links(&text) {
+        if link.contains("://") || link.starts_with("mailto:") {
+            continue; // external links are out of scope for an offline check
+        }
+        let (path_part, anchor) = match link.split_once('#') {
+            Some((p, a)) => (p, Some(a)),
+            None => (link.as_str(), None),
+        };
+        let target = if path_part.is_empty() {
+            doc.to_path_buf()
+        } else {
+            base.join(path_part)
+        };
+        assert!(
+            target.exists(),
+            "{}: broken link `{link}` (no such file {})",
+            doc.display(),
+            target.display()
+        );
+        if let Some(anchor) = anchor {
+            let target_text = std::fs::read_to_string(&target)
+                .unwrap_or_else(|e| panic!("reading {}: {e}", target.display()));
+            let anchors = heading_anchors(&target_text);
+            assert!(
+                anchors.contains(anchor),
+                "{}: link `{link}` names anchor `#{anchor}` missing from {} (have: {:?})",
+                doc.display(),
+                target.display(),
+                anchors
+            );
+        }
+    }
+}
+
+#[test]
+fn readme_links_resolve() {
+    check_file_links(&repo_root().join("README.md"));
+}
+
+#[test]
+fn architecture_links_resolve() {
+    let doc = repo_root().join("docs/ARCHITECTURE.md");
+    assert!(doc.exists(), "docs/ARCHITECTURE.md must exist");
+    check_file_links(&doc);
+}
+
+#[test]
+fn readme_references_the_architecture_recipes() {
+    // The crate map must point into the architecture tour; if the tour's
+    // recipe headings are renamed, this test and the anchor check above
+    // fail together.
+    let readme = std::fs::read_to_string(repo_root().join("README.md")).unwrap();
+    for anchor in [
+        "docs/ARCHITECTURE.md#adding-a-new-planner",
+        "docs/ARCHITECTURE.md#adding-a-new-kernel",
+        "docs/ARCHITECTURE.md#adding-a-new-model",
+    ] {
+        assert!(
+            readme.contains(anchor),
+            "README must link {anchor} so contributors find the recipes"
+        );
+    }
+}

@@ -34,6 +34,42 @@ fn vmcu_admits_strictly_more_concurrent_requests_than_disjoint_at_128kb() {
 }
 
 #[test]
+fn fused_policy_admits_at_least_vmcu_and_stays_bit_faithful() {
+    // The fusion pass may only lower a model's priced demand (it falls
+    // back to single-layer planning when fusion does not pay), so the
+    // fused fleet admits at least what vMCU admits — and serves the
+    // chain-shaped models with strictly less committed SRAM.
+    let requests = random_stream(ModelCatalog::standard().models(), 64, 2024);
+    let vmcu = fleet_128kb(PlannerKind::Vmcu(IbScheme::RowBuffer), 4).run_batch(&requests);
+    let fused = fleet_128kb(PlannerKind::VmcuFused(IbScheme::RowBuffer), 4).run_batch(&requests);
+    assert!(
+        fused.stats.admitted >= vmcu.stats.admitted,
+        "fused admitted {} must be at least vMCU's {}",
+        fused.stats.admitted,
+        vmcu.stats.admitted
+    );
+    assert_eq!(fused.stats.failed, 0);
+    // Chain-shaped requests complete with a strictly lower peak RAM.
+    for (req, outcome) in &fused.outcomes {
+        if req.model == "mbv2-block-unfused" {
+            let c = outcome.completion().expect("fused must serve the chain");
+            let v = vmcu
+                .outcomes
+                .iter()
+                .find(|(r, _)| r.id == req.id)
+                .and_then(|(_, o)| o.completion())
+                .expect("vMCU serves the chain too");
+            assert!(
+                c.peak_ram_bytes < v.peak_ram_bytes,
+                "fused peak {} must undercut vMCU peak {}",
+                c.peak_ram_bytes,
+                v.peak_ram_bytes
+            );
+        }
+    }
+}
+
+#[test]
 fn rejections_are_the_papers_oom_cases() {
     // Fig. 7 case 1 requests must be the ones TinyEngine rejects: the
     // paper's "fails to run" outcome, per-request.
