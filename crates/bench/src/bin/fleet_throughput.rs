@@ -1,6 +1,7 @@
 //! Fleet-throughput experiment: the same seeded request stream offered to
 //! an N-device 128 KB fleet under vMCU, vMCU-fused (the multi-layer
-//! segment fusion pipeline), TinyEngine, and HMCOS planning.
+//! segment fusion pipeline), vMCU-patched (patch-based front-stage
+//! execution), TinyEngine, and HMCOS planning.
 //!
 //! Emits `BENCH_fleet.json` (requests/sec, admission rate, p50/p99
 //! latency per planner — all in simulated device time, bit-reproducible
@@ -82,6 +83,10 @@ fn main() {
     let planners = [
         ("vMCU", PlannerKind::Vmcu(IbScheme::RowBuffer)),
         ("vMCU-fused", PlannerKind::VmcuFused(IbScheme::RowBuffer)),
+        (
+            "vMCU-patched",
+            PlannerKind::VmcuPatched(IbScheme::RowBuffer),
+        ),
         ("TinyEngine", PlannerKind::TinyEngine),
         ("HMCOS", PlannerKind::Hmcos),
     ];
@@ -124,6 +129,7 @@ fn main() {
     };
     let vmcu = by_name("vMCU");
     let fused = by_name("vMCU-fused");
+    let patched = by_name("vMCU-patched");
     let checks: Vec<(String, bool, String)> = ["TinyEngine", "HMCOS"]
         .iter()
         .map(|name| {
@@ -138,6 +144,14 @@ fn main() {
             "fused_admits_at_least_vmcu".to_owned(),
             fused.admitted >= vmcu.admitted,
             format!("vMCU-fused {} vs vMCU {}", fused.admitted, vmcu.admitted),
+        )))
+        .chain(std::iter::once((
+            "patched_admits_at_least_vmcu".to_owned(),
+            patched.admitted >= vmcu.admitted,
+            format!(
+                "vMCU-patched {} vs vMCU {}",
+                patched.admitted, vmcu.admitted
+            ),
         )))
         .chain(std::iter::once((
             "no_execution_failures".to_owned(),

@@ -182,6 +182,40 @@ pub fn wide_expand_chain() -> Graph {
     .expect("chain shapes chain")
 }
 
+/// An MCUNetV2-style model whose high-resolution front stage is the
+/// memory wall: the 96×96×16 input activation alone is 147,456 bytes —
+/// more than the 128 KB device's entire SRAM — so **every** whole-tensor
+/// policy (vMCU, vMCU-fused, TinyEngine, HMCOS) fails to deploy it.
+/// Patch-based execution (`PlannerKind::VmcuPatched`) runs the four
+/// spatial front layers tile by tile, where only a tile's
+/// receptive-field slab is resident, and the model fits with room to
+/// spare — the "opens a new workload" model of the zoo.
+pub fn hires_front_stage() -> Graph {
+    let rq = Requant::from_scale(1.0 / 64.0, 0);
+    let mut dw1 = DepthwiseParams::new(96, 96, 16, 3, 3, 2, 1, rq);
+    dw1.clamp = (0, 127);
+    let mut pw1 = PointwiseParams::new(48, 48, 16, 24, rq);
+    pw1.clamp = (0, 127);
+    let mut dw2 = DepthwiseParams::new(48, 48, 24, 3, 3, 2, 1, rq);
+    dw2.clamp = (0, 127);
+    let mut pw2 = PointwiseParams::new(24, 24, 24, 32, rq);
+    pw2.clamp = (0, 127);
+    let mut ib = IbParams::new(24, 32, 64, 32, 3, (1, 1, 1));
+    ib.clamp1 = (0, 127);
+    ib.clamp2 = (0, 127);
+    Graph::linear(
+        "hires-front-stage",
+        vec![
+            LayerDesc::Depthwise(dw1),
+            LayerDesc::Pointwise(pw1),
+            LayerDesc::Depthwise(dw2),
+            LayerDesc::Pointwise(pw2),
+            LayerDesc::Ib(ib),
+        ],
+    )
+    .expect("front-stage shapes chain")
+}
+
 /// A named deployable model for fleet serving.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NamedGraph {
@@ -246,6 +280,13 @@ pub fn fleet_catalog() -> Vec<NamedGraph> {
         NamedGraph {
             name: "mbv2-block-unfused",
             graph: mbv2_block_unfused(),
+        },
+        // The spatial-bottleneck model: its 147 KB input activation OOMs
+        // every whole-tensor policy at 128 KB; only patch-based
+        // execution admits it.
+        NamedGraph {
+            name: "hires-front-stage",
+            graph: hires_front_stage(),
         },
     ]
 }

@@ -14,6 +14,9 @@
 //!   both workspace schemes;
 //! * [`fused_chain`] — the generalized multi-layer fused chain kernel
 //!   (line-buffer rings per intermediate, one pool window end to end);
+//! * [`patched`] — patch-based front-stage execution: spatial tiles of
+//!   the output run through the single-layer kernels slice by slice,
+//!   with receptive-field halos recomputed (and charged) honestly;
 //! * [`tinyengine`] — the TinyEngine-policy baseline kernels (tensor-level
 //!   memory, im2col, fixed-depth unrolling, in-place depthwise);
 //! * [`trace`] — the executable-schedule trace machinery and the
@@ -34,6 +37,7 @@ pub mod fused_chain;
 pub mod fused_ib;
 pub mod intrinsics;
 pub mod params;
+pub mod patched;
 pub mod pointwise;
 pub mod tinyengine;
 pub mod trace;
@@ -41,3 +45,4 @@ pub mod trace;
 pub use fused_chain::{ChainOp, FusedChain};
 pub use fused_ib::{IbFlash, IbScheme};
 pub use params::{Conv2dParams, DepthwiseParams, FcParams, IbParams, PointwiseParams};
+pub use patched::{PatchGrid, PatchedFront};

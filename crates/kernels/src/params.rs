@@ -292,6 +292,25 @@ impl DepthwiseParams {
     pub fn out_bytes(&self) -> usize {
         self.out_h() * self.out_w() * self.c
     }
+
+    /// MAC count (padding taps skipped, counted exactly — the same skip
+    /// logic `run_depthwise` executes). Row and column tap validity are
+    /// independent, so the count is separable.
+    pub fn macs(&self) -> u64 {
+        let valid = |out: usize, k: usize, dim: usize| -> u64 {
+            let mut taps = 0u64;
+            for o in 0..out {
+                for i in 0..k {
+                    let y = (o * self.stride + i) as isize - self.pad as isize;
+                    if y >= 0 && y < dim as isize {
+                        taps += 1;
+                    }
+                }
+            }
+            taps
+        };
+        valid(self.out_h(), self.r, self.h) * valid(self.out_w(), self.s, self.w) * self.c as u64
+    }
 }
 
 /// Inverted bottleneck module (Figure 6 / Table 2): pointwise expand →
@@ -433,6 +452,37 @@ mod tests {
         assert_eq!(fc.k, 16);
         assert_eq!(fc.n, 8);
         assert_eq!(p.macs(), fc.macs());
+    }
+
+    #[test]
+    fn depthwise_macs_match_the_kernel_skip_logic() {
+        // Brute-force the run_depthwise tap loop and compare with the
+        // separable closed form, across strides and window sizes.
+        for (h, r, stride, pad) in [(6, 3, 1, 1), (8, 3, 2, 1), (9, 7, 1, 3), (7, 5, 2, 2)] {
+            let p = DepthwiseParams::new(h, h, 4, r, r, stride, pad, Requant::identity());
+            let mut taps = 0u64;
+            for pi in 0..p.out_h() {
+                for qi in 0..p.out_w() {
+                    for ri in 0..p.r {
+                        let y = (pi * p.stride + ri) as isize - p.pad as isize;
+                        if y < 0 || y >= p.h as isize {
+                            continue;
+                        }
+                        for si in 0..p.s {
+                            let x = (qi * p.stride + si) as isize - p.pad as isize;
+                            if x >= 0 && x < p.w as isize {
+                                taps += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            assert_eq!(
+                p.macs(),
+                taps * p.c as u64,
+                "h={h} r={r} s={stride} p={pad}"
+            );
+        }
     }
 
     #[test]

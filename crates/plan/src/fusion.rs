@@ -153,6 +153,31 @@ impl FusionNode {
             FusionNode::Fused(g) => (g.start, g.end),
         }
     }
+
+    /// The plan entry for this node on `device` — one accounting source
+    /// shared by [`FusedPlanner::plan_model`], the patched planner's tail
+    /// (`crate::patch`), and the engine's execution reports.
+    pub fn layer_plan(&self, graph: &Graph, device: &Device) -> LayerPlan {
+        match self {
+            FusionNode::Single {
+                index,
+                activation_bytes,
+                workspace_bytes,
+            } => {
+                let layer = &graph.layers()[*index];
+                let measured = activation_bytes + workspace_bytes + device.runtime_overhead_bytes;
+                LayerPlan {
+                    name: format!("{}#{index}", layer.kind()),
+                    kind: layer.kind(),
+                    activation_bytes: *activation_bytes,
+                    workspace_bytes: *workspace_bytes,
+                    measured_bytes: measured,
+                    fits: measured <= device.ram_bytes,
+                }
+            }
+            FusionNode::Fused(g) => g.layer_plan(device),
+        }
+    }
 }
 
 /// A whole-graph fused execution plan.
@@ -348,26 +373,7 @@ impl MemoryPlanner for FusedPlanner {
         let layers = fusion
             .nodes
             .iter()
-            .map(|node| match node {
-                FusionNode::Single {
-                    index,
-                    activation_bytes,
-                    workspace_bytes,
-                } => {
-                    let layer = &graph.layers()[*index];
-                    let measured =
-                        activation_bytes + workspace_bytes + device.runtime_overhead_bytes;
-                    LayerPlan {
-                        name: format!("{}#{index}", layer.kind()),
-                        kind: layer.kind(),
-                        activation_bytes: *activation_bytes,
-                        workspace_bytes: *workspace_bytes,
-                        measured_bytes: measured,
-                        fits: measured <= device.ram_bytes,
-                    }
-                }
-                FusionNode::Fused(g) => g.layer_plan(device),
-            })
+            .map(|node| node.layer_plan(graph, device))
             .collect();
         MemoryPlan {
             planner: self.name(),

@@ -17,7 +17,11 @@
 //!   (`vmcu-serve`);
 //! * [`fusion`] — the multi-layer segment fusion pass and the
 //!   fusion-aware [`FusedPlanner`], which groups fusable layer runs into
-//!   single fused chains so fat intermediates never materialize.
+//!   single fused chains so fat intermediates never materialize;
+//! * [`patch`] — patch-based front-stage planning and the
+//!   [`PatchedPlanner`]: high-resolution front layers execute as spatial
+//!   patches whose receptive-field slabs, not whole tensors, set the
+//!   peak — the policy that deploys models whose *input* exceeds SRAM.
 //!
 //! # Examples
 //!
@@ -43,6 +47,7 @@ pub mod chain;
 pub mod fusion;
 pub mod headroom;
 pub mod hmcos_planner;
+pub mod patch;
 pub mod planner;
 pub mod tinyengine_planner;
 pub mod vmcu_planner;
@@ -51,6 +56,7 @@ pub use capacity::{concurrent_capacity, peak_demand_bytes, plan_graph};
 pub use chain::{plan_chain, ChainPlan};
 pub use fusion::{fuse_graph, FusedPlanner, FusionNode, FusionPlan};
 pub use hmcos_planner::HmcosPlanner;
+pub use patch::{PatchPlan, PatchedPlanner};
 pub use planner::{LayerPlan, MemoryPlan, MemoryPlanner};
 pub use tinyengine_planner::TinyEnginePlanner;
 pub use vmcu_planner::VmcuPlanner;

@@ -1,0 +1,448 @@
+//! Patch-based front-stage planning — the policy that opens the
+//! spatial-bottleneck workload.
+//!
+//! MCUNetV2 observes that the first few high-resolution layers of a CNN
+//! dominate peak RAM, and that executing them patch by patch (Pex's
+//! partial execution of operator slices) trades a bounded halo-recompute
+//! overhead for a peak that shrinks with the patch grid. [`plan`] applies
+//! that here: the **front stage** — the maximal run of spatially
+//! patchable layers (pointwise / depthwise / dense 2D convolution) from
+//! the graph input — is split into a grid of output tiles, each tile's
+//! receptive field is priced at its sliced per-layer vMCU footprint
+//! (`vmcu_kernels::patched`), the front adds the output accumulator
+//! that collects finished tiles (SRAM-resident until the tail consumes
+//! it; the model input itself is streamed per patch, MCUNetV2-style,
+//! and never billed), and the **tail** (everything after the front) is
+//! planned by the multi-layer fusion pass unchanged. The grid
+//! search picks the grid that minimizes peak demand subject to a
+//! recompute-overhead cap, and keeps the plain fused plan whenever
+//! patching does not strictly lower the peak — so a patched plan's
+//! demand never exceeds the fused plan's, which never exceeds
+//! single-layer vMCU's.
+//!
+//! [`PatchedPlanner`] packages the pass as a [`MemoryPlanner`], so
+//! [`crate::capacity::peak_demand_bytes`] and fleet admission pick the
+//! patched pricing up unchanged.
+
+use crate::fusion::{fuse_graph, FusionNode, FusionPlan};
+use crate::planner::{LayerPlan, MemoryPlan, MemoryPlanner};
+use crate::vmcu_planner::VmcuPlanner;
+use vmcu_graph::{Graph, LayerDesc};
+use vmcu_kernels::conv2d::conv2d_exec_footprint;
+use vmcu_kernels::depthwise::depthwise_exec_footprint;
+use vmcu_kernels::patched::{PatchGrid, PatchedFront};
+use vmcu_kernels::pointwise::pointwise_exec_footprint;
+use vmcu_kernels::{ChainOp, IbScheme};
+use vmcu_sim::Device;
+
+/// Maps a spatially patchable layer to its operator; `None` ends the
+/// front stage (fully-connected layers have no spatial axes, inverted
+/// bottlenecks are already their own fused unit).
+pub fn patch_op(layer: &LayerDesc) -> Option<ChainOp> {
+    match layer {
+        LayerDesc::Pointwise(p) => Some(ChainOp::Pointwise(*p)),
+        LayerDesc::Depthwise(p) => Some(ChainOp::Depthwise(*p)),
+        LayerDesc::Conv2d(p) => Some(ChainOp::Conv2d(*p)),
+        LayerDesc::Dense(_) | LayerDesc::Ib(_) => None,
+    }
+}
+
+/// Length of the patchable front stage: the maximal prefix of layers
+/// [`patch_op`] accepts.
+pub fn patchable_prefix(graph: &Graph) -> usize {
+    graph
+        .layers()
+        .iter()
+        .take_while(|l| patch_op(l).is_some())
+        .count()
+}
+
+/// Grid sizes the search tries along each axis (clamped to the
+/// front-stage output extent).
+pub const GRID_CANDIDATES: [usize; 6] = [1, 2, 3, 4, 6, 8];
+
+/// A whole-graph patched execution plan: the patched front stage (when
+/// patching pays) plus the fused plan of the tail.
+#[derive(Debug, Clone)]
+pub struct PatchPlan {
+    /// Number of graph layers in the patched front (0 = no patching,
+    /// the plan is the plain fused plan).
+    pub front_len: usize,
+    /// The validated front, `None` when `front_len == 0`.
+    pub front: Option<PatchedFront>,
+    /// Peak SRAM of the patched front: the worst sliced per-layer
+    /// footprint across all patches **plus** the front-output
+    /// accumulator, which stays resident while later patches execute
+    /// (the model input itself is streamed per patch, MCUNetV2-style,
+    /// and is not SRAM-resident). 0 when unpatched.
+    pub front_demand_bytes: usize,
+    /// Fraction of extra front MACs the halo recompute costs.
+    pub halo_overhead: f64,
+    /// Fusion plan of the remaining layers; node indices are
+    /// graph-absolute (already offset by `front_len`).
+    pub tail: FusionPlan,
+}
+
+impl PatchPlan {
+    /// Whether the plan actually patches a front stage.
+    pub fn is_patched(&self) -> bool {
+        self.front_len > 0
+    }
+
+    /// The patch grid (1×1 when unpatched).
+    pub fn grid(&self) -> PatchGrid {
+        self.front
+            .as_ref()
+            .map_or(PatchGrid { gy: 1, gx: 1 }, PatchedFront::grid)
+    }
+
+    /// Peak SRAM demand across the front and the tail (the patched
+    /// analogue of [`crate::capacity::peak_demand_bytes`]).
+    pub fn peak_demand_bytes(&self) -> usize {
+        self.front_demand_bytes.max(self.tail.peak_demand_bytes())
+    }
+
+    /// Display label of the patched front, shared by plan reports and
+    /// execution reports.
+    pub fn label(&self) -> String {
+        let g = self.grid();
+        format!("patched[0..{}]@{g}", self.front_len)
+    }
+
+    /// The plan entry for the patched front on `device` (`None` when
+    /// unpatched) — the single accounting source for the planning
+    /// surface and the engine's execution report.
+    pub fn front_layer_plan(&self, device: &Device) -> Option<LayerPlan> {
+        self.front.as_ref()?;
+        let measured = self.front_demand_bytes + device.runtime_overhead_bytes;
+        Some(LayerPlan {
+            name: self.label(),
+            kind: "patched-front",
+            activation_bytes: self.front_demand_bytes,
+            workspace_bytes: 0,
+            measured_bytes: measured,
+            fits: measured <= device.ram_bytes,
+        })
+    }
+}
+
+/// Peak pool bytes of one sliced operator — exactly the window
+/// `vmcu_kernels::patched::run_patched_front` executes it in.
+fn sliced_footprint(op: &ChainOp) -> usize {
+    match op {
+        ChainOp::Pointwise(p) => pointwise_exec_footprint(p),
+        ChainOp::Depthwise(p) => depthwise_exec_footprint(p),
+        ChainOp::Conv2d(p) => conv2d_exec_footprint(p),
+        ChainOp::Dense(_) => unreachable!("patched fronts hold spatial operators only"),
+    }
+}
+
+/// Peak sliced per-layer footprint and total sliced MACs across every
+/// patch of a front — one walk over the patch stages serves both, so
+/// the grid search prices each candidate in a single pass.
+fn front_metrics(front: &PatchedFront) -> (usize, u64) {
+    let grid = front.grid();
+    let mut peak = 0usize;
+    let mut macs = 0u64;
+    for ty in 0..grid.gy {
+        for tx in 0..grid.gx {
+            for stage in front.patch_stages(ty, tx) {
+                peak = peak.max(sliced_footprint(&stage.op));
+                macs += vmcu_kernels::patched::op_macs(&stage.op);
+            }
+        }
+    }
+    (peak, macs)
+}
+
+/// Shifts a tail fusion plan's node indices to graph-absolute positions.
+fn offset_nodes(plan: &mut FusionPlan, off: usize) {
+    for node in &mut plan.nodes {
+        match node {
+            FusionNode::Single { index, .. } => *index += off,
+            FusionNode::Fused(g) => {
+                g.start += off;
+                g.end += off;
+            }
+        }
+    }
+}
+
+/// Plans patch-based execution for a linear graph: the maximal patchable
+/// front stage is split over every candidate grid, each candidate is
+/// priced at its worst sliced per-layer vMCU footprint, and the grid
+/// that minimizes the whole-plan peak wins — subject to the
+/// halo-recompute cap `max_overhead` (e.g. `0.5` = at most 50% extra
+/// front MACs). When no grid strictly undercuts the plain fused plan,
+/// the fused plan is returned unpatched, so patched demand never exceeds
+/// fused demand.
+///
+/// # Examples
+///
+/// The high-resolution front stage of `zoo::hires_front_stage` carries a
+/// 147 KB input activation no whole-tensor policy fits in 128 KB; the
+/// patch grid shrinks the peak by an order of magnitude:
+///
+/// ```
+/// use vmcu_plan::patch::plan;
+/// use vmcu_plan::{peak_demand_bytes, VmcuPlanner};
+/// use vmcu_graph::zoo;
+/// use vmcu_kernels::IbScheme;
+///
+/// let g = zoo::hires_front_stage();
+/// let p = plan(&g, IbScheme::RowBuffer, 0.5);
+/// assert!(p.is_patched(), "the high-res front stage must patch");
+/// assert!(p.halo_overhead <= 0.5, "the recompute cap holds");
+/// let vmcu = peak_demand_bytes(&VmcuPlanner::default(), &g);
+/// assert!(p.peak_demand_bytes() * 2 < vmcu);
+/// ```
+pub fn plan(graph: &Graph, scheme: IbScheme, max_overhead: f64) -> PatchPlan {
+    let fallback = PatchPlan {
+        front_len: 0,
+        front: None,
+        front_demand_bytes: 0,
+        halo_overhead: 0.0,
+        tail: fuse_graph(graph, scheme),
+    };
+    let front_len = patchable_prefix(graph);
+    if front_len == 0 {
+        return fallback;
+    }
+    let ops: Vec<ChainOp> = graph.layers()[..front_len]
+        .iter()
+        .map(|l| patch_op(l).expect("prefix is patchable"))
+        .collect();
+    let tail_graph = Graph::linear(
+        format!("{}-tail", graph.name),
+        graph.layers()[front_len..].to_vec(),
+    )
+    .expect("a suffix of a validated graph chains");
+    let mut tail = fuse_graph(&tail_graph, scheme);
+    offset_nodes(&mut tail, front_len);
+    let tail_peak = tail.peak_demand_bytes();
+
+    let mut best = fallback;
+    // (peak, overhead, patches): strictly lower peak wins; at equal peak
+    // the cheaper recompute wins, then the coarser grid. The fallback's
+    // overhead of 0 means patching must *strictly* lower the peak.
+    let mut best_key = (best.peak_demand_bytes(), 0.0f64, 1usize);
+    let probe = PatchedFront::new(ops.clone(), PatchGrid { gy: 1, gx: 1 })
+        .expect("patchable prefix validates");
+    let (out_h, out_w, out_c) = probe.out_dims();
+    // Grid-independent, so computed once for the whole search. The
+    // front-output accumulator collects finished tiles and must stay
+    // SRAM-resident alongside the active slab window; the model input,
+    // by contrast, is streamed per patch (MCUNetV2 re-decodes it) and
+    // is not billed.
+    let front_out_bytes = out_h * out_w * out_c;
+    let unpatched_macs = probe.unpatched_macs();
+    for gy in GRID_CANDIDATES {
+        if gy > out_h {
+            continue;
+        }
+        for gx in GRID_CANDIDATES {
+            if gx > out_w {
+                continue;
+            }
+            let front = PatchedFront::new(ops.clone(), PatchGrid { gy, gx })
+                .expect("grid clamped to the output");
+            let (slab_peak, patched_macs) = front_metrics(&front);
+            let front_demand = slab_peak + front_out_bytes;
+            let overhead = if unpatched_macs == 0 {
+                0.0
+            } else {
+                patched_macs as f64 / unpatched_macs as f64 - 1.0
+            };
+            if overhead > max_overhead {
+                continue;
+            }
+            let peak = front_demand.max(tail_peak);
+            let key = (peak, overhead, gy * gx);
+            let better = key.0 < best_key.0
+                || (key.0 == best_key.0
+                    && (key.1 < best_key.1 || (key.1 == best_key.1 && key.2 < best_key.2)));
+            if better {
+                best_key = key;
+                best = PatchPlan {
+                    front_len,
+                    front: Some(front),
+                    front_demand_bytes: front_demand,
+                    halo_overhead: overhead,
+                    tail: tail.clone(),
+                };
+            }
+        }
+    }
+    best
+}
+
+/// The patch-aware vMCU planner: single layers price exactly like
+/// [`VmcuPlanner`], whole models price at the patched plan's peak
+/// (falling back to the fused plan when patching does not pay).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatchedPlanner {
+    /// Workspace scheme for fused inverted-bottleneck singletons in the
+    /// tail.
+    pub scheme: IbScheme,
+    /// Halo-recompute cap in percent of the unpatched front MACs.
+    pub max_overhead_pct: u32,
+}
+
+impl Default for PatchedPlanner {
+    fn default() -> Self {
+        Self {
+            scheme: IbScheme::RowBuffer,
+            max_overhead_pct: 50,
+        }
+    }
+}
+
+impl PatchedPlanner {
+    /// The recompute cap as a fraction.
+    pub fn max_overhead(&self) -> f64 {
+        f64::from(self.max_overhead_pct) / 100.0
+    }
+
+    /// Plans `graph` under this planner's scheme and cap.
+    pub fn patch_plan(&self, graph: &Graph) -> PatchPlan {
+        plan(graph, self.scheme, self.max_overhead())
+    }
+}
+
+impl MemoryPlanner for PatchedPlanner {
+    fn name(&self) -> &'static str {
+        "vMCU-patched"
+    }
+
+    fn plan_layer(&self, layer: &LayerDesc) -> (usize, usize) {
+        VmcuPlanner {
+            scheme: self.scheme,
+        }
+        .plan_layer(layer)
+    }
+
+    fn model_demand_bytes(&self, graph: &Graph) -> usize {
+        self.patch_plan(graph).peak_demand_bytes()
+    }
+
+    fn plan_model(&self, graph: &Graph, device: &Device) -> MemoryPlan {
+        let pplan = self.patch_plan(graph);
+        let mut layers = Vec::with_capacity(pplan.tail.nodes.len() + 1);
+        layers.extend(pplan.front_layer_plan(device));
+        layers.extend(
+            pplan
+                .tail
+                .nodes
+                .iter()
+                .map(|node| node.layer_plan(graph, device)),
+        );
+        MemoryPlan {
+            planner: self.name(),
+            device: device.name.clone(),
+            layers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacity::peak_demand_bytes;
+    use crate::fusion::FusedPlanner;
+    use vmcu_graph::zoo;
+
+    #[test]
+    fn unpatchable_front_falls_back_to_the_fused_plan() {
+        // demo_linear_net opens with a pointwise, but an IB follows at
+        // index 1 — the prefix is short; whatever the search decides, it
+        // must never price above the fused plan.
+        let g = zoo::demo_linear_net();
+        assert_eq!(patchable_prefix(&g), 1);
+        let patched = peak_demand_bytes(&PatchedPlanner::default(), &g);
+        let fused = peak_demand_bytes(&FusedPlanner::default(), &g);
+        assert!(patched <= fused);
+    }
+
+    #[test]
+    fn patched_demand_never_exceeds_fused_on_random_nets() {
+        // The structural guarantee fleet admission relies on.
+        for seed in 0..30 {
+            let g = zoo::random_linear_net(seed, 5);
+            assert!(
+                peak_demand_bytes(&PatchedPlanner::default(), &g)
+                    <= peak_demand_bytes(&FusedPlanner::default(), &g),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn hires_front_stage_patches_and_fits_128kb() {
+        let g = zoo::hires_front_stage();
+        let pplan = PatchedPlanner::default().patch_plan(&g);
+        assert!(pplan.is_patched());
+        assert_eq!(pplan.front_len, 4, "the four spatial layers patch");
+        assert!(pplan.grid().patches() > 1, "a real grid is chosen");
+        assert!(pplan.halo_overhead <= 0.5);
+        let device = Device::stm32_f411re();
+        let plan = crate::capacity::plan_graph(&PatchedPlanner::default(), &g, &device);
+        assert!(plan.deployable(), "patched hires must fit 128 KB");
+        // Every whole-tensor policy pays the 147 KB input and OOMs.
+        for planner in [
+            &VmcuPlanner::default() as &dyn MemoryPlanner,
+            &FusedPlanner::default(),
+            &crate::TinyEnginePlanner,
+            &crate::HmcosPlanner,
+        ] {
+            assert!(
+                !crate::capacity::plan_graph(planner, &g, &device).deployable(),
+                "{} must OOM on hires_front_stage at 128 KB",
+                planner.name()
+            );
+        }
+    }
+
+    #[test]
+    fn overhead_cap_constrains_the_grid() {
+        // A zero cap only admits grids with no halo recompute at all;
+        // for a padded front that is the 1x1 "grid" or nothing, so the
+        // plan must fall back to fused pricing.
+        let g = zoo::hires_front_stage();
+        let capped = plan(&g, IbScheme::RowBuffer, 0.0);
+        let relaxed = plan(&g, IbScheme::RowBuffer, 0.5);
+        assert!(capped.halo_overhead <= 0.0 + f64::EPSILON);
+        assert!(relaxed.is_patched());
+        assert!(capped.peak_demand_bytes() >= relaxed.peak_demand_bytes());
+    }
+
+    #[test]
+    fn plan_model_reports_the_patched_front_entry() {
+        let g = zoo::hires_front_stage();
+        let device = Device::stm32_f411re();
+        let planner = PatchedPlanner::default();
+        let plan = planner.plan_model(&g, &device);
+        assert_eq!(plan.layers[0].kind, "patched-front");
+        assert!(plan.layers[0].name.starts_with("patched[0..4]@"));
+        assert!(plan.deployable());
+        // Demand surfaces agree.
+        assert_eq!(
+            plan.bottleneck_bytes() - device.runtime_overhead_bytes,
+            planner.model_demand_bytes(&g)
+        );
+        // The tail entries carry graph-absolute indices.
+        assert!(plan.layers.iter().any(|l| l.name.contains("#4")));
+    }
+
+    #[test]
+    fn empty_and_tailless_graphs_plan_cleanly() {
+        let empty = Graph::linear("empty", vec![]).unwrap();
+        assert_eq!(peak_demand_bytes(&PatchedPlanner::default(), &empty), 0);
+        // A graph that is all front: the tail fusion plan is empty.
+        let g = zoo::mbv2_block_unfused();
+        let pplan = PatchedPlanner::default().patch_plan(&g);
+        if pplan.is_patched() {
+            assert_eq!(pplan.front_len, g.len());
+            assert!(pplan.tail.nodes.is_empty());
+        }
+    }
+}

@@ -15,6 +15,7 @@ use vmcu_kernels::depthwise::{depthwise_exec_distance, run_depthwise};
 use vmcu_kernels::fc::{fc_exec_distance, run_fc};
 use vmcu_kernels::fused_chain::run_fused_chain;
 use vmcu_kernels::fused_ib::{ib_exec_distance, run_fused_ib, IbFlash};
+use vmcu_kernels::patched::run_patched_front;
 use vmcu_kernels::pointwise::{pointwise_exec_distance, run_pointwise};
 use vmcu_kernels::tinyengine::{
     run_depthwise_te_inplace, run_ib_te, run_pointwise_te, TeIbLayout, TePointwiseLayout,
@@ -24,13 +25,32 @@ use vmcu_plan::chain::{plan_chain, ChainPlan};
 use vmcu_plan::fusion::{fuse_graph, FusionNode, FusionPlan};
 use vmcu_plan::planner::MemoryPlanner;
 use vmcu_plan::{
-    FusedPlanner, HmcosPlanner, LayerPlan, MemoryPlan, TinyEnginePlanner, VmcuPlanner,
+    FusedPlanner, HmcosPlanner, LayerPlan, MemoryPlan, PatchPlan, PatchedPlanner,
+    TinyEnginePlanner, VmcuPlanner,
 };
 use vmcu_pool::SegmentPool;
 use vmcu_sim::{Device, ExecSummary, Machine};
 use vmcu_tensor::Tensor;
 
 /// Planner/executor policy selection.
+///
+/// # Examples
+///
+/// Patch-based execution ([`PlannerKind::VmcuPatched`]) admits spatial
+/// workloads no whole-tensor policy can: `zoo::hires_front_stage`'s
+/// 147 KB input activation exceeds the 128 KB device outright, yet the
+/// patched engine deploys it.
+///
+/// ```
+/// use vmcu::prelude::*;
+///
+/// let g = vmcu::vmcu_graph::zoo::hires_front_stage();
+/// let dev = Device::stm32_f411re();
+/// let whole_tensor = Engine::with_model(dev.clone(), PlannerKind::Vmcu(IbScheme::RowBuffer), &g);
+/// assert!(matches!(whole_tensor, Err(EngineError::DoesNotFit { .. })));
+/// let patched = Engine::with_model(dev, PlannerKind::VmcuPatched(IbScheme::RowBuffer), &g);
+/// assert!(patched.is_ok());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlannerKind {
     /// vMCU segment-level management (fused modules use the given
@@ -40,6 +60,12 @@ pub enum PlannerKind {
     /// fusion pass: runs of fusable layers execute as one fused chain in
     /// a single pool window, so fat intermediates never materialize.
     VmcuFused(IbScheme),
+    /// vMCU segment-level management **plus** patch-based front-stage
+    /// execution: the high-resolution spatial front runs tile by tile
+    /// (only a tile's receptive-field slab is resident, halo recompute
+    /// charged honestly), the tail reuses the fusion pass — the policy
+    /// for models whose front activations exceed SRAM outright.
+    VmcuPatched(IbScheme),
     /// TinyEngine tensor-level management.
     TinyEngine,
     /// HMCOS scheduling (planned with HMCOS policy; executed with the
@@ -53,6 +79,7 @@ impl PlannerKind {
         match self {
             PlannerKind::Vmcu(_) => "vMCU",
             PlannerKind::VmcuFused(_) => "vMCU-fused",
+            PlannerKind::VmcuPatched(_) => "vMCU-patched",
             PlannerKind::TinyEngine => "TinyEngine",
             PlannerKind::Hmcos => "HMCOS",
         }
@@ -65,6 +92,10 @@ impl PlannerKind {
         match self {
             PlannerKind::Vmcu(scheme) => Box::new(VmcuPlanner { scheme: *scheme }),
             PlannerKind::VmcuFused(scheme) => Box::new(FusedPlanner { scheme: *scheme }),
+            PlannerKind::VmcuPatched(scheme) => Box::new(PatchedPlanner {
+                scheme: *scheme,
+                ..PatchedPlanner::default()
+            }),
             PlannerKind::TinyEngine => Box::new(TinyEnginePlanner),
             PlannerKind::Hmcos => Box::new(HmcosPlanner),
         }
@@ -122,13 +153,15 @@ impl InferenceReport {
 /// reallocated) between layers. A fresh default scratch reproduces the
 /// old allocate-per-layer behavior bit-for-bit.
 ///
-/// Under the fused policy the scratch also memoizes the [`FusionPlan`]:
-/// the plan depends only on `(graph, scheme)`, so a worker serving the
-/// same model repeatedly replans nothing on the hot path.
+/// Under the fused policy the scratch also memoizes the [`FusionPlan`]
+/// (and under the patched policy the [`PatchPlan`]): the plan depends
+/// only on `(graph, scheme)`, so a worker serving the same model
+/// repeatedly replans nothing on the hot path.
 #[derive(Debug, Default)]
 pub struct InferenceScratch {
     machine: Option<Machine>,
     fusion: Option<(Graph, IbScheme, FusionPlan)>,
+    patch: Option<(Graph, IbScheme, PatchPlan)>,
 }
 
 impl InferenceScratch {
@@ -156,6 +189,21 @@ impl InferenceScratch {
             self.fusion = Some((graph.clone(), scheme, fuse_graph(graph, scheme)));
         }
         &self.fusion.as_ref().expect("fusion plan just ensured").2
+    }
+
+    /// The patch plan for `(graph, scheme)`, recomputed only when they
+    /// change — the patched analogue of
+    /// [`fusion_plan_for`](Self::fusion_plan_for).
+    fn patch_plan_for(&mut self, graph: &Graph, scheme: IbScheme) -> &PatchPlan {
+        let hit = matches!(&self.patch, Some((g, s, _)) if *s == scheme && g == graph);
+        if !hit {
+            let planner = PatchedPlanner {
+                scheme,
+                ..PatchedPlanner::default()
+            };
+            self.patch = Some((graph.clone(), scheme, planner.patch_plan(graph)));
+        }
+        &self.patch.as_ref().expect("patch plan just ensured").2
     }
 }
 
@@ -285,7 +333,9 @@ impl Engine {
         let machine = scratch.machine_for(&self.device);
         let before = machine.snapshot();
         let output = match self.kind {
-            PlannerKind::Vmcu(scheme) | PlannerKind::VmcuFused(scheme) => {
+            PlannerKind::Vmcu(scheme)
+            | PlannerKind::VmcuFused(scheme)
+            | PlannerKind::VmcuPatched(scheme) => {
                 self.exec_vmcu(machine, layer, weights, input, scheme)?
             }
             PlannerKind::TinyEngine | PlannerKind::Hmcos => {
@@ -338,6 +388,9 @@ impl Engine {
         if let PlannerKind::VmcuFused(scheme) = self.kind {
             return self.run_graph_fused(graph, weights, input, scratch, scheme);
         }
+        if let PlannerKind::VmcuPatched(scheme) = self.kind {
+            return self.run_graph_patched(graph, weights, input, scratch, scheme);
+        }
         let mut layers = Vec::with_capacity(graph.len());
         let mut cur = input.clone();
         for (i, (layer, w)) in graph.layers().iter().zip(weights).enumerate() {
@@ -367,8 +420,25 @@ impl Engine {
     ) -> Result<InferenceReport, EngineError> {
         let fusion = scratch.fusion_plan_for(graph, scheme).clone();
         let mut layers = Vec::with_capacity(fusion.nodes.len());
+        let output =
+            self.run_fusion_nodes(graph, weights, &fusion.nodes, input, scratch, &mut layers)?;
+        Ok(InferenceReport { output, layers })
+    }
+
+    /// Executes a sequence of fusion-plan nodes (the whole graph under
+    /// the fused policy, the tail under the patched policy), appending
+    /// one [`LayerReport`] per node. Node indices are graph-absolute.
+    fn run_fusion_nodes(
+        &self,
+        graph: &Graph,
+        weights: &[LayerWeights],
+        nodes: &[FusionNode],
+        input: &Tensor<i8>,
+        scratch: &mut InferenceScratch,
+        layers: &mut Vec<LayerReport>,
+    ) -> Result<Tensor<i8>, EngineError> {
         let mut cur = input.clone();
-        for node in &fusion.nodes {
+        for node in nodes {
             match node {
                 FusionNode::Single { index, .. } => {
                     let layer = &graph.layers()[*index];
@@ -391,25 +461,12 @@ impl Engine {
                     }
                     let m = scratch.machine_for(&self.device);
                     let before = m.snapshot();
-                    let mut flash = Vec::with_capacity(group.chain.len());
-                    for (layer, w) in graph.layers()[group.start..group.end]
-                        .iter()
-                        .zip(&weights[group.start..group.end])
-                    {
-                        let bytes = match (layer, w) {
-                            (LayerDesc::Pointwise(_), LayerWeights::Pointwise(t))
-                            | (LayerDesc::Conv2d(_), LayerWeights::Conv2d(t))
-                            | (LayerDesc::Depthwise(_), LayerWeights::Depthwise(t))
-                            | (LayerDesc::Dense(_), LayerWeights::Dense(t)) => t.as_bytes(),
-                            _ => {
-                                return Err(EngineError::Unsupported {
-                                    kind: layer.kind(),
-                                    executor: "vMCU-fused",
-                                })
-                            }
-                        };
-                        flash.push(m.host_program_flash(&bytes)?);
-                    }
+                    let flash = stage_flash(
+                        m,
+                        &graph.layers()[group.start..group.end],
+                        &weights[group.start..group.end],
+                        "vMCU-fused",
+                    )?;
                     let d = group.exec_distance;
                     let mut pool = SegmentPool::new(m, 0, group.window, group.chain.seg())?;
                     pool.host_fill_live(m, 0, &cur.as_bytes())?;
@@ -426,10 +483,66 @@ impl Engine {
                 }
             }
         }
-        Ok(InferenceReport {
-            output: cur,
-            layers,
-        })
+        Ok(cur)
+    }
+
+    /// Executes a graph under the patch-based policy: the spatial front
+    /// stage runs tile by tile through
+    /// [`vmcu_kernels::patched::run_patched_front`] (only a tile's
+    /// receptive-field slab is ever resident; halo recompute is charged
+    /// to the machine), then the tail runs through the fusion-plan nodes
+    /// exactly like the fused policy. One [`LayerReport`] for the whole
+    /// front, one per tail node. When patching does not pay, the plan
+    /// degenerates to the plain fused plan and this is the fused path.
+    fn run_graph_patched(
+        &self,
+        graph: &Graph,
+        weights: &[LayerWeights],
+        input: &Tensor<i8>,
+        scratch: &mut InferenceScratch,
+        scheme: IbScheme,
+    ) -> Result<InferenceReport, EngineError> {
+        let pplan = scratch.patch_plan_for(graph, scheme).clone();
+        let mut layers = Vec::with_capacity(pplan.tail.nodes.len() + 1);
+        let mut cur = input.clone();
+        if let Some(front) = &pplan.front {
+            // One accounting source: the same LayerPlan the planning
+            // surface reports.
+            let plan = pplan
+                .front_layer_plan(&self.device)
+                .expect("front is present");
+            if !plan.fits {
+                return Err(EngineError::DoesNotFit {
+                    layer: plan.name,
+                    needed: plan.measured_bytes,
+                    available: self.device.ram_bytes,
+                });
+            }
+            let m = scratch.machine_for(&self.device);
+            let before = m.snapshot();
+            let flash = stage_flash(
+                m,
+                &graph.layers()[..pplan.front_len],
+                &weights[..pplan.front_len],
+                "vMCU-patched",
+            )?;
+            cur = run_patched_front(m, front, &cur, &flash)?;
+            let exec = m.summarize_since(&before);
+            layers.push(LayerReport {
+                name: plan.name.clone(),
+                plan,
+                exec,
+            });
+        }
+        let output = self.run_fusion_nodes(
+            graph,
+            weights,
+            &pplan.tail.nodes,
+            &cur,
+            scratch,
+            &mut layers,
+        )?;
+        Ok(InferenceReport { output, layers })
     }
 
     /// Runs a linear graph **chained through one circular pool**: each
@@ -684,6 +797,35 @@ impl Engine {
     }
 }
 
+/// Programs each layer's weights into Flash, returning one base address
+/// per layer — the shared staging step of the fused-chain and
+/// patched-front paths (`executor` names the policy in the typed error
+/// for a layer kind whose weights cannot stage).
+fn stage_flash(
+    m: &mut Machine,
+    layers: &[LayerDesc],
+    weights: &[LayerWeights],
+    executor: &'static str,
+) -> Result<Vec<usize>, EngineError> {
+    let mut flash = Vec::with_capacity(layers.len());
+    for (layer, w) in layers.iter().zip(weights) {
+        let bytes = match (layer, w) {
+            (LayerDesc::Pointwise(_), LayerWeights::Pointwise(t))
+            | (LayerDesc::Conv2d(_), LayerWeights::Conv2d(t))
+            | (LayerDesc::Depthwise(_), LayerWeights::Depthwise(t))
+            | (LayerDesc::Dense(_), LayerWeights::Dense(t)) => t.as_bytes(),
+            _ => {
+                return Err(EngineError::Unsupported {
+                    kind: layer.kind(),
+                    executor,
+                })
+            }
+        };
+        flash.push(m.host_program_flash(&bytes)?);
+    }
+    Ok(flash)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -908,6 +1050,74 @@ mod tests {
         let input = random::tensor_i8(&g.in_shape(), 62);
         let engine = Engine::new(Device::stm32_f411re())
             .planner(PlannerKind::VmcuFused(IbScheme::RowBuffer));
+        let fresh = engine.run_graph(&g, &weights, &input).unwrap();
+        let mut scratch = InferenceScratch::new();
+        engine
+            .run_graph_scratch(&g, &weights, &input, &mut scratch)
+            .unwrap();
+        let warm = engine
+            .run_graph_scratch(&g, &weights, &input, &mut scratch)
+            .unwrap();
+        assert_eq!(warm.output, fresh.output);
+        assert_eq!(warm.latency_ms(), fresh.latency_ms());
+        assert_eq!(warm.peak_ram_bytes(), fresh.peak_ram_bytes());
+    }
+
+    #[test]
+    fn patched_graph_run_matches_reference_executor() {
+        for g in [
+            zoo::demo_linear_net(),
+            zoo::mbv2_block_unfused(),
+            zoo::hires_front_stage(),
+        ] {
+            let weights = g.random_weights(71);
+            let input = random::tensor_i8(&g.in_shape(), 72);
+            let report = Engine::new(Device::stm32_f767zi())
+                .planner(PlannerKind::VmcuPatched(IbScheme::RowBuffer))
+                .run_graph(&g, &weights, &input)
+                .unwrap();
+            let reference = vmcu_graph::exec::run_reference(&g, &weights, &input);
+            assert_eq!(&report.output, reference.last().unwrap(), "{}", g.name);
+            assert!(report.latency_ms() > 0.0);
+        }
+    }
+
+    #[test]
+    fn hires_front_stage_deploys_only_under_the_patched_policy() {
+        let g = zoo::hires_front_stage();
+        let weights = g.random_weights(81);
+        let input = random::tensor_i8(&g.in_shape(), 82);
+        let dev = Device::stm32_f411re();
+        for kind in [
+            PlannerKind::Vmcu(IbScheme::RowBuffer),
+            PlannerKind::VmcuFused(IbScheme::RowBuffer),
+            PlannerKind::TinyEngine,
+            PlannerKind::Hmcos,
+        ] {
+            let err = Engine::with_model(dev.clone(), kind, &g).unwrap_err();
+            assert!(
+                matches!(err, EngineError::DoesNotFit { .. }),
+                "{kind:?} must OOM on the 147 KB front activation"
+            );
+        }
+        let engine =
+            Engine::with_model(dev, PlannerKind::VmcuPatched(IbScheme::RowBuffer), &g).unwrap();
+        let report = engine.run_graph(&g, &weights, &input).unwrap();
+        let reference = vmcu_graph::exec::run_reference(&g, &weights, &input);
+        assert_eq!(&report.output, reference.last().unwrap());
+        assert!(report.peak_ram_bytes() <= 128 * 1024);
+        // One report node for the patched front, named like the plan.
+        assert_eq!(report.layers[0].plan.kind, "patched-front");
+        assert!(report.layers[0].name.starts_with("patched[0..4]@"));
+    }
+
+    #[test]
+    fn patched_scratch_reuse_is_bit_identical_to_fresh_machines() {
+        let g = zoo::hires_front_stage();
+        let weights = g.random_weights(91);
+        let input = random::tensor_i8(&g.in_shape(), 92);
+        let engine = Engine::new(Device::stm32_f411re())
+            .planner(PlannerKind::VmcuPatched(IbScheme::RowBuffer));
         let fresh = engine.run_graph(&g, &weights, &input).unwrap();
         let mut scratch = InferenceScratch::new();
         engine

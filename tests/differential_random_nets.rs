@@ -32,6 +32,7 @@ fn check_seed(seed: u64) {
         PlannerKind::Vmcu(IbScheme::RowBuffer),
         PlannerKind::Vmcu(IbScheme::SlidingWindow),
         PlannerKind::VmcuFused(IbScheme::RowBuffer),
+        PlannerKind::VmcuPatched(IbScheme::RowBuffer),
         PlannerKind::TinyEngine,
     ] {
         let report = Engine::new(device.clone())

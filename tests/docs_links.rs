@@ -1,8 +1,9 @@
 //! Documentation link checker: every relative markdown link in
-//! `README.md` and `docs/ARCHITECTURE.md` must point at a file that
-//! exists, and every `#anchor` must match a heading in the target — so
-//! the architecture tour's anchors referenced from the README cannot
-//! rot.
+//! `README.md` and **every** page under `docs/` (discovered, not
+//! hard-coded) must point at a file that exists, and every `#anchor`
+//! must match a heading in the target — so anchors referenced across
+//! the README, the architecture tour, and the planner handbook cannot
+//! rot as pages are added.
 
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
@@ -113,10 +114,24 @@ fn readme_links_resolve() {
 }
 
 #[test]
-fn architecture_links_resolve() {
-    let doc = repo_root().join("docs/ARCHITECTURE.md");
-    assert!(doc.exists(), "docs/ARCHITECTURE.md must exist");
-    check_file_links(&doc);
+fn every_docs_page_links_resolve() {
+    // Discover, don't enumerate: a new docs page is covered the moment
+    // it lands, including its relative links to other docs pages and
+    // back up to the README.
+    let docs = repo_root().join("docs");
+    let mut pages: Vec<PathBuf> = std::fs::read_dir(&docs)
+        .expect("docs/ directory exists")
+        .map(|e| e.expect("readable docs entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "md"))
+        .collect();
+    pages.sort();
+    assert!(
+        pages.len() >= 2,
+        "docs/ must hold at least ARCHITECTURE.md and PLANNERS.md, found {pages:?}"
+    );
+    for page in &pages {
+        check_file_links(page);
+    }
 }
 
 #[test]
@@ -133,6 +148,43 @@ fn readme_references_the_architecture_recipes() {
         assert!(
             readme.contains(anchor),
             "README must link {anchor} so contributors find the recipes"
+        );
+    }
+}
+
+#[test]
+fn handbook_cross_links_are_bidirectional() {
+    // README ↔ ARCHITECTURE ↔ PLANNERS: the planner handbook must be
+    // reachable from both entry points, and must link back to both.
+    let root = repo_root();
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap();
+    let arch = std::fs::read_to_string(root.join("docs/ARCHITECTURE.md")).unwrap();
+    let planners = std::fs::read_to_string(root.join("docs/PLANNERS.md")).unwrap();
+    assert!(
+        readme.contains("docs/PLANNERS.md"),
+        "README must link the planner handbook"
+    );
+    assert!(
+        arch.contains("PLANNERS.md"),
+        "ARCHITECTURE must link the planner handbook"
+    );
+    assert!(
+        planners.contains("ARCHITECTURE.md") && planners.contains("../README.md"),
+        "the handbook must link back to ARCHITECTURE and the README"
+    );
+    // One section per engine policy. Whole-line matches, so deleting
+    // the `## vMCU` section cannot hide behind `## vMCU-fused`.
+    for heading in [
+        "## HMCOS",
+        "## TinyEngine",
+        "## vMCU",
+        "## vMCU-fused",
+        "## vMCU-patched",
+        "## Which planner should I use",
+    ] {
+        assert!(
+            planners.lines().any(|l| l == heading),
+            "PLANNERS.md must keep the `{heading}` section"
         );
     }
 }

@@ -1,0 +1,184 @@
+//! Patch-based front-stage execution, end to end: the MCUNetV2-style
+//! spatial bottleneck (`zoo::hires_front_stage`) must OOM under every
+//! whole-tensor policy and deploy — bit-exact against the reference —
+//! only under `PlannerKind::VmcuPatched`, with the halo recompute
+//! charged honestly and the planning surfaces agreeing with execution.
+
+use vmcu::prelude::*;
+use vmcu::vmcu_graph::{exec, zoo};
+use vmcu::vmcu_kernels::patched::{PatchGrid, PatchedFront};
+use vmcu::vmcu_plan::patch;
+use vmcu::vmcu_plan::peak_demand_bytes;
+use vmcu::vmcu_tensor::random;
+
+#[test]
+fn hires_front_stage_ooms_under_every_whole_tensor_planner() {
+    // The acceptance criterion: the first-stage activation (96·96·16 =
+    // 147,456 bytes) exceeds the 128 KB device outright.
+    let g = zoo::hires_front_stage();
+    assert!(g.layers()[0].in_bytes() > 128 * 1024);
+    let dev = Device::stm32_f411re();
+    for kind in [
+        PlannerKind::Vmcu(IbScheme::RowBuffer),
+        PlannerKind::Vmcu(IbScheme::SlidingWindow),
+        PlannerKind::VmcuFused(IbScheme::RowBuffer),
+        PlannerKind::TinyEngine,
+        PlannerKind::Hmcos,
+    ] {
+        let err = Engine::with_model(dev.clone(), kind, &g).unwrap_err();
+        assert!(
+            matches!(err, EngineError::DoesNotFit { .. }),
+            "{kind:?} must report the paper's fails-to-run outcome"
+        );
+    }
+    assert!(
+        Engine::with_model(dev, PlannerKind::VmcuPatched(IbScheme::RowBuffer), &g).is_ok(),
+        "patch-based execution must admit the spatial model"
+    );
+}
+
+#[test]
+fn patched_output_is_bit_identical_to_the_unpatched_reference() {
+    let g = zoo::hires_front_stage();
+    let weights = g.random_weights(101);
+    let input = random::tensor_i8(&g.in_shape(), 102);
+    let reference = exec::run_reference(&g, &weights, &input);
+    let report = Engine::new(Device::stm32_f411re())
+        .planner(PlannerKind::VmcuPatched(IbScheme::RowBuffer))
+        .run_graph(&g, &weights, &input)
+        .unwrap();
+    assert_eq!(&report.output, reference.last().unwrap());
+    assert!(report.peak_ram_bytes() <= 128 * 1024);
+}
+
+#[test]
+fn patched_plan_prices_execution_exactly() {
+    // The admission-control surface and the engine's execution report
+    // come from the same accounting; they can never disagree.
+    let g = zoo::hires_front_stage();
+    let dev = Device::stm32_f411re();
+    let planner = PatchedPlanner::default();
+    let demand = peak_demand_bytes(&planner, &g);
+    let weights = g.random_weights(111);
+    let input = random::tensor_i8(&g.in_shape(), 112);
+    let report = Engine::new(dev.clone())
+        .planner(PlannerKind::VmcuPatched(IbScheme::RowBuffer))
+        .run_graph(&g, &weights, &input)
+        .unwrap();
+    assert_eq!(report.peak_ram_bytes(), demand + dev.runtime_overhead_bytes);
+}
+
+#[test]
+fn halo_recompute_is_charged_and_capped() {
+    let g = zoo::hires_front_stage();
+    let pplan = patch::plan(&g, IbScheme::RowBuffer, 0.5);
+    assert!(pplan.is_patched());
+    let front = pplan.front.as_ref().unwrap();
+    assert!(
+        front.patched_macs() > front.unpatched_macs(),
+        "patching a padded front must recompute halo rows"
+    );
+    assert!(pplan.halo_overhead > 0.0);
+    assert!(pplan.halo_overhead <= 0.5, "the overhead cap must hold");
+}
+
+#[test]
+fn finer_grids_trade_cycles_for_peak_ram() {
+    // The patch trade-off, measured: a finer grid must not raise the
+    // front's peak slab footprint, and must cost at least as many MACs.
+    let g = zoo::hires_front_stage();
+    let ops: Vec<_> = g.layers()[..4]
+        .iter()
+        .map(|l| patch::patch_op(l).unwrap())
+        .collect();
+    let coarse = PatchedFront::new(ops.clone(), PatchGrid { gy: 2, gx: 2 }).unwrap();
+    let fine = PatchedFront::new(ops, PatchGrid { gy: 4, gx: 4 }).unwrap();
+    assert!(fine.patched_macs() > coarse.patched_macs());
+    let slab_rows = |f: &PatchedFront| {
+        let mut worst = 0usize;
+        for ty in 0..f.grid().gy {
+            for tx in 0..f.grid().gx {
+                for s in f.patch_stages(ty, tx) {
+                    worst = worst.max(s.slab.rows() * s.slab.cols());
+                }
+            }
+        }
+        worst
+    };
+    assert!(slab_rows(&fine) < slab_rows(&coarse));
+}
+
+#[test]
+fn patched_falls_back_to_fused_pricing_when_patching_does_not_pay() {
+    // demo_linear_net's front prefix is one small pointwise; no grid can
+    // undercut the fused plan, so the patched planner must price (and
+    // execute) identically to the fused planner.
+    let g = zoo::demo_linear_net();
+    let pplan = patch::plan(&g, IbScheme::RowBuffer, 0.5);
+    assert!(!pplan.is_patched(), "tiny fronts must not patch");
+    assert_eq!(
+        peak_demand_bytes(&PatchedPlanner::default(), &g),
+        peak_demand_bytes(&FusedPlanner::default(), &g),
+    );
+    let weights = g.random_weights(121);
+    let input = random::tensor_i8(&g.in_shape(), 122);
+    let dev = Device::stm32_f411re();
+    let patched = Engine::new(dev.clone())
+        .planner(PlannerKind::VmcuPatched(IbScheme::RowBuffer))
+        .run_graph(&g, &weights, &input)
+        .unwrap();
+    let fused = Engine::new(dev)
+        .planner(PlannerKind::VmcuFused(IbScheme::RowBuffer))
+        .run_graph(&g, &weights, &input)
+        .unwrap();
+    assert_eq!(patched.output, fused.output);
+    assert_eq!(patched.peak_ram_bytes(), fused.peak_ram_bytes());
+}
+
+#[test]
+fn seeded_random_fronts_stay_bit_exact_under_forced_grids() {
+    // Force patching on small random nets (bypassing the benefit check)
+    // to exercise border patches, strides, and odd extents beyond what
+    // the planner would choose on its own.
+    use vmcu::vmcu_kernels::patched::run_patched_front;
+    use vmcu::vmcu_sim::Machine;
+    for seed in 0..8 {
+        let g = zoo::random_linear_net(seed, 4);
+        let front_len = patch::patchable_prefix(&g);
+        if front_len == 0 {
+            continue;
+        }
+        let ops: Vec<_> = g.layers()[..front_len]
+            .iter()
+            .map(|l| patch::patch_op(l).unwrap())
+            .collect();
+        let weights = g.random_weights(seed ^ 0x5A);
+        let input = random::tensor_i8(&g.in_shape(), seed ^ 0xA5);
+        let reference = exec::run_reference(&g, &weights, &input);
+        let expected_front = &reference[front_len - 1];
+        for grid in [PatchGrid { gy: 2, gx: 2 }, PatchGrid { gy: 1, gx: 3 }] {
+            let Ok(front) = PatchedFront::new(ops.clone(), grid) else {
+                continue; // grid finer than this net's output
+            };
+            let mut m = Machine::new(Device::stm32_f767zi());
+            let flash: Vec<usize> = g.layers()[..front_len]
+                .iter()
+                .zip(&weights)
+                .map(|(_, w)| {
+                    let bytes = match w {
+                        LayerWeights::Pointwise(t)
+                        | LayerWeights::Depthwise(t)
+                        | LayerWeights::Conv2d(t) => t.as_bytes(),
+                        _ => unreachable!("patchable prefix"),
+                    };
+                    m.host_program_flash(&bytes).unwrap()
+                })
+                .collect();
+            let got = run_patched_front(&mut m, &front, &input, &flash).unwrap();
+            assert_eq!(
+                &got, expected_front,
+                "seed {seed} grid {grid} front diverges"
+            );
+        }
+    }
+}

@@ -70,6 +70,56 @@ fn fused_policy_admits_at_least_vmcu_and_stays_bit_faithful() {
 }
 
 #[test]
+fn patched_admits_at_least_vmcu_and_serves_the_spatial_catalog_entries() {
+    // Patch-based planning may only lower a model's priced demand (it
+    // falls back to the fused plan when patching does not pay), so the
+    // patched fleet admits at least what vMCU admits — and it is the
+    // only policy that serves the spatial-bottleneck catalog entry at
+    // all: hires-front-stage's 147 KB input OOMs every whole-tensor
+    // planner.
+    let requests = random_stream(ModelCatalog::standard().models(), 64, 2024);
+    let vmcu = fleet_128kb(PlannerKind::Vmcu(IbScheme::RowBuffer), 4).run_batch(&requests);
+    let patched =
+        fleet_128kb(PlannerKind::VmcuPatched(IbScheme::RowBuffer), 4).run_batch(&requests);
+    assert!(
+        patched.stats.admitted >= vmcu.stats.admitted,
+        "patched admitted {} must be at least vMCU's {}",
+        patched.stats.admitted,
+        vmcu.stats.admitted
+    );
+    assert_eq!(patched.stats.failed, 0);
+    let mut hires_seen = 0usize;
+    for (req, outcome) in &patched.outcomes {
+        if req.model == "hires-front-stage" {
+            hires_seen += 1;
+            let c = outcome
+                .completion()
+                .expect("patched must serve the spatial model");
+            assert!(c.peak_ram_bytes <= 128 * 1024);
+            // The same request is the paper's OOM outcome under vMCU.
+            let v = vmcu
+                .outcomes
+                .iter()
+                .find(|(r, _)| r.id == req.id)
+                .map(|(_, o)| o)
+                .expect("same stream");
+            assert!(
+                matches!(v, Outcome::Rejected(RejectReason::TooLargeForDevice { .. })),
+                "vMCU should reject hires-front-stage, got {v:?}"
+            );
+        }
+    }
+    assert!(
+        hires_seen > 0,
+        "the stream must exercise the spatial catalog entry"
+    );
+    assert!(
+        patched.stats.admitted > vmcu.stats.admitted,
+        "serving the spatial entries must show up as strictly more admissions"
+    );
+}
+
+#[test]
 fn rejections_are_the_papers_oom_cases() {
     // Fig. 7 case 1 requests must be the ones TinyEngine rejects: the
     // paper's "fails to run" outcome, per-request.
