@@ -13,6 +13,11 @@
 //! current == baseline exactly; the 20% margin only buys room for
 //! intentional small trade-offs, not for machine noise.
 //!
+//! The gate also holds the plan-once contract: each planner's
+//! `plan_calls_per_request` (serving-side planning amortization, 0 on
+//! the deploy-once worker path) must not rise above the baseline — the
+//! replanning win is gated, not just claimed.
+//!
 //! Usage:
 //! `bench_gate [--current BENCH_fleet.json] [--baseline ci/bench_baseline.json] [--max-drop 0.20]`
 
@@ -60,6 +65,9 @@ struct PlannerRow {
     requests_per_sec: f64,
     admission_rate: f64,
     admitted: f64,
+    /// Serving-side planning amortization (`serve_plan_calls / offered`);
+    /// `None` for baselines that predate the metric.
+    plan_calls_per_request: Option<f64>,
 }
 
 fn planner_rows(doc: &Json, path: &str) -> Vec<PlannerRow> {
@@ -82,6 +90,7 @@ fn planner_rows(doc: &Json, path: &str) -> Vec<PlannerRow> {
                 requests_per_sec: field("requests_per_sec"),
                 admission_rate: field("admission_rate"),
                 admitted: field("admitted"),
+                plan_calls_per_request: row.get("plan_calls_per_request").and_then(Json::as_f64),
             }
         })
         .collect()
@@ -134,6 +143,18 @@ fn main() {
                 } else {
                     String::new()
                 }
+            );
+            ok &= passed;
+        }
+        // Planning amortization gates the other direction: the serve-side
+        // replanning win must not regress (a *rise* in plan calls per
+        // request fails). Skipped when either file predates the metric.
+        if let (Some(b), Some(c)) = (base.plan_calls_per_request, cur.plan_calls_per_request) {
+            let ceiling = b * (1.0 + args.max_drop) + 1e-9;
+            let passed = c <= ceiling;
+            println!(
+                "  [{}] {name} plan_calls_per_request: {c:.4} vs baseline {b:.4} (ceiling {ceiling:.4})",
+                if passed { "PASS" } else { "FAIL" }
             );
             ok &= passed;
         }

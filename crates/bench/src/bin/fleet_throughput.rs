@@ -70,6 +70,22 @@ fn stats_json(planner: &str, stats: &FleetStats) -> Json {
         ("p50_latency_ms".into(), Json::from(stats.p50_latency_ms)),
         ("p99_latency_ms".into(), Json::from(stats.p99_latency_ms)),
         ("energy_mj".into(), Json::from(stats.energy_mj)),
+        // Planning vs inference, separated: deploy-side plan calls are
+        // paid once per fleet; serve-side calls (and their per-request
+        // amortization) are the gated metric — 0 on the plan-once path.
+        (
+            "deploy_plan_calls".into(),
+            Json::from(stats.deploy_plan_calls as usize),
+        ),
+        (
+            "serve_plan_calls".into(),
+            Json::from(stats.serve_plan_calls as usize),
+        ),
+        (
+            "plan_calls_per_request".into(),
+            Json::from(stats.plan_calls_per_request),
+        ),
+        ("planning_ms".into(), Json::from(stats.planning_ms)),
         ("host_wall_ms".into(), Json::from(stats.host_wall_ms)),
     ])
 }
@@ -104,14 +120,16 @@ fn main() {
         let report = fleet.run_batch(&requests);
         let s = &report.stats;
         println!(
-            "  {name:<10} admitted {:>3}/{:<3} ({:>5.1}%)  {:>8.2} req/s  p50 {:>7.3} ms  p99 {:>7.3} ms  {:>7.2} mJ",
+            "  {name:<10} admitted {:>3}/{:<3} ({:>5.1}%)  {:>8.2} req/s  p50 {:>7.3} ms  p99 {:>7.3} ms  {:>7.2} mJ  plan {}+{} calls",
             s.admitted,
             s.offered,
             s.admission_rate * 100.0,
             s.requests_per_sec,
             s.p50_latency_ms,
             s.p99_latency_ms,
-            s.energy_mj
+            s.energy_mj,
+            s.deploy_plan_calls,
+            s.serve_plan_calls
         );
         rows.push(stats_json(name, s));
         per_planner.push((name, s.clone()));
@@ -157,6 +175,21 @@ fn main() {
             "no_execution_failures".to_owned(),
             per_planner.iter().all(|(_, s)| s.failed == 0),
             "typed engine errors during admitted runs".to_owned(),
+        )))
+        .chain(std::iter::once((
+            "planning_amortized".to_owned(),
+            per_planner.iter().all(|(_, s)| s.serve_plan_calls == 0),
+            format!(
+                "serve-side plan calls per planner: {:?} (deploy-side: {:?})",
+                per_planner
+                    .iter()
+                    .map(|(_, s)| s.serve_plan_calls)
+                    .collect::<Vec<_>>(),
+                per_planner
+                    .iter()
+                    .map(|(_, s)| s.deploy_plan_calls)
+                    .collect::<Vec<_>>()
+            ),
         )))
         .collect();
 

@@ -139,8 +139,11 @@ fn main() {
     let reference = exec::run_reference(&hires, &weights, &input);
     let report = Engine::new(device.clone())
         .planner(PlannerKind::VmcuPatched(IbScheme::RowBuffer))
-        .run_graph(&hires, &weights, &input)
-        .expect("patched hires deploys at 128 KB");
+        .deploy(&hires, &weights)
+        .expect("patched hires deploys at 128 KB")
+        .session()
+        .infer(&input)
+        .expect("patched hires runs at 128 KB");
     let bit_exact = &report.output == reference.last().expect("non-empty model");
 
     let find = |wanted: &str| {

@@ -51,6 +51,7 @@ fn layer_distance(layer: &LayerDesc, scheme: IbScheme) -> (i64, usize) {
 
 /// Plans a linear graph into one circular pool.
 pub fn plan_chain(graph: &Graph, scheme: IbScheme) -> ChainPlan {
+    crate::telemetry::record_plan_call();
     let mut bases = vec![0i64];
     let mut distances = Vec::with_capacity(graph.len());
     let mut window = 0usize;

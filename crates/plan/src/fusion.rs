@@ -279,6 +279,7 @@ fn fused_group(start: usize, ops: Vec<ChainOp>) -> FusedGroup {
 /// whole run is not profitable). Everything else stays layer-at-a-time,
 /// and the result's layer ranges tile the graph.
 pub fn fuse_graph(graph: &Graph, scheme: IbScheme) -> FusionPlan {
+    crate::telemetry::record_plan_call();
     let single = VmcuPlanner { scheme };
     let single_demand = |layer: &LayerDesc| {
         let (a, w) = single.plan_layer(layer);
@@ -352,6 +353,33 @@ impl Default for FusedPlanner {
     }
 }
 
+impl FusedPlanner {
+    /// Builds the whole-model [`MemoryPlan`] from an **already computed**
+    /// fusion plan — one entry per execution node. [`plan_model`]
+    /// delegates here; callers that keep the [`FusionPlan`] around (the
+    /// engine's deploy step memoizes it for execution) derive the memory
+    /// plan without running the fusion pass a second time.
+    ///
+    /// [`plan_model`]: MemoryPlanner::plan_model
+    pub fn plan_model_from(
+        &self,
+        fusion: &FusionPlan,
+        graph: &Graph,
+        device: &Device,
+    ) -> MemoryPlan {
+        let layers = fusion
+            .nodes
+            .iter()
+            .map(|node| node.layer_plan(graph, device))
+            .collect();
+        MemoryPlan {
+            planner: self.name(),
+            device: device.name.clone(),
+            layers,
+        }
+    }
+}
+
 impl MemoryPlanner for FusedPlanner {
     fn name(&self) -> &'static str {
         "vMCU-fused"
@@ -369,17 +397,7 @@ impl MemoryPlanner for FusedPlanner {
     }
 
     fn plan_model(&self, graph: &Graph, device: &Device) -> MemoryPlan {
-        let fusion = fuse_graph(graph, self.scheme);
-        let layers = fusion
-            .nodes
-            .iter()
-            .map(|node| node.layer_plan(graph, device))
-            .collect();
-        MemoryPlan {
-            planner: self.name(),
-            device: device.name.clone(),
-            layers,
-        }
+        self.plan_model_from(&fuse_graph(graph, self.scheme), graph, device)
     }
 }
 

@@ -21,7 +21,10 @@
 //! * [`patch`] — patch-based front-stage planning and the
 //!   [`PatchedPlanner`]: high-resolution front layers execute as spatial
 //!   patches whose receptive-field slabs, not whole tensors, set the
-//!   peak — the policy that deploys models whose *input* exceeds SRAM.
+//!   peak — the policy that deploys models whose *input* exceeds SRAM;
+//! * [`telemetry`] — a thread-local counter of planning passes, so the
+//!   deploy-once/run-many contract (`session.infer` does zero planning
+//!   after `deploy`) is checkable by tests and the serve bench gate.
 //!
 //! # Examples
 //!
@@ -49,6 +52,7 @@ pub mod headroom;
 pub mod hmcos_planner;
 pub mod patch;
 pub mod planner;
+pub mod telemetry;
 pub mod tinyengine_planner;
 pub mod vmcu_planner;
 

@@ -197,6 +197,7 @@ fn offset_nodes(plan: &mut FusionPlan, off: usize) {
 /// assert!(p.peak_demand_bytes() * 2 < vmcu);
 /// ```
 pub fn plan(graph: &Graph, scheme: IbScheme, max_overhead: f64) -> PatchPlan {
+    crate::telemetry::record_plan_call();
     let fallback = PatchPlan {
         front_len: 0,
         front: None,
@@ -307,6 +308,30 @@ impl PatchedPlanner {
     pub fn patch_plan(&self, graph: &Graph) -> PatchPlan {
         plan(graph, self.scheme, self.max_overhead())
     }
+
+    /// Builds the whole-model [`MemoryPlan`] from an **already computed**
+    /// patch plan. [`plan_model`] delegates here; callers that keep the
+    /// [`PatchPlan`] around (the engine's deploy step memoizes it for
+    /// execution) derive the memory plan without running the grid search
+    /// a second time.
+    ///
+    /// [`plan_model`]: MemoryPlanner::plan_model
+    pub fn plan_model_from(&self, pplan: &PatchPlan, graph: &Graph, device: &Device) -> MemoryPlan {
+        let mut layers = Vec::with_capacity(pplan.tail.nodes.len() + 1);
+        layers.extend(pplan.front_layer_plan(device));
+        layers.extend(
+            pplan
+                .tail
+                .nodes
+                .iter()
+                .map(|node| node.layer_plan(graph, device)),
+        );
+        MemoryPlan {
+            planner: self.name(),
+            device: device.name.clone(),
+            layers,
+        }
+    }
 }
 
 impl MemoryPlanner for PatchedPlanner {
@@ -326,21 +351,7 @@ impl MemoryPlanner for PatchedPlanner {
     }
 
     fn plan_model(&self, graph: &Graph, device: &Device) -> MemoryPlan {
-        let pplan = self.patch_plan(graph);
-        let mut layers = Vec::with_capacity(pplan.tail.nodes.len() + 1);
-        layers.extend(pplan.front_layer_plan(device));
-        layers.extend(
-            pplan
-                .tail
-                .nodes
-                .iter()
-                .map(|node| node.layer_plan(graph, device)),
-        );
-        MemoryPlan {
-            planner: self.name(),
-            device: device.name.clone(),
-            layers,
-        }
+        self.plan_model_from(&self.patch_plan(graph), graph, device)
     }
 }
 

@@ -76,7 +76,12 @@ impl MemoryPlan {
 }
 
 /// A memory-planning policy.
-pub trait MemoryPlanner {
+///
+/// Planners are stateless policy objects (`Send + Sync`), so one
+/// resolved planner can be cached in a deployment or an admission
+/// controller and shared across worker threads instead of being re-boxed
+/// per call.
+pub trait MemoryPlanner: Send + Sync {
     /// Planner name for reports.
     fn name(&self) -> &'static str;
 
@@ -87,6 +92,7 @@ pub trait MemoryPlanner {
     /// bottleneck, no runtime overhead). The default is the per-layer
     /// maximum; graph-aware planners (the fusion pass) override it.
     fn model_demand_bytes(&self, graph: &Graph) -> usize {
+        crate::telemetry::record_plan_call();
         graph
             .layers()
             .iter()
@@ -107,6 +113,7 @@ pub trait MemoryPlanner {
 
     /// Plans a sequence of named layers for a device.
     fn plan(&self, layers: &[(String, LayerDesc)], device: &Device) -> MemoryPlan {
+        crate::telemetry::record_plan_call();
         let plans = layers
             .iter()
             .map(|(name, layer)| {

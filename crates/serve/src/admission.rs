@@ -11,6 +11,7 @@
 //! savings, restated as serving capacity.
 
 use crate::request::RejectReason;
+use vmcu::prelude::MemoryPlanner;
 use vmcu::PlannerKind;
 use vmcu_graph::Graph;
 use vmcu_sim::Device;
@@ -28,39 +29,70 @@ struct Ledger {
 }
 
 /// Deterministic admission controller for a homogeneous fleet.
-#[derive(Debug, Clone)]
 pub struct AdmissionController {
     device: Device,
-    kind: PlannerKind,
+    /// The planning policy object, resolved **once** at construction —
+    /// pricing a model must not re-box a planner per call.
+    planner: Box<dyn MemoryPlanner>,
     workers: Vec<Ledger>,
-    /// Demand per model name: admission is the sequential phase of every
-    /// batch, so each model's graph is planned once, not once per
-    /// request.
+    /// Demand per model name. Seeded from cached deployment plans via
+    /// [`with_priced_models`](Self::with_priced_models) so the serving
+    /// path never replans; unseeded models (e.g. ones that failed to
+    /// deploy) are priced once on first sight.
     demand_cache: std::collections::HashMap<String, usize>,
+}
+
+impl std::fmt::Debug for AdmissionController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionController")
+            .field("device", &self.device.name)
+            .field("planner", &self.planner.name())
+            .field("workers", &self.workers.len())
+            .field("priced_models", &self.demand_cache.len())
+            .finish()
+    }
 }
 
 impl AdmissionController {
     /// Creates a controller for `workers` copies of `device` planned with
-    /// `kind`.
+    /// `kind`, resolving the planning policy object once.
     ///
     /// # Panics
     ///
     /// Panics when `workers` is zero — a fleet needs at least one device.
     pub fn new(device: Device, kind: PlannerKind, workers: usize) -> Self {
+        Self::with_priced_models(device, kind, workers, [])
+    }
+
+    /// [`new`](Self::new), with the demand cache pre-seeded from prices
+    /// already computed elsewhere — the fleet scheduler seeds it from its
+    /// cached deployment [`MemoryPlan`](vmcu_plan::MemoryPlan)s, so
+    /// admitting a batch does zero planning work.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` is zero.
+    pub fn with_priced_models(
+        device: Device,
+        kind: PlannerKind,
+        workers: usize,
+        prices: impl IntoIterator<Item = (String, usize)>,
+    ) -> Self {
         assert!(workers > 0, "fleet needs at least one worker");
         Self {
             device,
-            kind,
+            planner: kind.planner(),
             workers: vec![Ledger::default(); workers],
-            demand_cache: std::collections::HashMap::new(),
+            demand_cache: prices.into_iter().collect(),
         }
     }
 
     /// Peak SRAM a model commits on whichever device hosts it
     /// (activations + workspace at the bottleneck layer; the fixed
-    /// runtime overhead is paid once per device, not per model).
+    /// runtime overhead is paid once per device, not per model). Priced
+    /// with the cached planner.
     pub fn demand_bytes(&self, graph: &Graph) -> usize {
-        vmcu_plan::peak_demand_bytes(&*self.kind.planner(), graph)
+        vmcu_plan::peak_demand_bytes(&*self.planner, graph)
     }
 
     /// Decides one request: `Ok(worker)` pins the request to a device,

@@ -1,27 +1,35 @@
-//! The fleet scheduler: admission, dispatch, parallel execution,
-//! aggregation.
+//! The fleet scheduler: deploy once, then admission, dispatch, parallel
+//! execution, aggregation.
 //!
-//! Scheduling is split into two phases so that the whole batch is
-//! reproducible despite real parallelism:
+//! Planning and serving are split the way the paper splits them:
 //!
+//! 0. **Deployment (once per fleet).** [`Fleet::new`] deploys every
+//!    catalog model that fits the device — fit validated, every plan
+//!    artifact memoized, weights owned — and prices each model from its
+//!    cached [`MemoryPlan`](vmcu_plan::MemoryPlan). Serving a batch
+//!    replans nothing; [`FleetStats`] reports planning time and plan
+//!    calls separately from inference time.
 //! 1. **Admission (sequential, deterministic).** Requests are considered
 //!    in submission order; the [`AdmissionController`] prices each model
-//!    at its planner peak-RAM estimate and pins admitted requests to a
+//!    from the pre-seeded demand cache and pins admitted requests to a
 //!    device. Rejections are final for the batch.
 //! 2. **Execution (parallel).** One `std::thread` per device drains its
-//!    pinned slice. Which *host* thread finishes first varies run to run,
-//!    but every number reported — latencies, energy, makespan,
-//!    requests/sec — is simulated device time, so the report is
-//!    bit-identical across runs and machines. Only
-//!    [`FleetStats::host_wall_ms`] is real time.
+//!    pinned slice through per-model [`Session`](vmcu::Session)s. Which
+//!    *host* thread finishes first varies run to run, but every number
+//!    reported — latencies, energy, makespan, requests/sec — is
+//!    simulated device time, so the report is bit-identical across runs
+//!    and machines. Only [`FleetStats::host_wall_ms`] and
+//!    [`FleetStats::planning_ms`] are real time.
 
 use crate::admission::AdmissionController;
 use crate::catalog::ModelCatalog;
 use crate::request::{Outcome, RequestSpec};
-use crate::stats::{FleetStats, WorkerStats};
-use crate::worker::Worker;
+use crate::stats::{FleetStats, PlanningStats, WorkerStats};
+use crate::worker::{model_weight_seed, Worker};
+use std::collections::HashMap;
 use std::time::Instant;
-use vmcu::PlannerKind;
+use vmcu::prelude::Deployment;
+use vmcu::{EngineError, PlannerKind};
 use vmcu_sim::Device;
 
 /// Fleet shape: how many copies of which device, planned how.
@@ -67,22 +75,71 @@ impl FleetReport {
     }
 }
 
-/// A fleet of simulated MCUs serving inference requests.
+/// A fleet of simulated MCUs serving inference requests: one shared
+/// [`Deployment`] per deployable catalog model (plan once), per-model
+/// [`Session`](vmcu::Session)s on each worker (run many).
 #[derive(Debug, Clone)]
 pub struct Fleet {
     config: FleetConfig,
     catalog: ModelCatalog,
+    /// One deployment per catalog model that fits the device under the
+    /// fleet's policy — shared by every worker.
+    deployments: HashMap<String, Deployment>,
+    /// Peak-demand price per catalog model, harvested from the cached
+    /// deployment plans (or from the typed deploy rejection), so
+    /// admission never replans.
+    prices: Vec<(String, usize)>,
+    /// Deploy-phase accounting, reported with every batch.
+    planning: PlanningStats,
 }
 
 impl Fleet {
-    /// Creates a fleet.
+    /// Creates a fleet and deploys the catalog: every model is planned
+    /// exactly once here, no matter how many batches or requests follow.
     ///
     /// # Panics
     ///
     /// Panics when the configuration has zero workers.
     pub fn new(config: FleetConfig, catalog: ModelCatalog) -> Self {
         assert!(config.workers > 0, "fleet needs at least one worker");
-        Self { config, catalog }
+        let started = Instant::now();
+        let plan_calls_before = vmcu_plan::telemetry::plan_calls();
+        let engine = vmcu::Engine::new(config.device.clone()).planner(config.planner);
+        let mut deployments = HashMap::new();
+        let mut prices = Vec::with_capacity(catalog.models().len());
+        for model in catalog.models() {
+            let weights = model.graph.random_weights(model_weight_seed(model.name));
+            match engine.deploy(&model.graph, &weights) {
+                Ok(dep) => {
+                    prices.push((model.name.to_owned(), dep.peak_demand_bytes()));
+                    deployments.insert(model.name.to_owned(), dep);
+                }
+                // The typed rejection already carries the planned demand
+                // (bottleneck bytes incl. runtime overhead) — harvest it
+                // so even non-deployable models are priced exactly once.
+                Err(EngineError::DoesNotFit { needed, .. }) => {
+                    prices.push((
+                        model.name.to_owned(),
+                        needed.saturating_sub(config.device.runtime_overhead_bytes),
+                    ));
+                }
+                // Anything else (unstageable weights, flash overflow) is
+                // left unpriced; admission prices it on first sight.
+                Err(_) => {}
+            }
+        }
+        let planning = PlanningStats {
+            deploy_ms: started.elapsed().as_secs_f64() * 1e3,
+            deploy_plan_calls: vmcu_plan::telemetry::plan_calls() - plan_calls_before,
+            serve_plan_calls: 0,
+        };
+        Self {
+            config,
+            catalog,
+            deployments,
+            prices,
+            planning,
+        }
     }
 
     /// The fleet configuration.
@@ -95,15 +152,29 @@ impl Fleet {
         &self.catalog
     }
 
+    /// The shared deployment of a catalog model, if it fits the device
+    /// under the fleet's policy.
+    pub fn deployment(&self, model: &str) -> Option<&Deployment> {
+        self.deployments.get(model)
+    }
+
+    /// Deploy-phase accounting (host planning time, plan calls).
+    pub fn planning(&self) -> &PlanningStats {
+        &self.planning
+    }
+
     /// Runs one batch of requests through admission and the worker pool.
     pub fn run_batch(&self, requests: &[RequestSpec]) -> FleetReport {
         let started = Instant::now();
+        let plan_calls_before = vmcu_plan::telemetry::plan_calls();
 
-        // Phase 1: deterministic admission + dispatch.
-        let mut controller = AdmissionController::new(
+        // Phase 1: deterministic admission + dispatch, priced from the
+        // cached deployment plans.
+        let mut controller = AdmissionController::with_priced_models(
             self.config.device.clone(),
             self.config.planner,
             self.config.workers,
+            self.prices.iter().cloned(),
         );
         // Jobs carry their submission slot: ids are caller-supplied and
         // need not be unique, so slots are the merge key.
@@ -127,6 +198,7 @@ impl Fleet {
                 }
             }
         }
+        let admission_plan_calls = vmcu_plan::telemetry::plan_calls() - plan_calls_before;
 
         // Phase 2: one thread per device drains its pinned slice.
         let runs = std::thread::scope(|scope| {
@@ -134,10 +206,8 @@ impl Fleet {
                 .iter()
                 .enumerate()
                 .map(|(index, jobs)| {
-                    let device = self.config.device.clone();
-                    let planner = self.config.planner;
-                    let catalog = &self.catalog;
-                    scope.spawn(move || Worker::new(index, device, planner).run(catalog, jobs))
+                    let deployments = &self.deployments;
+                    scope.spawn(move || Worker::new(index, deployments).run(jobs))
                 })
                 .collect();
             handles
@@ -161,12 +231,17 @@ impl Fleet {
             }
             worker_stats.push(run.stats);
         }
+        let planning = PlanningStats {
+            serve_plan_calls: admission_plan_calls,
+            ..self.planning.clone()
+        };
         let stats = FleetStats::aggregate(
             requests.len(),
             rejected,
             failed,
             &latencies,
             &worker_stats,
+            &planning,
             started.elapsed().as_secs_f64() * 1e3,
         );
         FleetReport {
@@ -197,8 +272,9 @@ mod tests {
     #[test]
     fn scheduler_is_deterministic_for_a_seeded_stream() {
         // The loom-free determinism contract: same seed, same worker
-        // count => identical outcomes and stats (host wall-clock aside),
-        // run to run, regardless of thread interleaving.
+        // count => identical outcomes and stats (host wall-clock and
+        // host planning time aside), run to run, regardless of thread
+        // interleaving.
         let f = fleet(PlannerKind::Vmcu(IbScheme::RowBuffer), 3);
         let requests = random_stream(f.catalog().models(), 48, 0xF1EE7);
         let a = f.run_batch(&requests);
@@ -208,9 +284,32 @@ mod tests {
         let (mut sa, mut sb) = (a.stats.clone(), b.stats.clone());
         sa.host_wall_ms = 0.0;
         sb.host_wall_ms = 0.0;
+        sa.planning_ms = 0.0;
+        sb.planning_ms = 0.0;
         assert_eq!(sa, sb);
         assert!(a.stats.completed > 0);
         assert_eq!(a.stats.failed, 0, "no execution failures expected");
+    }
+
+    #[test]
+    fn serving_replans_nothing_after_deploy() {
+        // The deploy-once acceptance criterion at fleet scale: planning
+        // happens in Fleet::new; admitting and serving a whole batch
+        // performs zero planning passes (every catalog model deploys
+        // under the patched policy, so nothing is priced late).
+        let f = fleet(PlannerKind::VmcuPatched(IbScheme::RowBuffer), 2);
+        assert!(f.planning().deploy_plan_calls > 0, "deploy must plan");
+        let requests = random_stream(f.catalog().models(), 32, 11);
+        let report = f.run_batch(&requests);
+        assert_eq!(
+            report.stats.serve_plan_calls, 0,
+            "the serving path must not plan"
+        );
+        assert_eq!(report.stats.plan_calls_per_request, 0.0);
+        assert_eq!(
+            report.stats.deploy_plan_calls,
+            f.planning().deploy_plan_calls
+        );
     }
 
     #[test]

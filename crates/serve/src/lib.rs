@@ -3,12 +3,16 @@
 //! The vMCU paper shows that segment-level memory management shrinks a
 //! model's peak SRAM (§7); this crate turns that saving into the number
 //! that matters at fleet scale: **how many concurrent requests N devices
-//! can admit**. A [`Fleet`] owns N simulated Cortex-M4/M7 devices (one
-//! `std::thread` worker each), an [`AdmissionController`] prices every
-//! model at its planner's peak-RAM estimate, and a batch run reports
+//! can admit**. A [`Fleet`] deploys every catalog model **once** at
+//! construction (one shared [`vmcu::Deployment`] per model — fit
+//! validated, plans memoized, weights owned), owns N simulated
+//! Cortex-M4/M7 devices (one `std::thread` worker each, serving through
+//! per-model [`vmcu::Session`]s with zero replanning), and prices
+//! admission from the cached deployment plans. A batch run reports
 //! requests/sec, admission rate, and p50/p99 latency — all in simulated
 //! device time, so every number is bit-reproducible across hosts (the CI
-//! bench gate depends on this).
+//! bench gate depends on this) — with planning time and plan calls
+//! accounted separately from inference time.
 //!
 //! ## Quickstart
 //!
@@ -45,4 +49,4 @@ pub use admission::AdmissionController;
 pub use catalog::ModelCatalog;
 pub use fleet::{Fleet, FleetConfig, FleetReport};
 pub use request::{random_stream, Completion, Outcome, RejectReason, RequestSpec};
-pub use stats::{percentile_ms, FleetStats, WorkerStats};
+pub use stats::{percentile_ms, FleetStats, PlanningStats, WorkerStats};

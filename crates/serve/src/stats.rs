@@ -19,6 +19,29 @@ pub struct WorkerStats {
     pub energy_mj: f64,
     /// Summed device counters (MACs, RAM/flash traffic, cycles).
     pub counters: Counters,
+    /// Planning passes this worker performed while serving its slice
+    /// (per-thread [`vmcu_plan::telemetry`] delta). Always 0 on the
+    /// deploy-once path — workers execute memoized plans.
+    pub plan_calls: u64,
+}
+
+/// Planning-side accounting of one batch, kept separate from inference
+/// time: the whole point of the deploy-once flow is that planning cost
+/// is paid once per model, not once per request.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanningStats {
+    /// Host milliseconds spent deploying the catalog (fit validation and
+    /// plan memoization). Informational — host time, not simulated time,
+    /// and therefore not bit-reproducible.
+    pub deploy_ms: f64,
+    /// Planning passes performed at deploy time (once per fleet, not per
+    /// batch). Deterministic.
+    pub deploy_plan_calls: u64,
+    /// Planning passes performed while serving the batch: admission
+    /// pricing plus worker execution. Near zero on the deploy-once path
+    /// (only models that failed to deploy are priced on first sight).
+    /// Deterministic.
+    pub serve_plan_calls: u64,
 }
 
 /// Whole-fleet statistics over one batch.
@@ -47,8 +70,21 @@ pub struct FleetStats {
     pub p99_latency_ms: f64,
     /// Total simulated energy, mJ.
     pub energy_mj: f64,
-    /// Real host time the batch took, ms (informational; the only
-    /// non-deterministic field).
+    /// Host milliseconds spent planning (deploying the catalog),
+    /// amortized across every batch the fleet serves. Informational and
+    /// non-deterministic, like [`host_wall_ms`](Self::host_wall_ms).
+    pub planning_ms: f64,
+    /// Planning passes at deploy time (deterministic).
+    pub deploy_plan_calls: u64,
+    /// Planning passes while serving this batch (deterministic; ~0 on
+    /// the deploy-once path).
+    pub serve_plan_calls: u64,
+    /// Serving-side planning amortization: `serve_plan_calls / offered`
+    /// (0 for an empty batch). The bench gate fails when this rises —
+    /// the replanning win is gated, not just claimed.
+    pub plan_calls_per_request: f64,
+    /// Real host time the batch took, ms (informational;
+    /// non-deterministic).
     pub host_wall_ms: f64,
 }
 
@@ -74,11 +110,14 @@ impl FleetStats {
         failed: usize,
         latencies_ms: &[f64],
         workers: &[WorkerStats],
+        planning: &PlanningStats,
         host_wall_ms: f64,
     ) -> Self {
         let completed = latencies_ms.len();
         let admitted = completed + failed;
         let makespan_ms = workers.iter().map(|w| w.busy_ms).fold(0.0, f64::max);
+        let serve_plan_calls =
+            planning.serve_plan_calls + workers.iter().map(|w| w.plan_calls).sum::<u64>();
         Self {
             offered,
             admitted,
@@ -99,6 +138,14 @@ impl FleetStats {
             p50_latency_ms: percentile_ms(latencies_ms, 0.50),
             p99_latency_ms: percentile_ms(latencies_ms, 0.99),
             energy_mj: workers.iter().map(|w| w.energy_mj).sum(),
+            planning_ms: planning.deploy_ms,
+            deploy_plan_calls: planning.deploy_plan_calls,
+            serve_plan_calls,
+            plan_calls_per_request: if offered == 0 {
+                0.0
+            } else {
+                serve_plan_calls as f64 / offered as f64
+            },
             host_wall_ms,
         }
     }
@@ -126,15 +173,22 @@ mod tests {
                 busy_ms: 10.0,
                 energy_mj: 1.0,
                 counters: Counters::new(),
+                plan_calls: 1,
             },
             WorkerStats {
                 executed: 1,
                 busy_ms: 40.0,
                 energy_mj: 2.0,
                 counters: Counters::new(),
+                plan_calls: 0,
             },
         ];
-        let s = FleetStats::aggregate(5, 2, 0, &[10.0, 5.0, 40.0], &workers, 7.0);
+        let planning = PlanningStats {
+            deploy_ms: 3.0,
+            deploy_plan_calls: 12,
+            serve_plan_calls: 4,
+        };
+        let s = FleetStats::aggregate(5, 2, 0, &[10.0, 5.0, 40.0], &workers, &planning, 7.0);
         assert_eq!(s.offered, 5);
         assert_eq!(s.admitted, 3);
         assert_eq!(s.completed, 3);
@@ -145,13 +199,20 @@ mod tests {
         assert_eq!(s.p50_latency_ms, 10.0);
         assert_eq!(s.energy_mj, 3.0);
         assert_eq!(s.host_wall_ms, 7.0);
+        // Planning accounting: deploy-side carried through, serve-side
+        // summed over admission (4) and worker (1) planning passes.
+        assert_eq!(s.planning_ms, 3.0);
+        assert_eq!(s.deploy_plan_calls, 12);
+        assert_eq!(s.serve_plan_calls, 5);
+        assert_eq!(s.plan_calls_per_request, 1.0);
     }
 
     #[test]
     fn empty_batch_does_not_divide_by_zero() {
-        let s = FleetStats::aggregate(0, 0, 0, &[], &[], 0.1);
+        let s = FleetStats::aggregate(0, 0, 0, &[], &[], &PlanningStats::default(), 0.1);
         assert_eq!(s.admission_rate, 1.0);
         assert_eq!(s.requests_per_sec, 0.0);
         assert_eq!(s.p50_latency_ms, 0.0);
+        assert_eq!(s.plan_calls_per_request, 0.0);
     }
 }

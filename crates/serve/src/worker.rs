@@ -2,12 +2,14 @@
 //!
 //! A worker is handed its batch slice (requests pinned to its device by
 //! admission control) and executes them sequentially — an MCU runs one
-//! inference at a time. Across requests it reuses a single
-//! [`InferenceScratch`] (the device's SRAM allocation) and a per-model
-//! weight cache, mirroring a real deployment where weights are flashed
-//! once and stay resident.
+//! inference at a time. It never plans: models arrive as shared
+//! [`Deployment`]s (plans memoized, weights owned, built once by the
+//! fleet), and the worker opens one [`Session`] per resident model — the
+//! device's SRAM plus the model's flashed weights — that serves every
+//! request to that model. The per-thread plan-call counter
+//! ([`vmcu_plan::telemetry`]) is reported in [`WorkerStats`] so the
+//! zero-replanning contract is gated, not just claimed.
 
-use crate::catalog::ModelCatalog;
 use crate::request::{Completion, RequestSpec};
 use crate::stats::WorkerStats;
 use std::collections::HashMap;
@@ -16,7 +18,7 @@ use vmcu_tensor::random;
 
 /// Deterministic per-model weight seed: requests to the same model must
 /// see the same deployed weights on every worker and every run.
-fn model_weight_seed(name: &str) -> u64 {
+pub(crate) fn model_weight_seed(name: &str) -> u64 {
     // FNV-1a over the model name.
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in name.bytes() {
@@ -43,50 +45,53 @@ pub(crate) struct WorkerRun {
     pub stats: WorkerStats,
 }
 
-/// One simulated device plus its reusable execution state.
+/// One simulated device plus its per-model sessions.
 #[derive(Debug)]
-pub(crate) struct Worker {
+pub(crate) struct Worker<'a> {
     index: usize,
-    engine: Engine,
-    scratch: InferenceScratch,
-    weights: HashMap<String, Vec<LayerWeights>>,
+    /// Shared deployments, one per deployable catalog model.
+    deployments: &'a HashMap<String, Deployment>,
+    /// One session per model resident on this device.
+    sessions: HashMap<String, Session>,
 }
 
-impl Worker {
-    pub(crate) fn new(index: usize, device: Device, kind: PlannerKind) -> Self {
+impl<'a> Worker<'a> {
+    pub(crate) fn new(index: usize, deployments: &'a HashMap<String, Deployment>) -> Self {
         Self {
             index,
-            engine: Engine::new(device).planner(kind),
-            scratch: InferenceScratch::new(),
-            weights: HashMap::new(),
+            deployments,
+            sessions: HashMap::new(),
         }
     }
 
     /// Executes the worker's slice of the batch (submission slot + spec
     /// pairs) in submission order.
-    pub(crate) fn run(
-        mut self,
-        catalog: &ModelCatalog,
-        jobs: &[(usize, RequestSpec)],
-    ) -> WorkerRun {
+    pub(crate) fn run(mut self, jobs: &[(usize, RequestSpec)]) -> WorkerRun {
+        let plan_calls_before = vmcu_plan::telemetry::plan_calls();
         let mut run = WorkerRun {
             completed: Vec::with_capacity(jobs.len()),
             failed: Vec::new(),
             stats: WorkerStats::default(),
         };
         for (slot, job) in jobs {
-            let model = catalog
-                .get(&job.model)
-                .expect("admission only assigns cataloged models");
-            let weights = self
-                .weights
+            // Admission prices RAM only, so in principle a model can be
+            // admitted that never deployed (e.g. its firmware image
+            // exceeded Flash). Degrade to a typed per-request failure —
+            // the legacy per-request execution error — not a panic that
+            // would abort the whole batch.
+            let Some(deployment) = self.deployments.get(&job.model) else {
+                run.failed.push((
+                    *slot,
+                    format!("model `{}` is not deployed on this fleet", job.model),
+                ));
+                continue;
+            };
+            let session = self
+                .sessions
                 .entry(job.model.clone())
-                .or_insert_with(|| model.graph.random_weights(model_weight_seed(&job.model)));
-            let input = random::tensor_i8(&model.graph.in_shape(), job.seed);
-            match self
-                .engine
-                .run_graph_scratch(&model.graph, weights, &input, &mut self.scratch)
-            {
+                .or_insert_with(|| deployment.session());
+            let input = random::tensor_i8(&deployment.graph().in_shape(), job.seed);
+            match session.infer(&input) {
                 Ok(report) => {
                     let latency_ms = report.latency_ms();
                     run.stats.executed += 1;
@@ -108,6 +113,7 @@ impl Worker {
                 Err(e) => run.failed.push((*slot, e.to_string())),
             }
         }
+        run.stats.plan_calls = vmcu_plan::telemetry::plan_calls() - plan_calls_before;
         run
     }
 }
@@ -115,6 +121,22 @@ impl Worker {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn deployments_for(models: &[&str]) -> HashMap<String, Deployment> {
+        let catalog = crate::catalog::ModelCatalog::standard();
+        let engine = Engine::new(Device::stm32_f411re());
+        models
+            .iter()
+            .map(|name| {
+                let model = catalog.get(name).expect("model in catalog");
+                let weights = model.graph.random_weights(model_weight_seed(name));
+                (
+                    (*name).to_owned(),
+                    engine.deploy(&model.graph, &weights).expect("model fits"),
+                )
+            })
+            .collect()
+    }
 
     #[test]
     fn weight_seeds_are_stable_and_distinct() {
@@ -124,7 +146,7 @@ mod tests {
 
     #[test]
     fn worker_executes_jobs_and_aggregates_device_time() {
-        let catalog = ModelCatalog::standard();
+        let deployments = deployments_for(&["vww-s5", "demo-linear-net"]);
         let jobs = vec![
             (
                 0,
@@ -151,12 +173,8 @@ mod tests {
                 },
             ),
         ];
-        let worker = Worker::new(
-            0,
-            Device::stm32_f411re(),
-            PlannerKind::Vmcu(IbScheme::RowBuffer),
-        );
-        let run = worker.run(&catalog, &jobs);
+        let worker = Worker::new(0, &deployments);
+        let run = worker.run(&jobs);
         assert_eq!(run.completed.len(), 3);
         assert!(run.failed.is_empty());
         assert_eq!(run.stats.executed, 3);
@@ -165,11 +183,25 @@ mod tests {
         assert!(run.stats.counters.macs > 0);
         let total: f64 = run.completed.iter().map(|(_, c)| c.latency_ms).sum();
         assert!((run.stats.busy_ms - total).abs() < 1e-9);
+        // The whole point of holding deployments: serving plans nothing.
+        assert_eq!(run.stats.plan_calls, 0, "workers must never replan");
     }
 
     #[test]
     fn worker_results_are_deterministic() {
-        let catalog = ModelCatalog::standard();
+        let catalog = crate::catalog::ModelCatalog::standard();
+        let model = catalog.get("demo-linear-net").unwrap();
+        let weights = model
+            .graph
+            .random_weights(model_weight_seed("demo-linear-net"));
+        let deployments: HashMap<String, Deployment> = [(
+            "demo-linear-net".to_owned(),
+            Engine::new(Device::stm32_f767zi())
+                .planner(PlannerKind::TinyEngine)
+                .deploy(&model.graph, &weights)
+                .unwrap(),
+        )]
+        .into();
         let jobs = vec![(
             0,
             RequestSpec {
@@ -178,8 +210,7 @@ mod tests {
                 seed: 9,
             },
         )];
-        let mk =
-            || Worker::new(0, Device::stm32_f767zi(), PlannerKind::TinyEngine).run(&catalog, &jobs);
+        let mk = || Worker::new(0, &deployments).run(&jobs);
         let (a, b) = (mk(), mk());
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.stats, b.stats);

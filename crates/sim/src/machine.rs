@@ -60,6 +60,16 @@ impl Machine {
         self.counters = Counters::new();
     }
 
+    /// Resets the volatile state only — zeroed RAM, zeroed counters —
+    /// while keeping the programmed Flash image intact. This is the
+    /// between-inference reset of a deployed session: weights are flashed
+    /// once at deploy time and stay resident across inferences, exactly
+    /// like a real MCU deployment.
+    pub fn reset_volatile(&mut self) {
+        self.ram.clear();
+        self.counters = Counters::new();
+    }
+
     // ---- costed on-device operations -------------------------------------
 
     /// `RAMLoad` data path: copies `dst.len()` bytes of RAM into registers,
@@ -247,6 +257,20 @@ mod tests {
         assert_eq!(m.flash.used(), 0);
         // Reprogramming starts at the flash base again.
         assert_eq!(m.host_program_flash(&[1]).unwrap(), 0);
+    }
+
+    #[test]
+    fn reset_volatile_keeps_the_flash_image() {
+        let mut m = machine();
+        let base = m.host_program_flash(&[7; 64]).unwrap();
+        m.host_write_ram(0, &[9; 128]).unwrap();
+        m.charge_macs(1000, true);
+        m.reset_volatile();
+        assert_eq!(m.snapshot(), Counters::new());
+        assert_eq!(m.host_read_ram(0, 128).unwrap(), vec![0; 128]);
+        // The deployed weights survive the reset.
+        assert_eq!(m.flash.used(), 64);
+        assert_eq!(m.flash.read(base, 64).unwrap(), &[7; 64]);
     }
 
     #[test]

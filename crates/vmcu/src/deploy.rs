@@ -1,0 +1,438 @@
+//! Plan once, run many: [`Deployment`] and [`Session`].
+//!
+//! vMCU's whole point is that planning — segment-level memory layout,
+//! fusion grouping, patch-grid search — happens ahead of time, so the
+//! device only executes a fixed schedule. This module makes that split a
+//! first-class API:
+//!
+//! * [`Deployment`] (built via [`Engine::deploy`]) validates device fit
+//!   **once**, memoizes every plan artifact the policy needs (the
+//!   [`MemoryPlan`] plus the policy's fusion/patch/chain plans in a
+//!   [`PlanSet`]), caches the resolved planner+executor pair, and owns
+//!   the weights that will be staged into Flash. Deployments are cheap
+//!   to clone (`Arc`-backed) and `Send + Sync`, so a fleet shares one
+//!   per model across workers.
+//! * [`Session`] ([`Deployment::session`]) boots a machine, stages the
+//!   firmware image (weights into Flash) once, and then serves
+//!   [`Session::infer`] calls with **zero planning work** — checkable
+//!   via [`vmcu_plan::telemetry`]. Between inferences only the volatile
+//!   state (RAM, counters) resets; the flash image stays resident, and
+//!   a leaked-state bug (an executor programming Flash mid-inference)
+//!   surfaces as a typed [`EngineError::StateLeak`], never as silent
+//!   corruption.
+//!
+//! [`Engine::deploy`]: crate::engine::Engine::deploy
+//! [`MemoryPlan`]: vmcu_plan::MemoryPlan
+
+use crate::engine::{InferenceReport, PlannerKind};
+use crate::error::EngineError;
+use crate::exec::{stage_graph, ExecCtx, Executor, StagedLayer};
+use std::sync::Arc;
+use std::time::Instant;
+use vmcu_graph::{Graph, LayerWeights};
+use vmcu_plan::planner::MemoryPlanner;
+use vmcu_plan::{ChainPlan, FusionPlan, MemoryPlan, PatchPlan};
+use vmcu_sim::{Device, Machine};
+use vmcu_tensor::Tensor;
+
+/// Every plan artifact a policy needs at inference time, memoized at
+/// deploy time. The [`MemoryPlan`] is always present (fit validation and
+/// per-node report accounting); the policy-specific plans are `Some`
+/// only for the executor that consumes them.
+#[derive(Debug, Clone)]
+pub struct PlanSet {
+    /// One plan entry per execution node — the accounting source for
+    /// every [`LayerReport`](crate::engine::LayerReport).
+    pub memory: MemoryPlan,
+    /// The fusion plan (fused policy).
+    pub fusion: Option<FusionPlan>,
+    /// The patch plan (patched policy).
+    pub patch: Option<PatchPlan>,
+    /// The §4 whole-network chain plan (vMCU policy).
+    pub chain: Option<ChainPlan>,
+}
+
+struct DeployInner {
+    device: Device,
+    kind: PlannerKind,
+    planner: Box<dyn MemoryPlanner>,
+    executor: Box<dyn Executor>,
+    graph: Graph,
+    weights: Vec<LayerWeights>,
+    plans: PlanSet,
+    planning_ms: f64,
+}
+
+impl std::fmt::Debug for DeployInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("device", &self.device.name)
+            .field("kind", &self.kind)
+            .field("graph", &self.graph.name)
+            .field("nodes", &self.plans.memory.layers.len())
+            .field("planning_ms", &self.planning_ms)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A model deployed to a device under one policy: fit validated once,
+/// plans memoized, planner+executor resolved, weights owned. Cheap to
+/// clone and share across threads; create per-device execution state
+/// with [`Deployment::session`].
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    inner: Arc<DeployInner>,
+}
+
+impl Deployment {
+    /// The checked construction path: plans the graph, rejects
+    /// non-deployable models with a typed error naming the bottleneck.
+    pub(crate) fn new(
+        device: Device,
+        kind: PlannerKind,
+        graph: &Graph,
+        weights: &[LayerWeights],
+    ) -> Result<Self, EngineError> {
+        let dep = Self::new_unchecked(device, kind, graph, weights)?;
+        let plan = &dep.inner.plans.memory;
+        if !plan.deployable() {
+            let worst = &plan.layers[plan.bottleneck()];
+            return Err(EngineError::DoesNotFit {
+                layer: worst.name.clone(),
+                needed: worst.measured_bytes,
+                available: dep.inner.device.ram_bytes,
+            });
+        }
+        Ok(dep)
+    }
+
+    /// Plans and stages without the whole-graph fit check — the legacy
+    /// chained path validates only its (smaller) chain window, so it must
+    /// not be gated on per-layer deployability.
+    pub(crate) fn new_unchecked(
+        device: Device,
+        kind: PlannerKind,
+        graph: &Graph,
+        weights: &[LayerWeights],
+    ) -> Result<Self, EngineError> {
+        assert_eq!(weights.len(), graph.len(), "weights/layers mismatch");
+        let started = Instant::now();
+        let planner = kind.planner();
+        let executor = kind.executor();
+        let plans = executor.prepare(&*planner, graph, &device);
+        // Validate the firmware image up front so `session()` cannot
+        // fail: a dry-run staging into a probe machine exercises the
+        // exact code path sessions use (layer/weights kinds, Flash
+        // capacity), so the validation can never drift from it.
+        let mut probe = Machine::new(device.clone());
+        stage_graph(&mut probe, graph.layers(), weights)?;
+        drop(probe);
+        let planning_ms = started.elapsed().as_secs_f64() * 1e3;
+        Ok(Self {
+            inner: Arc::new(DeployInner {
+                device,
+                kind,
+                planner,
+                executor,
+                graph: graph.clone(),
+                weights: weights.to_vec(),
+                plans,
+                planning_ms,
+            }),
+        })
+    }
+
+    /// The target device.
+    pub fn device(&self) -> &Device {
+        &self.inner.device
+    }
+
+    /// The deployed policy.
+    pub fn planner_kind(&self) -> PlannerKind {
+        self.inner.kind
+    }
+
+    /// The deployed graph.
+    pub fn graph(&self) -> &Graph {
+        &self.inner.graph
+    }
+
+    /// The cached planning policy object — resolved once at deploy, never
+    /// re-boxed per call.
+    pub fn planner(&self) -> &dyn MemoryPlanner {
+        &*self.inner.planner
+    }
+
+    /// The cached executor — the other half of the policy pair.
+    pub fn executor(&self) -> &dyn Executor {
+        &*self.inner.executor
+    }
+
+    /// The memoized whole-graph memory plan (one entry per execution
+    /// node).
+    pub fn plan(&self) -> &MemoryPlan {
+        &self.inner.plans.memory
+    }
+
+    /// All memoized plan artifacts.
+    pub fn plans(&self) -> &PlanSet {
+        &self.inner.plans
+    }
+
+    /// The memoized fusion plan (fused policy only).
+    pub fn fusion_plan(&self) -> Option<&FusionPlan> {
+        self.inner.plans.fusion.as_ref()
+    }
+
+    /// The memoized patch plan (patched policy only).
+    pub fn patch_plan(&self) -> Option<&PatchPlan> {
+        self.inner.plans.patch.as_ref()
+    }
+
+    /// The memoized §4 chain plan (vMCU policy only).
+    pub fn chain_plan(&self) -> Option<&ChainPlan> {
+        self.inner.plans.chain.as_ref()
+    }
+
+    /// Peak SRAM this model commits on its device (activations +
+    /// workspace at the bottleneck node, excluding the per-device runtime
+    /// overhead) — priced from the **cached** plan, so admission control
+    /// never replans.
+    pub fn peak_demand_bytes(&self) -> usize {
+        if self.inner.plans.memory.layers.is_empty() {
+            return 0;
+        }
+        self.inner
+            .plans
+            .memory
+            .bottleneck_bytes()
+            .saturating_sub(self.inner.device.runtime_overhead_bytes)
+    }
+
+    /// Host milliseconds spent planning this deployment (fit validation
+    /// plus every memoized plan artifact) — the cost `session().infer()`
+    /// amortizes away.
+    pub fn planning_ms(&self) -> f64 {
+        self.inner.planning_ms
+    }
+
+    /// Creates a session: boots a machine for the device and stages the
+    /// firmware image (all weights into Flash) once. Everything that can
+    /// fail was validated at deploy time.
+    pub fn session(&self) -> Session {
+        let mut machine = Machine::new(self.inner.device.clone());
+        let staged = stage_graph(&mut machine, self.inner.graph.layers(), &self.inner.weights)
+            .expect("deploy validated layer kinds and flash capacity");
+        let staged_flash_bytes = machine.flash.used();
+        Session {
+            deployment: self.clone(),
+            machine,
+            staged,
+            staged_flash_bytes,
+            inferences: 0,
+        }
+    }
+}
+
+/// Reusable per-device execution state for one deployment: the simulated
+/// machine (its RAM buffer alone is the full device SRAM) with the
+/// deployment's weights resident in Flash. [`Session::infer`] runs with
+/// zero replanning; a long-lived worker keeps one session per resident
+/// model and calls it for every request.
+#[derive(Debug)]
+pub struct Session {
+    deployment: Deployment,
+    machine: Machine,
+    staged: Vec<StagedLayer>,
+    staged_flash_bytes: usize,
+    inferences: u64,
+}
+
+impl Session {
+    /// The deployment this session executes.
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// Inferences served so far.
+    pub fn inferences(&self) -> u64 {
+        self.inferences
+    }
+
+    /// Resets volatile machine state between inferences and verifies the
+    /// deployed invariants first: the staged flash image must be exactly
+    /// as deploy left it — an executor that programmed Flash mid-run is
+    /// a leaked-state bug, reported as a typed error, never silently
+    /// absorbed.
+    fn reset_between_inferences(&mut self) -> Result<(), EngineError> {
+        let found = self.machine.flash.used();
+        if found != self.staged_flash_bytes {
+            return Err(EngineError::StateLeak {
+                what: "staged flash image",
+                expected: self.staged_flash_bytes,
+                found,
+            });
+        }
+        self.machine.reset_volatile();
+        Ok(())
+    }
+
+    /// Runs one inference through the deployed schedule — no planning,
+    /// no flash programming, no allocation beyond the report itself.
+    /// Results are bit-identical to the legacy `run_graph*` paths, call
+    /// after call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::StateLeak`] when a previous inference
+    /// corrupted deployed state, [`EngineError::Unsupported`] for layer
+    /// kinds the executor cannot run, and pool/memory errors on internal
+    /// bugs.
+    pub fn infer(&mut self, input: &Tensor<i8>) -> Result<InferenceReport, EngineError> {
+        self.reset_between_inferences()?;
+        let report = {
+            let ctx = ExecCtx {
+                device: &self.deployment.inner.device,
+                graph: &self.deployment.inner.graph,
+                plans: &self.deployment.inner.plans,
+                staged: &self.staged,
+            };
+            self.deployment
+                .inner
+                .executor
+                .infer(&ctx, &mut self.machine, input)?
+        };
+        self.inferences += 1;
+        Ok(report)
+    }
+
+    /// Runs one inference chained through a single circular pool (§4's
+    /// whole-network deployment model). Only the vMCU policy supports
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Unsupported`] for non-vMCU policies,
+    /// [`EngineError::DoesNotFit`] when the chain window exceeds RAM,
+    /// plus the [`Session::infer`] contract.
+    pub fn infer_chained(
+        &mut self,
+        input: &Tensor<i8>,
+    ) -> Result<(InferenceReport, ChainPlan), EngineError> {
+        self.reset_between_inferences()?;
+        let out = {
+            let ctx = ExecCtx {
+                device: &self.deployment.inner.device,
+                graph: &self.deployment.inner.graph,
+                plans: &self.deployment.inner.plans,
+                staged: &self.staged,
+            };
+            self.deployment
+                .inner
+                .executor
+                .infer_chained(&ctx, &mut self.machine, input)?
+        };
+        self.inferences += 1;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use vmcu_graph::zoo;
+    use vmcu_kernels::IbScheme;
+    use vmcu_tensor::random;
+
+    fn deployed() -> (Deployment, Tensor<i8>) {
+        let g = zoo::demo_linear_net();
+        let weights = g.random_weights(7);
+        let input = random::tensor_i8(&g.in_shape(), 8);
+        let dep = Engine::new(Device::stm32_f767zi())
+            .deploy(&g, &weights)
+            .unwrap();
+        (dep, input)
+    }
+
+    #[test]
+    fn deployment_memoizes_the_policy_plans() {
+        let g = zoo::mbv2_block_unfused();
+        let weights = g.random_weights(1);
+        let dev = Device::stm32_f411re();
+        let vmcu = Engine::new(dev.clone()).deploy(&g, &weights).unwrap();
+        assert!(vmcu.chain_plan().is_some(), "vMCU memoizes the chain plan");
+        assert!(vmcu.fusion_plan().is_none());
+        let fused = Engine::new(dev.clone())
+            .planner(PlannerKind::VmcuFused(IbScheme::RowBuffer))
+            .deploy(&g, &weights)
+            .unwrap();
+        assert!(fused.fusion_plan().is_some());
+        let patched = Engine::new(dev.clone())
+            .planner(PlannerKind::VmcuPatched(IbScheme::RowBuffer))
+            .deploy(&g, &weights)
+            .unwrap();
+        assert!(patched.patch_plan().is_some());
+        let te = Engine::new(dev)
+            .planner(PlannerKind::TinyEngine)
+            .deploy(&g, &weights)
+            .unwrap();
+        assert!(te.fusion_plan().is_none() && te.patch_plan().is_none());
+        assert!(te.planning_ms() >= 0.0);
+    }
+
+    #[test]
+    fn peak_demand_prices_from_the_cached_plan() {
+        let (dep, _) = deployed();
+        let expected = vmcu_plan::peak_demand_bytes(dep.planner(), dep.graph());
+        assert_eq!(dep.peak_demand_bytes(), expected);
+    }
+
+    #[test]
+    fn session_counts_inferences_and_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Deployment>();
+        assert_send::<Session>();
+        let (dep, input) = deployed();
+        let mut s = dep.session();
+        assert_eq!(s.inferences(), 0);
+        s.infer(&input).unwrap();
+        s.infer(&input).unwrap();
+        assert_eq!(s.inferences(), 2);
+        assert_eq!(s.deployment().graph().name, "demo-linear-net");
+    }
+
+    #[test]
+    fn flash_leak_between_inferences_is_a_typed_error() {
+        let (dep, input) = deployed();
+        let mut s = dep.session();
+        s.infer(&input).unwrap();
+        // Simulate an executor bug: extra flash programmed mid-session.
+        s.machine.host_program_flash(&[0xAB; 16]).unwrap();
+        let err = s.infer(&input).unwrap_err();
+        match err {
+            EngineError::StateLeak {
+                what,
+                expected,
+                found,
+            } => {
+                assert_eq!(what, "staged flash image");
+                assert_eq!(found, expected + 16);
+            }
+            other => panic!("expected StateLeak, got {other}"),
+        }
+    }
+
+    #[test]
+    fn oversized_firmware_image_is_rejected_at_deploy() {
+        let g = zoo::demo_linear_net();
+        let weights = g.random_weights(3);
+        let mut dev = Device::stm32_f411re();
+        dev.flash_bytes = 64; // far below any real weight image
+        let err = Engine::new(dev).deploy(&g, &weights).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Mem(vmcu_sim::MemError::FlashOutOfRange { .. })
+        ));
+    }
+}

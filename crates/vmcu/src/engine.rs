@@ -1,38 +1,42 @@
 //! The inference engine: plan, deploy, execute, report.
 //!
 //! [`Engine`] ties the whole reproduction together: pick a device and a
-//! planner policy, hand it layers (or whole linear graphs) with weights,
-//! and it stages memory exactly as that policy dictates, runs the
-//! corresponding kernels on the simulated MCU, and reports RAM, latency,
-//! and energy. vMCU plans are additionally validated at run time by the
-//! checked pool — a planning bug turns into a typed error, never a wrong
-//! answer.
+//! planner policy, [`deploy`](Engine::deploy) a model once — fit is
+//! validated, every plan artifact is memoized, weights are staged into
+//! Flash — and run as many inferences as you like through the resulting
+//! [`Session`](crate::deploy::Session) with zero replanning. Policies are
+//! *pairs*: a [`MemoryPlanner`] decides RAM at deploy time, an
+//! [`Executor`] runs the deployed schedule; the
+//! engine core dispatches on neither. vMCU plans are additionally
+//! validated at run time by the checked pool — a planning bug turns into
+//! a typed error, never a wrong answer.
 
+use crate::deploy::Deployment;
 use crate::error::EngineError;
-use vmcu_graph::{Graph, LayerDesc, LayerWeights};
-use vmcu_kernels::conv2d::{conv2d_exec_distance, run_conv2d};
-use vmcu_kernels::depthwise::{depthwise_exec_distance, run_depthwise};
-use vmcu_kernels::fc::{fc_exec_distance, run_fc};
-use vmcu_kernels::fused_chain::run_fused_chain;
-use vmcu_kernels::fused_ib::{ib_exec_distance, run_fused_ib, IbFlash};
-use vmcu_kernels::patched::run_patched_front;
-use vmcu_kernels::pointwise::{pointwise_exec_distance, run_pointwise};
-use vmcu_kernels::tinyengine::{
-    run_depthwise_te_inplace, run_ib_te, run_pointwise_te, TeIbLayout, TePointwiseLayout,
+use crate::exec::{
+    stage_layer, Executor, FusedExecutor, HmcosExecutor, PatchedExecutor, TinyEngineExecutor,
+    VmcuExecutor,
 };
-use vmcu_kernels::{IbScheme, PointwiseParams};
-use vmcu_plan::chain::{plan_chain, ChainPlan};
-use vmcu_plan::fusion::{fuse_graph, FusionNode, FusionPlan};
+use vmcu_graph::{Graph, LayerDesc, LayerWeights};
+use vmcu_kernels::IbScheme;
+use vmcu_plan::chain::ChainPlan;
 use vmcu_plan::planner::MemoryPlanner;
 use vmcu_plan::{
-    FusedPlanner, HmcosPlanner, LayerPlan, MemoryPlan, PatchPlan, PatchedPlanner,
-    TinyEnginePlanner, VmcuPlanner,
+    FusedPlanner, HmcosPlanner, LayerPlan, MemoryPlan, PatchedPlanner, TinyEnginePlanner,
+    VmcuPlanner,
 };
-use vmcu_pool::SegmentPool;
 use vmcu_sim::{Device, ExecSummary, Machine};
 use vmcu_tensor::Tensor;
 
 /// Planner/executor policy selection.
+///
+/// A `PlannerKind` resolves to a *pair*: the planning policy object
+/// ([`planner`](PlannerKind::planner)) that decides RAM at deploy time,
+/// and the executor ([`executor`](PlannerKind::executor)) that runs the
+/// deployed schedule. [`Engine::deploy`] resolves the pair once and
+/// caches it in the [`Deployment`]; adding a policy means adding a
+/// planner, an executor, and one arm here — the engine core never
+/// changes.
 ///
 /// # Examples
 ///
@@ -45,10 +49,13 @@ use vmcu_tensor::Tensor;
 /// use vmcu::prelude::*;
 ///
 /// let g = vmcu::vmcu_graph::zoo::hires_front_stage();
+/// let weights = g.random_weights(1);
 /// let dev = Device::stm32_f411re();
-/// let whole_tensor = Engine::with_model(dev.clone(), PlannerKind::Vmcu(IbScheme::RowBuffer), &g);
+/// let whole_tensor = Engine::new(dev.clone()).deploy(&g, &weights);
 /// assert!(matches!(whole_tensor, Err(EngineError::DoesNotFit { .. })));
-/// let patched = Engine::with_model(dev, PlannerKind::VmcuPatched(IbScheme::RowBuffer), &g);
+/// let patched = Engine::new(dev)
+///     .planner(PlannerKind::VmcuPatched(IbScheme::RowBuffer))
+///     .deploy(&g, &weights);
 /// assert!(patched.is_ok());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,7 +94,8 @@ impl PlannerKind {
 
     /// The planning policy object for this kind — the same one the
     /// engine plans with, so external capacity math (admission control)
-    /// can never disagree with execution.
+    /// can never disagree with execution. Resolve once and cache (a
+    /// [`Deployment`] does); don't re-box per pricing call.
     pub fn planner(&self) -> Box<dyn MemoryPlanner> {
         match self {
             PlannerKind::Vmcu(scheme) => Box::new(VmcuPlanner { scheme: *scheme }),
@@ -98,6 +106,18 @@ impl PlannerKind {
             }),
             PlannerKind::TinyEngine => Box::new(TinyEnginePlanner),
             PlannerKind::Hmcos => Box::new(HmcosPlanner),
+        }
+    }
+
+    /// The execution policy object for this kind — the other half of the
+    /// planner/executor pair a [`Deployment`] caches.
+    pub fn executor(&self) -> Box<dyn Executor> {
+        match self {
+            PlannerKind::Vmcu(scheme) => Box::new(VmcuExecutor { scheme: *scheme }),
+            PlannerKind::VmcuFused(scheme) => Box::new(FusedExecutor { scheme: *scheme }),
+            PlannerKind::VmcuPatched(scheme) => Box::new(PatchedExecutor { scheme: *scheme }),
+            PlannerKind::TinyEngine => Box::new(TinyEngineExecutor),
+            PlannerKind::Hmcos => Box::new(HmcosExecutor),
         }
     }
 }
@@ -144,66 +164,20 @@ impl InferenceReport {
     }
 }
 
-/// Reusable per-worker execution state.
-///
-/// Engines are stateless between runs; what *is* worth keeping is the
-/// simulated machine itself — its RAM buffer alone is the full device
-/// SRAM (128–512 KB). A long-lived worker thread passes one scratch to
-/// every inference it executes, and the machine is reset (zeroed, not
-/// reallocated) between layers. A fresh default scratch reproduces the
-/// old allocate-per-layer behavior bit-for-bit.
-///
-/// Under the fused policy the scratch also memoizes the [`FusionPlan`]
-/// (and under the patched policy the [`PatchPlan`]): the plan depends
-/// only on `(graph, scheme)`, so a worker serving the same model
-/// repeatedly replans nothing on the hot path.
+/// Legacy reusable execution state, superseded by
+/// [`Session`](crate::deploy::Session) (which owns the machine, the
+/// staged flash image, and the memoized plans). The deprecated
+/// `run_*_scratch` wrappers accept it for source compatibility but no
+/// longer read it.
+#[deprecated(note = "use `Engine::deploy(..)` and keep the `Session` instead")]
 #[derive(Debug, Default)]
-pub struct InferenceScratch {
-    machine: Option<Machine>,
-    fusion: Option<(Graph, IbScheme, FusionPlan)>,
-    patch: Option<(Graph, IbScheme, PatchPlan)>,
-}
+pub struct InferenceScratch {}
 
+#[allow(deprecated)]
 impl InferenceScratch {
-    /// Creates an empty scratch; the first run lazily boots its machine.
+    /// Creates an empty scratch.
     pub fn new() -> Self {
         Self::default()
-    }
-
-    /// A freshly booted machine for `device`, reusing the previous
-    /// allocation when the device model matches.
-    fn machine_for(&mut self, device: &Device) -> &mut Machine {
-        match &mut self.machine {
-            Some(m) if m.device == *device => m.reset(),
-            slot => *slot = Some(Machine::new(device.clone())),
-        }
-        self.machine.as_mut().expect("machine just ensured")
-    }
-
-    /// The fusion plan for `(graph, scheme)`, recomputed only when they
-    /// change (structural graph equality, so a same-named but different
-    /// model can never reuse a stale plan).
-    fn fusion_plan_for(&mut self, graph: &Graph, scheme: IbScheme) -> &FusionPlan {
-        let hit = matches!(&self.fusion, Some((g, s, _)) if *s == scheme && g == graph);
-        if !hit {
-            self.fusion = Some((graph.clone(), scheme, fuse_graph(graph, scheme)));
-        }
-        &self.fusion.as_ref().expect("fusion plan just ensured").2
-    }
-
-    /// The patch plan for `(graph, scheme)`, recomputed only when they
-    /// change — the patched analogue of
-    /// [`fusion_plan_for`](Self::fusion_plan_for).
-    fn patch_plan_for(&mut self, graph: &Graph, scheme: IbScheme) -> &PatchPlan {
-        let hit = matches!(&self.patch, Some((g, s, _)) if *s == scheme && g == graph);
-        if !hit {
-            let planner = PatchedPlanner {
-                scheme,
-                ..PatchedPlanner::default()
-            };
-            self.patch = Some((graph.clone(), scheme, planner.patch_plan(graph)));
-        }
-        &self.patch.as_ref().expect("patch plan just ensured").2
     }
 }
 
@@ -224,16 +198,16 @@ impl Engine {
         }
     }
 
-    /// Creates an engine for a device and policy, verifying up front that
-    /// `graph` deploys within the device's SRAM. This is the checked
-    /// construction path used by admission control: a model too large for
-    /// the device is a typed [`EngineError::DoesNotFit`], never a panic
-    /// at run time.
+    /// Deprecated checked constructor.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::DoesNotFit`] naming the bottleneck layer
     /// when any layer's planned RAM exceeds the device.
+    #[deprecated(
+        note = "use `Engine::new(device).planner(kind).deploy(graph, weights)` — \
+                         a `Deployment` validates fit once and memoizes every plan"
+    )]
     pub fn with_model(
         device: Device,
         kind: PlannerKind,
@@ -279,6 +253,61 @@ impl Engine {
         self.kind
     }
 
+    /// Deploys a model: validates device fit once, memoizes the
+    /// [`MemoryPlan`] plus every policy plan artifact
+    /// (fusion/patch/chain), resolves the planner+executor pair, and
+    /// takes ownership of the weights that sessions will stage into
+    /// Flash. This is the entry point of the plan-once/run-many flow:
+    ///
+    /// ```
+    /// use vmcu::prelude::*;
+    ///
+    /// let g = vmcu::vmcu_graph::zoo::demo_linear_net();
+    /// let weights = g.random_weights(1);
+    /// let input = vmcu::vmcu_tensor::random::tensor_i8(&g.in_shape(), 2);
+    /// let deployment = Engine::new(Device::stm32_f411re()).deploy(&g, &weights)?;
+    /// let mut session = deployment.session();
+    /// let report = session.infer(&input)?; // zero replanning, call after call
+    /// assert_eq!(report.layers.len(), g.len());
+    /// # Ok::<(), vmcu::EngineError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::DoesNotFit`] naming the bottleneck layer
+    /// for non-deployable models, [`EngineError::Unsupported`] for
+    /// layer/weights kinds that cannot stage, and a memory error when
+    /// the firmware image exceeds the device Flash.
+    pub fn deploy(
+        &self,
+        graph: &Graph,
+        weights: &[LayerWeights],
+    ) -> Result<Deployment, EngineError> {
+        Deployment::new(self.device.clone(), self.kind, graph, weights)
+    }
+
+    /// [`deploy`](Engine::deploy) without the whole-graph per-layer fit
+    /// gate. Chain-mode execution
+    /// ([`Session::infer_chained`](crate::deploy::Session::infer_chained))
+    /// flows the entire network through **one** circular window of
+    /// `max(per-layer span)` bytes, which can fit devices the per-layer
+    /// plan does not — this is the deploy path for such chain-only
+    /// models (the chain validates its own window at inference).
+    /// Staging (layer/weights kinds, Flash capacity) is still validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Unsupported`] for layer/weights kinds that
+    /// cannot stage and a memory error when the firmware image exceeds
+    /// the device Flash.
+    pub fn deploy_unchecked(
+        &self,
+        graph: &Graph,
+        weights: &[LayerWeights],
+    ) -> Result<Deployment, EngineError> {
+        Deployment::new_unchecked(self.device.clone(), self.kind, graph, weights)
+    }
+
     /// Plans one layer and checks device fit.
     fn plan_layer(&self, name: &str, layer: &LayerDesc) -> Result<LayerPlan, EngineError> {
         let plan = self
@@ -297,7 +326,9 @@ impl Engine {
     }
 
     /// Runs a single layer on a fresh machine, returning the output and
-    /// the report.
+    /// the report. For repeated inference, prefer
+    /// [`deploy`](Engine::deploy) — this path replans and restages on
+    /// every call.
     ///
     /// # Errors
     ///
@@ -311,38 +342,15 @@ impl Engine {
         weights: &LayerWeights,
         input: &Tensor<i8>,
     ) -> Result<(Tensor<i8>, LayerReport), EngineError> {
-        self.run_layer_scratch(name, layer, weights, input, &mut InferenceScratch::new())
-    }
-
-    /// [`run_layer`](Self::run_layer) with a caller-owned
-    /// [`InferenceScratch`], reusing the simulated machine allocation
-    /// between calls. Results are identical to `run_layer`.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`run_layer`](Self::run_layer).
-    pub fn run_layer_scratch(
-        &self,
-        name: &str,
-        layer: &LayerDesc,
-        weights: &LayerWeights,
-        input: &Tensor<i8>,
-        scratch: &mut InferenceScratch,
-    ) -> Result<(Tensor<i8>, LayerReport), EngineError> {
         let plan = self.plan_layer(name, layer)?;
-        let machine = scratch.machine_for(&self.device);
-        let before = machine.snapshot();
-        let output = match self.kind {
-            PlannerKind::Vmcu(scheme)
-            | PlannerKind::VmcuFused(scheme)
-            | PlannerKind::VmcuPatched(scheme) => {
-                self.exec_vmcu(machine, layer, weights, input, scheme)?
-            }
-            PlannerKind::TinyEngine | PlannerKind::Hmcos => {
-                self.exec_baseline(machine, layer, weights, input)?
-            }
-        };
-        let exec = machine.summarize_since(&before);
+        let mut m = Machine::new(self.device.clone());
+        let staged = stage_layer(&mut m, layer, weights)?;
+        let before = m.snapshot();
+        let output = self
+            .kind
+            .executor()
+            .exec_layer(&mut m, layer, staged, input)?;
+        let exec = m.summarize_since(&before);
         Ok((
             output,
             LayerReport {
@@ -353,477 +361,88 @@ impl Engine {
         ))
     }
 
-    /// Runs a linear graph layer by layer (activations are re-staged
-    /// between layers by the host; on hardware the pool pointer of layer
-    /// `i+1` is simply layer `i`'s output pointer).
+    /// Deprecated [`run_layer`](Self::run_layer) variant; the scratch is
+    /// ignored (machine reuse now lives in
+    /// [`Session`](crate::deploy::Session)). Results are identical to
+    /// `run_layer`.
     ///
     /// # Errors
     ///
-    /// Propagates the first per-layer failure.
+    /// Same contract as [`run_layer`](Self::run_layer).
+    #[deprecated(note = "use `run_layer`, or `Engine::deploy(..).session()` for reuse")]
+    #[allow(deprecated)]
+    pub fn run_layer_scratch(
+        &self,
+        name: &str,
+        layer: &LayerDesc,
+        weights: &LayerWeights,
+        input: &Tensor<i8>,
+        _scratch: &mut InferenceScratch,
+    ) -> Result<(Tensor<i8>, LayerReport), EngineError> {
+        self.run_layer(name, layer, weights, input)
+    }
+
+    /// Deprecated one-shot graph run: deploys, opens a session, infers
+    /// once. Bit-identical to the historical per-call path, but pays
+    /// planning+staging on every call — hot paths should hold the
+    /// [`Deployment`] and its [`Session`](crate::deploy::Session).
+    ///
+    /// # Errors
+    ///
+    /// The [`deploy`](Engine::deploy) and
+    /// [`Session::infer`](crate::deploy::Session::infer) contracts.
+    #[deprecated(
+        note = "use `Engine::deploy(graph, weights)?.session().infer(input)` — \
+                         plan once, run many"
+    )]
     pub fn run_graph(
         &self,
         graph: &Graph,
         weights: &[LayerWeights],
         input: &Tensor<i8>,
     ) -> Result<InferenceReport, EngineError> {
-        self.run_graph_scratch(graph, weights, input, &mut InferenceScratch::new())
+        self.deploy(graph, weights)?.session().infer(input)
     }
 
-    /// [`run_graph`](Self::run_graph) with a caller-owned
-    /// [`InferenceScratch`]: every layer reuses one simulated machine,
-    /// and so does every subsequent inference through the same scratch.
-    /// This is the hot path of the `vmcu-serve` worker loop.
+    /// Deprecated [`run_graph`](Self::run_graph) variant; the scratch is
+    /// ignored (reuse now lives in [`Session`](crate::deploy::Session)).
     ///
     /// # Errors
     ///
-    /// Propagates the first per-layer failure.
+    /// Same contract as [`run_graph`](Self::run_graph).
+    #[deprecated(note = "deploy once (`Engine::deploy`) and reuse the `Session` instead")]
+    #[allow(deprecated)]
     pub fn run_graph_scratch(
         &self,
         graph: &Graph,
         weights: &[LayerWeights],
         input: &Tensor<i8>,
-        scratch: &mut InferenceScratch,
+        _scratch: &mut InferenceScratch,
     ) -> Result<InferenceReport, EngineError> {
-        assert_eq!(weights.len(), graph.len(), "weights/layers mismatch");
-        if let PlannerKind::VmcuFused(scheme) = self.kind {
-            return self.run_graph_fused(graph, weights, input, scratch, scheme);
-        }
-        if let PlannerKind::VmcuPatched(scheme) = self.kind {
-            return self.run_graph_patched(graph, weights, input, scratch, scheme);
-        }
-        let mut layers = Vec::with_capacity(graph.len());
-        let mut cur = input.clone();
-        for (i, (layer, w)) in graph.layers().iter().zip(weights).enumerate() {
-            let name = format!("{}#{i}", layer.kind());
-            let (out, report) = self.run_layer_scratch(&name, layer, w, &cur, scratch)?;
-            layers.push(report);
-            cur = out;
-        }
-        Ok(InferenceReport {
-            output: cur,
-            layers,
-        })
+        self.deploy(graph, weights)?.session().infer(input)
     }
 
-    /// Executes a graph under the multi-layer fusion pass: fused groups
-    /// run as one chain kernel in a single pool window (intermediates
-    /// live only as line-buffer rings), singleton nodes run through the
-    /// regular per-layer vMCU path. One [`LayerReport`] per execution
-    /// node.
-    fn run_graph_fused(
-        &self,
-        graph: &Graph,
-        weights: &[LayerWeights],
-        input: &Tensor<i8>,
-        scratch: &mut InferenceScratch,
-        scheme: IbScheme,
-    ) -> Result<InferenceReport, EngineError> {
-        let fusion = scratch.fusion_plan_for(graph, scheme).clone();
-        let mut layers = Vec::with_capacity(fusion.nodes.len());
-        let output =
-            self.run_fusion_nodes(graph, weights, &fusion.nodes, input, scratch, &mut layers)?;
-        Ok(InferenceReport { output, layers })
-    }
-
-    /// Executes a sequence of fusion-plan nodes (the whole graph under
-    /// the fused policy, the tail under the patched policy), appending
-    /// one [`LayerReport`] per node. Node indices are graph-absolute.
-    fn run_fusion_nodes(
-        &self,
-        graph: &Graph,
-        weights: &[LayerWeights],
-        nodes: &[FusionNode],
-        input: &Tensor<i8>,
-        scratch: &mut InferenceScratch,
-        layers: &mut Vec<LayerReport>,
-    ) -> Result<Tensor<i8>, EngineError> {
-        let mut cur = input.clone();
-        for node in nodes {
-            match node {
-                FusionNode::Single { index, .. } => {
-                    let layer = &graph.layers()[*index];
-                    let name = format!("{}#{index}", layer.kind());
-                    let (out, report) =
-                        self.run_layer_scratch(&name, layer, &weights[*index], &cur, scratch)?;
-                    layers.push(report);
-                    cur = out;
-                }
-                FusionNode::Fused(group) => {
-                    // One accounting source: the same LayerPlan the
-                    // planning surface reports.
-                    let plan = group.layer_plan(&self.device);
-                    if !plan.fits {
-                        return Err(EngineError::DoesNotFit {
-                            layer: plan.name,
-                            needed: plan.measured_bytes,
-                            available: self.device.ram_bytes,
-                        });
-                    }
-                    let m = scratch.machine_for(&self.device);
-                    let before = m.snapshot();
-                    let flash = stage_flash(
-                        m,
-                        &graph.layers()[group.start..group.end],
-                        &weights[group.start..group.end],
-                        "vMCU-fused",
-                    )?;
-                    let d = group.exec_distance;
-                    let mut pool = SegmentPool::new(m, 0, group.window, group.chain.seg())?;
-                    pool.host_fill_live(m, 0, &cur.as_bytes())?;
-                    run_fused_chain(m, &mut pool, &group.chain, 0, -d, &flash, group.window)?;
-                    let out_layer = &graph.layers()[group.end - 1];
-                    let out = pool.host_read(m, -d, out_layer.out_bytes())?;
-                    cur = Tensor::from_bytes(&out_layer.out_shape(), &out);
-                    let exec = m.summarize_since(&before);
-                    layers.push(LayerReport {
-                        name: plan.name.clone(),
-                        plan,
-                        exec,
-                    });
-                }
-            }
-        }
-        Ok(cur)
-    }
-
-    /// Executes a graph under the patch-based policy: the spatial front
-    /// stage runs tile by tile through
-    /// [`vmcu_kernels::patched::run_patched_front`] (only a tile's
-    /// receptive-field slab is ever resident; halo recompute is charged
-    /// to the machine), then the tail runs through the fusion-plan nodes
-    /// exactly like the fused policy. One [`LayerReport`] for the whole
-    /// front, one per tail node. When patching does not pay, the plan
-    /// degenerates to the plain fused plan and this is the fused path.
-    fn run_graph_patched(
-        &self,
-        graph: &Graph,
-        weights: &[LayerWeights],
-        input: &Tensor<i8>,
-        scratch: &mut InferenceScratch,
-        scheme: IbScheme,
-    ) -> Result<InferenceReport, EngineError> {
-        let pplan = scratch.patch_plan_for(graph, scheme).clone();
-        let mut layers = Vec::with_capacity(pplan.tail.nodes.len() + 1);
-        let mut cur = input.clone();
-        if let Some(front) = &pplan.front {
-            // One accounting source: the same LayerPlan the planning
-            // surface reports.
-            let plan = pplan
-                .front_layer_plan(&self.device)
-                .expect("front is present");
-            if !plan.fits {
-                return Err(EngineError::DoesNotFit {
-                    layer: plan.name,
-                    needed: plan.measured_bytes,
-                    available: self.device.ram_bytes,
-                });
-            }
-            let m = scratch.machine_for(&self.device);
-            let before = m.snapshot();
-            let flash = stage_flash(
-                m,
-                &graph.layers()[..pplan.front_len],
-                &weights[..pplan.front_len],
-                "vMCU-patched",
-            )?;
-            cur = run_patched_front(m, front, &cur, &flash)?;
-            let exec = m.summarize_since(&before);
-            layers.push(LayerReport {
-                name: plan.name.clone(),
-                plan,
-                exec,
-            });
-        }
-        let output = self.run_fusion_nodes(
-            graph,
-            weights,
-            &pplan.tail.nodes,
-            &cur,
-            scratch,
-            &mut layers,
-        )?;
-        Ok(InferenceReport { output, layers })
-    }
-
-    /// Runs a linear graph **chained through one circular pool**: each
-    /// layer's input pointer is the previous layer's output pointer, so
-    /// the whole network deploys in a single window of
-    /// `max(per-layer span)` bytes — the paper's multi-layer deployment
-    /// model (§4: "the input tensor initial pointer address is determined
-    /// by the previous layer").
-    ///
-    /// Only available under the vMCU policy.
+    /// Deprecated chained run: deploys (without the per-layer fit gate —
+    /// the chain validates its own, smaller window) and infers through
+    /// one circular pool. Only available under the vMCU policy.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::Unsupported`] for non-vMCU policies,
     /// [`EngineError::DoesNotFit`] when the window exceeds RAM, and pool
     /// errors on planning bugs (never silent corruption).
+    #[deprecated(note = "use `Engine::deploy(..)` then `Session::infer_chained` — the \
+                         deployment memoizes the `ChainPlan`")]
     pub fn run_graph_chained(
         &self,
         graph: &Graph,
         weights: &[LayerWeights],
         input: &Tensor<i8>,
     ) -> Result<(InferenceReport, ChainPlan), EngineError> {
-        assert_eq!(weights.len(), graph.len(), "weights/layers mismatch");
-        let scheme = match self.kind {
-            PlannerKind::Vmcu(scheme) => scheme,
-            _ => {
-                return Err(EngineError::Unsupported {
-                    kind: "chained graph",
-                    executor: self.kind.name(),
-                })
-            }
-        };
-        let plan = plan_chain(graph, scheme);
-        let needed = plan.total_bytes() + self.device.runtime_overhead_bytes;
-        if needed > self.device.ram_bytes {
-            return Err(EngineError::DoesNotFit {
-                layer: format!("chained {}", graph.name),
-                needed,
-                available: self.device.ram_bytes,
-            });
-        }
-        let mut m = Machine::new(self.device.clone());
-        let seg = match graph.layers().first() {
-            Some(LayerDesc::Ib(p)) => p.seg(),
-            Some(LayerDesc::Pointwise(p)) => p.seg,
-            Some(LayerDesc::Dense(p)) => p.seg,
-            _ => 1,
-        };
-        let mut pool = SegmentPool::new(&m, 0, plan.window, seg.max(1))?;
-        let ws_base = plan.window;
-        pool.host_fill_live(&mut m, plan.bases[0], &input.as_bytes())?;
-        let mut layers = Vec::with_capacity(graph.len());
-        for (i, (layer, w)) in graph.layers().iter().zip(weights).enumerate() {
-            let name = format!("{}#{i}", layer.kind());
-            let before = m.snapshot();
-            let (b_in, b_out) = (plan.bases[i], plan.bases[i + 1]);
-            match (layer, w) {
-                (LayerDesc::Pointwise(p), LayerWeights::Pointwise(wt)) => {
-                    let w_base = m.host_program_flash(&wt.as_bytes())?;
-                    run_pointwise(&mut m, &mut pool, p, b_in, b_out, w_base, None)?;
-                }
-                (LayerDesc::Conv2d(p), LayerWeights::Conv2d(wt)) => {
-                    let w_base = m.host_program_flash(&wt.as_bytes())?;
-                    run_conv2d(&mut m, &mut pool, p, b_in, b_out, w_base, None)?;
-                }
-                (LayerDesc::Depthwise(p), LayerWeights::Depthwise(wt)) => {
-                    let w_base = m.host_program_flash(&wt.as_bytes())?;
-                    run_depthwise(&mut m, &mut pool, p, b_in, b_out, w_base, None)?;
-                }
-                (LayerDesc::Dense(p), LayerWeights::Dense(wt)) => {
-                    let w_base = m.host_program_flash(&wt.as_bytes())?;
-                    run_fc(&mut m, &mut pool, p, b_in, b_out, w_base, None)?;
-                }
-                (LayerDesc::Ib(p), LayerWeights::Ib { w1, wdw, w2 }) => {
-                    let flash = IbFlash {
-                        w1: m.host_program_flash(&w1.as_bytes())?,
-                        wdw: m.host_program_flash(&wdw.as_bytes())?,
-                        w2: m.host_program_flash(&w2.as_bytes())?,
-                    };
-                    run_fused_ib(&mut m, &mut pool, p, scheme, b_in, b_out, &flash, ws_base)?;
-                }
-                _ => {
-                    return Err(EngineError::Unsupported {
-                        kind: layer.kind(),
-                        executor: "vMCU",
-                    })
-                }
-            }
-            let exec = m.summarize_since(&before);
-            layers.push(LayerReport {
-                name,
-                plan: LayerPlan {
-                    name: format!("{}#{i}", layer.kind()),
-                    kind: layer.kind(),
-                    activation_bytes: plan.window,
-                    workspace_bytes: plan.workspace,
-                    measured_bytes: needed,
-                    fits: true,
-                },
-                exec,
-            });
-        }
-        let out_bytes = graph.layers().last().expect("non-empty graph").out_bytes();
-        let out_base = *plan.bases.last().expect("bases non-empty");
-        let out = pool.host_read(&m, out_base, out_bytes)?;
-        let output = Tensor::from_bytes(&graph.out_shape(), &out);
-        Ok((InferenceReport { output, layers }, plan))
+        self.deploy_unchecked(graph, weights)?
+            .session()
+            .infer_chained(input)
     }
-
-    // ---- vMCU execution path ----------------------------------------------
-
-    fn exec_vmcu(
-        &self,
-        m: &mut Machine,
-        layer: &LayerDesc,
-        weights: &LayerWeights,
-        input: &Tensor<i8>,
-        scheme: IbScheme,
-    ) -> Result<Tensor<i8>, EngineError> {
-        match (layer, weights) {
-            (LayerDesc::Pointwise(p), LayerWeights::Pointwise(w)) => {
-                let w_base = m.host_program_flash(&w.as_bytes())?;
-                let d = pointwise_exec_distance(p);
-                let window = (p.in_bytes() + d.max(0) as usize).max(p.out_bytes());
-                let mut pool = SegmentPool::new(m, 0, window, p.seg)?;
-                pool.host_fill_live(m, 0, &input.as_bytes())?;
-                run_pointwise(m, &mut pool, p, 0, -d, w_base, None)?;
-                let out = pool.host_read(m, -d, p.out_bytes())?;
-                Ok(Tensor::from_bytes(&[p.h, p.w, p.k], &out))
-            }
-            (LayerDesc::Conv2d(p), LayerWeights::Conv2d(w)) => {
-                let w_base = m.host_program_flash(&w.as_bytes())?;
-                let d = conv2d_exec_distance(p);
-                let window = (p.in_bytes() + d.max(0) as usize).max(p.out_bytes());
-                let mut pool = SegmentPool::new(m, 0, window, p.seg)?;
-                pool.host_fill_live(m, 0, &input.as_bytes())?;
-                run_conv2d(m, &mut pool, p, 0, -d, w_base, None)?;
-                let out = pool.host_read(m, -d, p.out_bytes())?;
-                Ok(Tensor::from_bytes(&[p.out_h(), p.out_w(), p.k], &out))
-            }
-            (LayerDesc::Depthwise(p), LayerWeights::Depthwise(w)) => {
-                let w_base = m.host_program_flash(&w.as_bytes())?;
-                let d = depthwise_exec_distance(p);
-                let window = (p.in_bytes() + d.max(0) as usize).max(p.out_bytes());
-                let mut pool = SegmentPool::new(m, 0, window, p.c)?;
-                pool.host_fill_live(m, 0, &input.as_bytes())?;
-                run_depthwise(m, &mut pool, p, 0, -d, w_base, None)?;
-                let out = pool.host_read(m, -d, p.out_bytes())?;
-                Ok(Tensor::from_bytes(&[p.out_h(), p.out_w(), p.c], &out))
-            }
-            (LayerDesc::Dense(p), LayerWeights::Dense(w)) => {
-                let w_base = m.host_program_flash(&w.as_bytes())?;
-                let d = fc_exec_distance(p);
-                let window = (p.in_bytes() + d.max(0) as usize).max(p.out_bytes());
-                let mut pool = SegmentPool::new(m, 0, window, p.seg)?;
-                pool.host_fill_live(m, 0, &input.as_bytes())?;
-                run_fc(m, &mut pool, p, 0, -d, w_base, None)?;
-                let out = pool.host_read(m, -d, p.out_bytes())?;
-                Ok(Tensor::from_bytes(&[p.m, p.n], &out))
-            }
-            (LayerDesc::Ib(p), LayerWeights::Ib { w1, wdw, w2 }) => {
-                let flash = IbFlash {
-                    w1: m.host_program_flash(&w1.as_bytes())?,
-                    wdw: m.host_program_flash(&wdw.as_bytes())?,
-                    w2: m.host_program_flash(&w2.as_bytes())?,
-                };
-                let d = ib_exec_distance(p, scheme);
-                let window = (p.in_bytes() + d.max(0) as usize).max(p.out_bytes());
-                let mut pool = SegmentPool::new(m, 0, window, p.seg())?;
-                pool.host_fill_live(m, 0, &input.as_bytes())?;
-                run_fused_ib(m, &mut pool, p, scheme, 0, -d, &flash, window)?;
-                let out = pool.host_read(m, -d, p.out_bytes())?;
-                Ok(Tensor::from_bytes(&[p.hw2(), p.hw2(), p.c_out], &out))
-            }
-            _ => Err(EngineError::Unsupported {
-                kind: layer.kind(),
-                executor: "vMCU",
-            }),
-        }
-    }
-
-    // ---- baseline execution path (TinyEngine kernels) ----------------------
-
-    fn exec_baseline(
-        &self,
-        m: &mut Machine,
-        layer: &LayerDesc,
-        weights: &LayerWeights,
-        input: &Tensor<i8>,
-    ) -> Result<Tensor<i8>, EngineError> {
-        match (layer, weights) {
-            (LayerDesc::Pointwise(p), LayerWeights::Pointwise(w)) => {
-                let w_base = m.host_program_flash(&w.as_bytes())?;
-                let layout = TePointwiseLayout {
-                    input: 0,
-                    output: p.in_bytes(),
-                    im2col: p.in_bytes() + p.out_bytes(),
-                };
-                m.host_write_ram(layout.input, &input.as_bytes())?;
-                run_pointwise_te(m, p, 1, layout, w_base, None)?;
-                let out = m.host_read_ram(layout.output, p.out_bytes())?;
-                Ok(Tensor::from_bytes(&[p.h, p.w, p.k], &out))
-            }
-            (LayerDesc::Dense(p), LayerWeights::Dense(w)) => {
-                // Dense == pointwise over M "pixels" of one column.
-                let pw = PointwiseParams {
-                    h: p.m,
-                    w: 1,
-                    c: p.k,
-                    k: p.n,
-                    seg: p.seg,
-                    rq: p.rq,
-                    clamp: p.clamp,
-                };
-                let w_base = m.host_program_flash(&w.as_bytes())?;
-                let layout = TePointwiseLayout {
-                    input: 0,
-                    output: pw.in_bytes(),
-                    im2col: pw.in_bytes() + pw.out_bytes(),
-                };
-                m.host_write_ram(layout.input, &input.as_bytes())?;
-                run_pointwise_te(m, &pw, 1, layout, w_base, None)?;
-                let out = m.host_read_ram(layout.output, pw.out_bytes())?;
-                Ok(Tensor::from_bytes(&[p.m, p.n], &out))
-            }
-            (LayerDesc::Depthwise(p), LayerWeights::Depthwise(w)) => {
-                let w_base = m.host_program_flash(&w.as_bytes())?;
-                m.host_write_ram(0, &input.as_bytes())?;
-                run_depthwise_te_inplace(m, p, 0, p.in_bytes(), w_base)?;
-                let out = m.host_read_ram(0, p.out_bytes())?;
-                Ok(Tensor::from_bytes(&[p.out_h(), p.out_w(), p.c], &out))
-            }
-            (LayerDesc::Ib(p), LayerWeights::Ib { w1, wdw, w2 }) => {
-                let w1b = m.host_program_flash(&w1.as_bytes())?;
-                let wdwb = m.host_program_flash(&wdw.as_bytes())?;
-                let w2b = m.host_program_flash(&w2.as_bytes())?;
-                let (layout, _end) = TeIbLayout::packed(p, 0);
-                m.host_write_ram(layout.a, &input.as_bytes())?;
-                run_ib_te(m, p, layout, w1b, wdwb, w2b)?;
-                let out = m.host_read_ram(layout.d, p.out_bytes())?;
-                Ok(Tensor::from_bytes(&[p.hw2(), p.hw2(), p.c_out], &out))
-            }
-            (LayerDesc::Conv2d(_), _) => Err(EngineError::Unsupported {
-                kind: layer.kind(),
-                executor: self.kind.name(),
-            }),
-            _ => Err(EngineError::Unsupported {
-                kind: layer.kind(),
-                executor: self.kind.name(),
-            }),
-        }
-    }
-}
-
-/// Programs each layer's weights into Flash, returning one base address
-/// per layer — the shared staging step of the fused-chain and
-/// patched-front paths (`executor` names the policy in the typed error
-/// for a layer kind whose weights cannot stage).
-fn stage_flash(
-    m: &mut Machine,
-    layers: &[LayerDesc],
-    weights: &[LayerWeights],
-    executor: &'static str,
-) -> Result<Vec<usize>, EngineError> {
-    let mut flash = Vec::with_capacity(layers.len());
-    for (layer, w) in layers.iter().zip(weights) {
-        let bytes = match (layer, w) {
-            (LayerDesc::Pointwise(_), LayerWeights::Pointwise(t))
-            | (LayerDesc::Conv2d(_), LayerWeights::Conv2d(t))
-            | (LayerDesc::Depthwise(_), LayerWeights::Depthwise(t))
-            | (LayerDesc::Dense(_), LayerWeights::Dense(t)) => t.as_bytes(),
-            _ => {
-                return Err(EngineError::Unsupported {
-                    kind: layer.kind(),
-                    executor,
-                })
-            }
-        };
-        flash.push(m.host_program_flash(&bytes)?);
-    }
-    Ok(flash)
 }
 
 #[cfg(test)]
@@ -834,6 +453,20 @@ mod tests {
 
     fn input_for(layer: &LayerDesc, seed: u64) -> Tensor<i8> {
         random::tensor_i8(&layer.in_shape(), seed)
+    }
+
+    fn infer(
+        engine: &Engine,
+        g: &Graph,
+        weights: &[LayerWeights],
+        input: &Tensor<i8>,
+    ) -> InferenceReport {
+        engine
+            .deploy(g, weights)
+            .unwrap()
+            .session()
+            .infer(input)
+            .unwrap()
     }
 
     #[test]
@@ -875,9 +508,7 @@ mod tests {
         let g = zoo::demo_linear_net();
         let weights = g.random_weights(11);
         let input = random::tensor_i8(&g.in_shape(), 12);
-        let report = Engine::new(Device::stm32_f767zi())
-            .run_graph(&g, &weights, &input)
-            .unwrap();
+        let report = infer(&Engine::new(Device::stm32_f767zi()), &g, &weights, &input);
         let reference = vmcu_graph::exec::run_reference(&g, &weights, &input);
         assert_eq!(&report.output, reference.last().unwrap());
         assert_eq!(report.layers.len(), g.len());
@@ -888,30 +519,29 @@ mod tests {
 
     #[test]
     fn engine_and_work_items_are_send() {
-        // The fleet scheduler moves engines and scratches into worker
-        // threads; regressions here break `vmcu-serve` at compile time.
+        // The fleet scheduler moves engines, deployments, and sessions
+        // into worker threads; regressions here break `vmcu-serve` at
+        // compile time.
         fn assert_send<T: Send>() {}
         assert_send::<Engine>();
-        assert_send::<InferenceScratch>();
+        assert_send::<Deployment>();
+        assert_send::<crate::deploy::Session>();
         assert_send::<InferenceReport>();
     }
 
     #[test]
-    fn scratch_reuse_is_bit_identical_to_fresh_machines() {
+    fn session_reuse_is_bit_identical_to_fresh_sessions() {
         let g = zoo::demo_linear_net();
         let weights = g.random_weights(21);
         let input = random::tensor_i8(&g.in_shape(), 22);
         let engine = Engine::new(Device::stm32_f767zi());
-        let fresh = engine.run_graph(&g, &weights, &input).unwrap();
-        let mut scratch = InferenceScratch::new();
-        // Second pass through a warm scratch must agree in outputs AND
+        let fresh = infer(&engine, &g, &weights, &input);
+        let deployment = engine.deploy(&g, &weights).unwrap();
+        let mut session = deployment.session();
+        // Second pass through a warm session must agree in outputs AND
         // in measured counters (the reset must not leak state).
-        engine
-            .run_graph_scratch(&g, &weights, &input, &mut scratch)
-            .unwrap();
-        let warm = engine
-            .run_graph_scratch(&g, &weights, &input, &mut scratch)
-            .unwrap();
+        session.infer(&input).unwrap();
+        let warm = session.infer(&input).unwrap();
         assert_eq!(warm.output, fresh.output);
         assert_eq!(warm.latency_ms(), fresh.latency_ms());
         assert_eq!(warm.energy_mj(), fresh.energy_mj());
@@ -919,19 +549,30 @@ mod tests {
     }
 
     #[test]
-    fn scratch_adapts_when_the_device_changes() {
-        let layer = LayerDesc::Ib(zoo::mcunet_5fps_vww()[4].params);
-        let w = LayerWeights::random(&layer, 3);
-        let input = input_for(&layer, 4);
+    #[allow(deprecated)]
+    fn legacy_wrappers_match_the_deploy_path_bit_for_bit() {
+        let g = zoo::demo_linear_net();
+        let weights = g.random_weights(21);
+        let input = random::tensor_i8(&g.in_shape(), 22);
+        let engine = Engine::new(Device::stm32_f767zi());
+        let legacy = engine.run_graph(&g, &weights, &input).unwrap();
         let mut scratch = InferenceScratch::new();
-        let (out_small, _) = Engine::new(Device::stm32_f411re())
-            .run_layer_scratch("S5", &layer, &w, &input, &mut scratch)
+        let legacy_scratch = engine
+            .run_graph_scratch(&g, &weights, &input, &mut scratch)
             .unwrap();
-        // Same scratch, bigger device: machine is rebuilt, not reused.
-        let (out_big, _) = Engine::new(Device::stm32_f767zi())
-            .run_layer_scratch("S5", &layer, &w, &input, &mut scratch)
-            .unwrap();
-        assert_eq!(out_small, out_big);
+        let new = infer(&engine, &g, &weights, &input);
+        for old in [&legacy, &legacy_scratch] {
+            assert_eq!(old.output, new.output);
+            assert_eq!(old.latency_ms(), new.latency_ms());
+            assert_eq!(old.energy_mj(), new.energy_mj());
+            assert_eq!(old.peak_ram_bytes(), new.peak_ram_bytes());
+        }
+        assert!(Engine::with_model(
+            Device::stm32_f767zi(),
+            PlannerKind::Vmcu(IbScheme::RowBuffer),
+            &g
+        )
+        .is_ok());
     }
 
     #[test]
@@ -947,11 +588,15 @@ mod tests {
         ));
         let g = Graph::linear("huge", vec![huge.clone()]).unwrap();
         let dev = Device::stm32_f411re();
+        let weights = g.random_weights(1);
         for kind in [
             PlannerKind::Vmcu(IbScheme::RowBuffer),
             PlannerKind::TinyEngine,
         ] {
-            let err = Engine::with_model(dev.clone(), kind, &g).unwrap_err();
+            let err = Engine::new(dev.clone())
+                .planner(kind)
+                .deploy(&g, &weights)
+                .unwrap_err();
             match err {
                 EngineError::DoesNotFit {
                     needed, available, ..
@@ -961,8 +606,8 @@ mod tests {
                 }
                 other => panic!("{kind:?}: expected DoesNotFit, got {other}"),
             }
-            // The run path reports the same typed error instead of
-            // panicking.
+            // The layer-level run path reports the same typed error
+            // instead of panicking.
             let w = LayerWeights::random(&huge, 1);
             let input = input_for(&huge, 2);
             let err = Engine::new(dev.clone())
@@ -979,13 +624,12 @@ mod tests {
         let plan = Engine::new(Device::stm32_f411re()).check_fit(&g).unwrap();
         assert_eq!(plan.layers.len(), g.len());
         assert!(plan.deployable());
-        // Checked construction succeeds for the same model.
-        assert!(Engine::with_model(
-            Device::stm32_f411re(),
-            PlannerKind::Vmcu(IbScheme::RowBuffer),
-            &g
-        )
-        .is_ok());
+        // The checked deploy path succeeds for the same model and
+        // memoizes the identical plan.
+        let deployment = Engine::new(Device::stm32_f411re())
+            .deploy(&g, &g.random_weights(1))
+            .unwrap();
+        assert_eq!(deployment.plan(), &plan);
     }
 
     #[test]
@@ -993,10 +637,9 @@ mod tests {
         for g in [zoo::demo_linear_net(), zoo::mbv2_block_unfused()] {
             let weights = g.random_weights(31);
             let input = random::tensor_i8(&g.in_shape(), 32);
-            let report = Engine::new(Device::stm32_f767zi())
-                .planner(PlannerKind::VmcuFused(IbScheme::RowBuffer))
-                .run_graph(&g, &weights, &input)
-                .unwrap();
+            let engine = Engine::new(Device::stm32_f767zi())
+                .planner(PlannerKind::VmcuFused(IbScheme::RowBuffer));
+            let report = infer(&engine, &g, &weights, &input);
             let reference = vmcu_graph::exec::run_reference(&g, &weights, &input);
             assert_eq!(&report.output, reference.last().unwrap(), "{}", g.name);
             assert!(report.latency_ms() > 0.0);
@@ -1009,11 +652,10 @@ mod tests {
         let weights = g.random_weights(41);
         let input = random::tensor_i8(&g.in_shape(), 42);
         let dev = Device::stm32_f411re();
-        let fused = Engine::new(dev.clone())
-            .planner(PlannerKind::VmcuFused(IbScheme::RowBuffer))
-            .run_graph(&g, &weights, &input)
-            .unwrap();
-        let vmcu = Engine::new(dev).run_graph(&g, &weights, &input).unwrap();
+        let fused_engine =
+            Engine::new(dev.clone()).planner(PlannerKind::VmcuFused(IbScheme::RowBuffer));
+        let fused = infer(&fused_engine, &g, &weights, &input);
+        let vmcu = infer(&Engine::new(dev), &g, &weights, &input);
         assert_eq!(fused.output, vmcu.output, "policies must agree bit-exact");
         assert!(
             fused.peak_ram_bytes() < vmcu.peak_ram_bytes(),
@@ -1032,35 +674,16 @@ mod tests {
         let weights = g.random_weights(51);
         let input = random::tensor_i8(&g.in_shape(), 52);
         let dev = Device::stm32_f411re();
-        let err = Engine::with_model(dev.clone(), PlannerKind::Vmcu(IbScheme::RowBuffer), &g)
-            .unwrap_err();
+        let err = Engine::new(dev.clone()).deploy(&g, &weights).unwrap_err();
         assert!(matches!(err, EngineError::DoesNotFit { .. }));
-        let engine =
-            Engine::with_model(dev, PlannerKind::VmcuFused(IbScheme::RowBuffer), &g).unwrap();
-        let report = engine.run_graph(&g, &weights, &input).unwrap();
+        let deployment = Engine::new(dev)
+            .planner(PlannerKind::VmcuFused(IbScheme::RowBuffer))
+            .deploy(&g, &weights)
+            .unwrap();
+        let report = deployment.session().infer(&input).unwrap();
         let reference = vmcu_graph::exec::run_reference(&g, &weights, &input);
         assert_eq!(&report.output, reference.last().unwrap());
         assert!(report.peak_ram_bytes() <= 128 * 1024);
-    }
-
-    #[test]
-    fn fused_scratch_reuse_is_bit_identical_to_fresh_machines() {
-        let g = zoo::mbv2_block_unfused();
-        let weights = g.random_weights(61);
-        let input = random::tensor_i8(&g.in_shape(), 62);
-        let engine = Engine::new(Device::stm32_f411re())
-            .planner(PlannerKind::VmcuFused(IbScheme::RowBuffer));
-        let fresh = engine.run_graph(&g, &weights, &input).unwrap();
-        let mut scratch = InferenceScratch::new();
-        engine
-            .run_graph_scratch(&g, &weights, &input, &mut scratch)
-            .unwrap();
-        let warm = engine
-            .run_graph_scratch(&g, &weights, &input, &mut scratch)
-            .unwrap();
-        assert_eq!(warm.output, fresh.output);
-        assert_eq!(warm.latency_ms(), fresh.latency_ms());
-        assert_eq!(warm.peak_ram_bytes(), fresh.peak_ram_bytes());
     }
 
     #[test]
@@ -1072,10 +695,9 @@ mod tests {
         ] {
             let weights = g.random_weights(71);
             let input = random::tensor_i8(&g.in_shape(), 72);
-            let report = Engine::new(Device::stm32_f767zi())
-                .planner(PlannerKind::VmcuPatched(IbScheme::RowBuffer))
-                .run_graph(&g, &weights, &input)
-                .unwrap();
+            let engine = Engine::new(Device::stm32_f767zi())
+                .planner(PlannerKind::VmcuPatched(IbScheme::RowBuffer));
+            let report = infer(&engine, &g, &weights, &input);
             let reference = vmcu_graph::exec::run_reference(&g, &weights, &input);
             assert_eq!(&report.output, reference.last().unwrap(), "{}", g.name);
             assert!(report.latency_ms() > 0.0);
@@ -1094,15 +716,20 @@ mod tests {
             PlannerKind::TinyEngine,
             PlannerKind::Hmcos,
         ] {
-            let err = Engine::with_model(dev.clone(), kind, &g).unwrap_err();
+            let err = Engine::new(dev.clone())
+                .planner(kind)
+                .deploy(&g, &weights)
+                .unwrap_err();
             assert!(
                 matches!(err, EngineError::DoesNotFit { .. }),
                 "{kind:?} must OOM on the 147 KB front activation"
             );
         }
-        let engine =
-            Engine::with_model(dev, PlannerKind::VmcuPatched(IbScheme::RowBuffer), &g).unwrap();
-        let report = engine.run_graph(&g, &weights, &input).unwrap();
+        let deployment = Engine::new(dev)
+            .planner(PlannerKind::VmcuPatched(IbScheme::RowBuffer))
+            .deploy(&g, &weights)
+            .unwrap();
+        let report = deployment.session().infer(&input).unwrap();
         let reference = vmcu_graph::exec::run_reference(&g, &weights, &input);
         assert_eq!(&report.output, reference.last().unwrap());
         assert!(report.peak_ram_bytes() <= 128 * 1024);
@@ -1112,20 +739,16 @@ mod tests {
     }
 
     #[test]
-    fn patched_scratch_reuse_is_bit_identical_to_fresh_machines() {
+    fn patched_session_reuse_is_bit_identical_to_fresh_sessions() {
         let g = zoo::hires_front_stage();
         let weights = g.random_weights(91);
         let input = random::tensor_i8(&g.in_shape(), 92);
         let engine = Engine::new(Device::stm32_f411re())
             .planner(PlannerKind::VmcuPatched(IbScheme::RowBuffer));
-        let fresh = engine.run_graph(&g, &weights, &input).unwrap();
-        let mut scratch = InferenceScratch::new();
-        engine
-            .run_graph_scratch(&g, &weights, &input, &mut scratch)
-            .unwrap();
-        let warm = engine
-            .run_graph_scratch(&g, &weights, &input, &mut scratch)
-            .unwrap();
+        let fresh = infer(&engine, &g, &weights, &input);
+        let mut session = engine.deploy(&g, &weights).unwrap().session();
+        session.infer(&input).unwrap();
+        let warm = session.infer(&input).unwrap();
         assert_eq!(warm.output, fresh.output);
         assert_eq!(warm.latency_ms(), fresh.latency_ms());
         assert_eq!(warm.peak_ram_bytes(), fresh.peak_ram_bytes());

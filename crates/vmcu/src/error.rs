@@ -26,6 +26,18 @@ pub enum EngineError {
         /// Executor name.
         executor: &'static str,
     },
+    /// Deployed session state leaked between inferences — an invariant
+    /// staged at deploy time (e.g. the flash firmware image) changed
+    /// during `infer`. Indicates an executor bug; surfaced as a typed
+    /// error on the next inference, never silently absorbed.
+    StateLeak {
+        /// The deployed invariant that changed.
+        what: &'static str,
+        /// Bytes the invariant held at deploy time.
+        expected: usize,
+        /// Bytes found before the next inference.
+        found: usize,
+    },
     /// Pool violation during execution (indicates a planner/kernel bug —
     /// surfaced, never silent).
     Pool(PoolError),
@@ -47,6 +59,15 @@ impl fmt::Display for EngineError {
             EngineError::Unsupported { kind, executor } => {
                 write!(f, "{executor} executor does not support {kind} layers")
             }
+            EngineError::StateLeak {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "session state leak: {what} was {expected} bytes at deploy but {found} before \
+                 the next inference"
+            ),
             EngineError::Pool(e) => write!(f, "pool violation: {e}"),
             EngineError::Mem(e) => write!(f, "memory error: {e}"),
         }

@@ -1,0 +1,126 @@
+//! The fused executor: runs of fusable layers execute as one fused chain
+//! in a single pool window (intermediates live only as line-buffer
+//! rings); singleton nodes run through the shared vMCU layer body.
+
+use super::vmcu::exec_layer_vmcu;
+use super::{ExecCtx, Executor, StagedLayer};
+use crate::engine::{InferenceReport, LayerReport};
+use crate::error::EngineError;
+use vmcu_graph::LayerDesc;
+use vmcu_kernels::fused_chain::run_fused_chain;
+use vmcu_kernels::IbScheme;
+use vmcu_plan::FusionNode;
+use vmcu_pool::SegmentPool;
+use vmcu_sim::Machine;
+use vmcu_tensor::Tensor;
+
+/// Multi-layer segment fusion execution.
+#[derive(Debug, Clone, Copy)]
+pub struct FusedExecutor {
+    /// Workspace scheme for fused inverted-bottleneck singletons.
+    pub scheme: IbScheme,
+}
+
+/// Executes a sequence of fusion-plan nodes (the whole graph under the
+/// fused policy, the tail under the patched policy), appending one
+/// [`LayerReport`] per node. Node indices are graph-absolute;
+/// `plan_offset` locates the first node's entry in the memoized
+/// [`MemoryPlan`](vmcu_plan::MemoryPlan).
+pub(crate) fn run_fusion_nodes(
+    scheme: IbScheme,
+    ctx: &ExecCtx<'_>,
+    m: &mut Machine,
+    nodes: &[FusionNode],
+    plan_offset: usize,
+    input: &Tensor<i8>,
+    layers: &mut Vec<LayerReport>,
+) -> Result<Tensor<i8>, EngineError> {
+    let mut cur = input.clone();
+    for (k, node) in nodes.iter().enumerate() {
+        let plan = ctx.node_plan(plan_offset + k)?;
+        // Between-node reset: RAM to boot state, identical to the
+        // historical reset-per-node path; the deployed Flash image and
+        // the accumulating counters are untouched.
+        m.ram.clear();
+        let before = m.snapshot();
+        match node {
+            FusionNode::Single { index, .. } => {
+                let layer = &ctx.graph.layers()[*index];
+                cur = exec_layer_vmcu(m, layer, ctx.staged[*index], &cur, scheme)?;
+            }
+            FusionNode::Fused(group) => {
+                let flash = ctx.staged[group.start..group.end]
+                    .iter()
+                    .map(|s| s.single("vMCU-fused"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let d = group.exec_distance;
+                let mut pool = SegmentPool::new(m, 0, group.window, group.chain.seg())?;
+                pool.host_fill_live(m, 0, &cur.as_bytes())?;
+                run_fused_chain(m, &mut pool, &group.chain, 0, -d, &flash, group.window)?;
+                let out_layer = &ctx.graph.layers()[group.end - 1];
+                let out = pool.host_read(m, -d, out_layer.out_bytes())?;
+                cur = Tensor::from_bytes(&out_layer.out_shape(), &out);
+            }
+        }
+        let exec = m.summarize_since(&before);
+        layers.push(LayerReport {
+            name: plan.name.clone(),
+            plan,
+            exec,
+        });
+    }
+    Ok(cur)
+}
+
+impl Executor for FusedExecutor {
+    fn name(&self) -> &'static str {
+        "vMCU-fused"
+    }
+
+    fn prepare(
+        &self,
+        _planner: &dyn vmcu_plan::MemoryPlanner,
+        graph: &vmcu_graph::Graph,
+        device: &vmcu_sim::Device,
+    ) -> crate::deploy::PlanSet {
+        // One fusion pass serves both the memoized execution plan and
+        // the memory plan it is priced by.
+        let fusion = vmcu_plan::fuse_graph(graph, self.scheme);
+        let memory = vmcu_plan::FusedPlanner {
+            scheme: self.scheme,
+        }
+        .plan_model_from(&fusion, graph, device);
+        crate::deploy::PlanSet {
+            memory,
+            fusion: Some(fusion),
+            patch: None,
+            chain: None,
+        }
+    }
+
+    fn exec_layer(
+        &self,
+        m: &mut Machine,
+        layer: &LayerDesc,
+        staged: StagedLayer,
+        input: &Tensor<i8>,
+    ) -> Result<Tensor<i8>, EngineError> {
+        exec_layer_vmcu(m, layer, staged, input, self.scheme)
+    }
+
+    fn infer(
+        &self,
+        ctx: &ExecCtx<'_>,
+        m: &mut Machine,
+        input: &Tensor<i8>,
+    ) -> Result<InferenceReport, EngineError> {
+        let fusion = ctx
+            .plans
+            .fusion
+            .as_ref()
+            .expect("fused deployments memoize the fusion plan");
+        let mut layers = Vec::with_capacity(fusion.nodes.len());
+        let output = run_fusion_nodes(self.scheme, ctx, m, &fusion.nodes, 0, input, &mut layers)?;
+        Ok(InferenceReport { output, layers })
+    }
+}

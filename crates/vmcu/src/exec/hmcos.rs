@@ -1,0 +1,32 @@
+//! The HMCOS executor: HMCOS is a *scheduling* policy (§7) and
+//! contributes no kernels of its own — it plans with [`HmcosPlanner`]
+//! and executes through the shared baseline layer body.
+//!
+//! [`HmcosPlanner`]: vmcu_plan::HmcosPlanner
+
+use super::tinyengine::exec_layer_baseline;
+use super::{Executor, StagedLayer};
+use crate::error::EngineError;
+use vmcu_graph::LayerDesc;
+use vmcu_sim::Machine;
+use vmcu_tensor::Tensor;
+
+/// Scheduling-only baseline execution (baseline kernels, HMCOS plans).
+#[derive(Debug, Clone, Copy)]
+pub struct HmcosExecutor;
+
+impl Executor for HmcosExecutor {
+    fn name(&self) -> &'static str {
+        "HMCOS"
+    }
+
+    fn exec_layer(
+        &self,
+        m: &mut Machine,
+        layer: &LayerDesc,
+        staged: StagedLayer,
+        input: &Tensor<i8>,
+    ) -> Result<Tensor<i8>, EngineError> {
+        exec_layer_baseline(m, layer, staged, input, self.name())
+    }
+}

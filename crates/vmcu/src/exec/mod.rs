@@ -1,0 +1,260 @@
+//! Pluggable executors — one per planning policy.
+//!
+//! The engine used to dispatch on [`PlannerKind`] inside its `run_*`
+//! bodies; every new policy meant editing the engine core. Executors
+//! invert that: a policy is a *pair* of a [`MemoryPlanner`] (how much
+//! RAM, decided at deploy time) and an [`Executor`] (how the deployed
+//! schedule runs), resolved once by [`PlannerKind::planner`] and
+//! [`PlannerKind::executor`] and cached in a
+//! [`Deployment`](crate::deploy::Deployment). Adding a policy is now a
+//! planner impl in `vmcu-plan`, an `Executor` impl here, and one arm in
+//! the `PlannerKind` resolution — the engine core never changes.
+//!
+//! Executors run against *deployed* state only: the graph, the plan
+//! artifacts memoized at deploy time ([`PlanSet`]), and the weights
+//! already staged into device Flash ([`StagedLayer`]). They must not
+//! plan (the plan-call telemetry in `vmcu_plan::telemetry` makes that
+//! checkable) and must not program Flash (the session's reset assertions
+//! turn that into a typed [`EngineError::StateLeak`]).
+//!
+//! [`PlannerKind`]: crate::engine::PlannerKind
+//! [`PlannerKind::planner`]: crate::engine::PlannerKind::planner
+//! [`PlannerKind::executor`]: crate::engine::PlannerKind::executor
+//! [`MemoryPlanner`]: vmcu_plan::MemoryPlanner
+//! [`EngineError::StateLeak`]: crate::error::EngineError::StateLeak
+
+pub mod fused;
+pub mod hmcos;
+pub mod patched;
+pub mod tinyengine;
+pub mod vmcu;
+
+use crate::deploy::PlanSet;
+use crate::engine::{InferenceReport, LayerReport};
+use crate::error::EngineError;
+use vmcu_graph::{Graph, LayerDesc, LayerWeights};
+use vmcu_plan::{ChainPlan, LayerPlan};
+use vmcu_sim::{Device, Machine};
+use vmcu_tensor::Tensor;
+
+pub use fused::FusedExecutor;
+pub use hmcos::HmcosExecutor;
+pub use patched::PatchedExecutor;
+pub use tinyengine::TinyEngineExecutor;
+pub use vmcu::VmcuExecutor;
+
+/// Flash addresses of one layer's weights, staged at deploy time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StagedLayer {
+    /// One contiguous weight image (pointwise, conv2d, depthwise, dense).
+    Single(usize),
+    /// The three images of a fused inverted bottleneck.
+    Ib {
+        /// Expand (1×1) weights.
+        w1: usize,
+        /// Depthwise weights.
+        wdw: usize,
+        /// Project (1×1) weights.
+        w2: usize,
+    },
+}
+
+impl StagedLayer {
+    /// The single image address, or a typed error for layers staged as
+    /// multiple images (`executor` names the policy in the error).
+    pub fn single(&self, executor: &'static str) -> Result<usize, EngineError> {
+        match self {
+            StagedLayer::Single(addr) => Ok(*addr),
+            StagedLayer::Ib { .. } => Err(EngineError::Unsupported {
+                kind: "inverted-bottleneck",
+                executor,
+            }),
+        }
+    }
+}
+
+/// Programs one layer's weights into Flash, returning the staged
+/// addresses. Image order matches the historical per-layer staging
+/// (`w1`, `wdw`, `w2` for inverted bottlenecks), so deployed execution
+/// is bit-identical to the legacy program-per-run path.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Unsupported`] for a layer/weights kind
+/// mismatch and memory errors when the Flash capacity is exceeded.
+pub fn stage_layer(
+    m: &mut Machine,
+    layer: &LayerDesc,
+    weights: &LayerWeights,
+) -> Result<StagedLayer, EngineError> {
+    match (layer, weights) {
+        (LayerDesc::Pointwise(_), LayerWeights::Pointwise(t))
+        | (LayerDesc::Conv2d(_), LayerWeights::Conv2d(t))
+        | (LayerDesc::Depthwise(_), LayerWeights::Depthwise(t))
+        | (LayerDesc::Dense(_), LayerWeights::Dense(t)) => {
+            Ok(StagedLayer::Single(m.host_program_flash(&t.as_bytes())?))
+        }
+        (LayerDesc::Ib(_), LayerWeights::Ib { w1, wdw, w2 }) => Ok(StagedLayer::Ib {
+            w1: m.host_program_flash(&w1.as_bytes())?,
+            wdw: m.host_program_flash(&wdw.as_bytes())?,
+            w2: m.host_program_flash(&w2.as_bytes())?,
+        }),
+        _ => Err(EngineError::Unsupported {
+            kind: layer.kind(),
+            executor: "staging",
+        }),
+    }
+}
+
+/// Stages a whole graph's weights into Flash in layer order — the
+/// deployment's firmware image.
+///
+/// # Errors
+///
+/// Same contract as [`stage_layer`], per layer.
+pub fn stage_graph(
+    m: &mut Machine,
+    layers: &[LayerDesc],
+    weights: &[LayerWeights],
+) -> Result<Vec<StagedLayer>, EngineError> {
+    layers
+        .iter()
+        .zip(weights)
+        .map(|(l, w)| stage_layer(m, l, w))
+        .collect()
+}
+
+/// Everything an executor sees at inference time: deployed, immutable
+/// state prepared once by `Engine::deploy`.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecCtx<'a> {
+    /// The target device.
+    pub device: &'a Device,
+    /// The deployed graph.
+    pub graph: &'a Graph,
+    /// Plan artifacts memoized at deploy time.
+    pub plans: &'a PlanSet,
+    /// Per-layer staged Flash addresses, in graph order.
+    pub staged: &'a [StagedLayer],
+}
+
+impl ExecCtx<'_> {
+    /// The memoized plan entry for execution node `node` (layer index
+    /// for per-layer policies, node index for fused/patched plans),
+    /// re-checking device fit defensively — a deployment constructed
+    /// through the checked path can never hit the error.
+    pub fn node_plan(&self, node: usize) -> Result<LayerPlan, EngineError> {
+        let lp = self.plans.memory.layers[node].clone();
+        if !lp.fits {
+            return Err(EngineError::DoesNotFit {
+                layer: lp.name,
+                needed: lp.measured_bytes,
+                available: self.device.ram_bytes,
+            });
+        }
+        Ok(lp)
+    }
+}
+
+/// A policy's execution half: runs deployed graphs and single layers
+/// against pre-staged weights, with **zero planning work** — every plan
+/// artifact it needs was memoized at deploy time and arrives via
+/// [`ExecCtx`].
+pub trait Executor: std::fmt::Debug + Send + Sync {
+    /// Executor display name (matches the policy's planner name).
+    fn name(&self) -> &'static str;
+
+    /// Builds every plan artifact this executor will consume at
+    /// inference time — called **once**, at deploy. The default memoizes
+    /// only the whole-graph [`MemoryPlan`](vmcu_plan::MemoryPlan);
+    /// policies with extra artifacts (fusion plan, patch plan, chain
+    /// plan) override it and add theirs.
+    fn prepare(
+        &self,
+        planner: &dyn vmcu_plan::MemoryPlanner,
+        graph: &Graph,
+        device: &Device,
+    ) -> PlanSet {
+        PlanSet {
+            memory: vmcu_plan::plan_graph(planner, graph, device),
+            fusion: None,
+            patch: None,
+            chain: None,
+        }
+    }
+
+    /// Executes one layer whose weights are staged at `staged`, reading
+    /// the input from the host and returning the output tensor. The
+    /// machine's RAM is caller-cleared; Flash must not be touched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Unsupported`] for layer kinds this policy
+    /// cannot run, and pool/memory errors on internal bugs.
+    fn exec_layer(
+        &self,
+        m: &mut Machine,
+        layer: &LayerDesc,
+        staged: StagedLayer,
+        input: &Tensor<i8>,
+    ) -> Result<Tensor<i8>, EngineError>;
+
+    /// Executes the whole deployed graph for one input. The default walks
+    /// the graph layer by layer — one pool per layer, activations
+    /// re-staged by the host between layers — consuming the memoized
+    /// per-layer plan entries; graph-aware policies (fusion, patching)
+    /// override it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-layer failure.
+    fn infer(
+        &self,
+        ctx: &ExecCtx<'_>,
+        m: &mut Machine,
+        input: &Tensor<i8>,
+    ) -> Result<InferenceReport, EngineError> {
+        let mut layers = Vec::with_capacity(ctx.graph.len());
+        let mut cur = input.clone();
+        for (i, layer) in ctx.graph.layers().iter().enumerate() {
+            let plan = ctx.node_plan(i)?;
+            // Between-layer reset: RAM to boot state (bit-identical to
+            // the historical reset-per-layer path); counters keep
+            // accumulating — reports use deltas.
+            m.ram.clear();
+            let before = m.snapshot();
+            let out = self.exec_layer(m, layer, ctx.staged[i], &cur)?;
+            let exec = m.summarize_since(&before);
+            layers.push(LayerReport {
+                name: plan.name.clone(),
+                plan,
+                exec,
+            });
+            cur = out;
+        }
+        Ok(InferenceReport {
+            output: cur,
+            layers,
+        })
+    }
+
+    /// Executes the deployed graph chained through one circular pool
+    /// (§4's multi-layer deployment model). Only the vMCU policy
+    /// supports it; the default is a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Unsupported`] unless the policy overrides it.
+    fn infer_chained(
+        &self,
+        ctx: &ExecCtx<'_>,
+        m: &mut Machine,
+        input: &Tensor<i8>,
+    ) -> Result<(InferenceReport, ChainPlan), EngineError> {
+        let _ = (ctx, m, input);
+        Err(EngineError::Unsupported {
+            kind: "chained graph",
+            executor: self.name(),
+        })
+    }
+}

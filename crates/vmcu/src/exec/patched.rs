@@ -1,0 +1,104 @@
+//! The patched executor: the high-resolution spatial front stage runs
+//! tile by tile (only a tile's receptive-field slab is resident, halo
+//! recompute charged honestly), the tail reuses the fusion-node runner.
+
+use super::fused::run_fusion_nodes;
+use super::vmcu::exec_layer_vmcu;
+use super::{ExecCtx, Executor, StagedLayer};
+use crate::engine::{InferenceReport, LayerReport};
+use crate::error::EngineError;
+use vmcu_graph::LayerDesc;
+use vmcu_kernels::patched::run_patched_front;
+use vmcu_kernels::IbScheme;
+use vmcu_sim::Machine;
+use vmcu_tensor::Tensor;
+
+/// Patch-based front-stage execution (fused tail).
+#[derive(Debug, Clone, Copy)]
+pub struct PatchedExecutor {
+    /// Workspace scheme for fused inverted-bottleneck singletons in the
+    /// tail.
+    pub scheme: IbScheme,
+}
+
+impl Executor for PatchedExecutor {
+    fn name(&self) -> &'static str {
+        "vMCU-patched"
+    }
+
+    fn prepare(
+        &self,
+        _planner: &dyn vmcu_plan::MemoryPlanner,
+        graph: &vmcu_graph::Graph,
+        device: &vmcu_sim::Device,
+    ) -> crate::deploy::PlanSet {
+        // One grid search serves both the memoized execution plan and
+        // the memory plan it is priced by.
+        let patch_planner = vmcu_plan::PatchedPlanner {
+            scheme: self.scheme,
+            ..vmcu_plan::PatchedPlanner::default()
+        };
+        let pplan = patch_planner.patch_plan(graph);
+        let memory = patch_planner.plan_model_from(&pplan, graph, device);
+        crate::deploy::PlanSet {
+            memory,
+            fusion: None,
+            patch: Some(pplan),
+            chain: None,
+        }
+    }
+
+    fn exec_layer(
+        &self,
+        m: &mut Machine,
+        layer: &LayerDesc,
+        staged: StagedLayer,
+        input: &Tensor<i8>,
+    ) -> Result<Tensor<i8>, EngineError> {
+        exec_layer_vmcu(m, layer, staged, input, self.scheme)
+    }
+
+    fn infer(
+        &self,
+        ctx: &ExecCtx<'_>,
+        m: &mut Machine,
+        input: &Tensor<i8>,
+    ) -> Result<InferenceReport, EngineError> {
+        let pplan = ctx
+            .plans
+            .patch
+            .as_ref()
+            .expect("patched deployments memoize the patch plan");
+        let mut layers = Vec::with_capacity(pplan.tail.nodes.len() + 1);
+        let mut cur = input.clone();
+        let mut plan_offset = 0;
+        if let Some(front) = &pplan.front {
+            // The memoized plan's first entry is the patched front.
+            let plan = ctx.node_plan(0)?;
+            plan_offset = 1;
+            m.ram.clear();
+            let before = m.snapshot();
+            let flash = ctx.staged[..pplan.front_len]
+                .iter()
+                .map(|s| s.single("vMCU-patched"))
+                .collect::<Result<Vec<_>, _>>()?;
+            cur = run_patched_front(m, front, &cur, &flash)?;
+            let exec = m.summarize_since(&before);
+            layers.push(LayerReport {
+                name: plan.name.clone(),
+                plan,
+                exec,
+            });
+        }
+        let output = run_fusion_nodes(
+            self.scheme,
+            ctx,
+            m,
+            &pplan.tail.nodes,
+            plan_offset,
+            &cur,
+            &mut layers,
+        )?;
+        Ok(InferenceReport { output, layers })
+    }
+}

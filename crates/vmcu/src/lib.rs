@@ -23,34 +23,48 @@
 //! | [`vmcu_plan`] | §2.3, §4, §5.2 | vMCU / TinyEngine / HMCOS / arena planners + the multi-layer fusion pass |
 //! | [`vmcu_codegen`] | §6 | IR → C emission and the IR interpreter |
 //!
-//! ## Quickstart
+//! ## Quickstart — plan once, run many
+//!
+//! Planning (memory layout, fusion grouping, patch-grid search) happens
+//! once at [`Engine::deploy`]; the [`Session`] then executes a fixed
+//! schedule with zero replanning — exactly the paper's offline/on-device
+//! split.
 //!
 //! ```
 //! use vmcu::prelude::*;
 //!
 //! // Figure 7, case H/W80,C16,K16 on the 128 KB STM32-F411RE.
 //! let case = vmcu::vmcu_graph::zoo::fig7_cases()[0].clone();
-//! let layer = LayerDesc::Pointwise(case.params);
-//! let weights = LayerWeights::random(&layer, 1);
-//! let input = vmcu::vmcu_tensor::random::tensor_i8(&layer.in_shape(), 2);
+//! let graph = Graph::linear(case.name.clone(), vec![LayerDesc::Pointwise(case.params)])?;
+//! let weights = graph.random_weights(1);
+//! let input = vmcu::vmcu_tensor::random::tensor_i8(&graph.in_shape(), 2);
 //!
 //! let engine = Engine::new(Device::stm32_f411re());
-//! let (output, report) = engine.run_layer(&case.name, &layer, &weights, &input)?;
-//! assert_eq!(output.shape(), &[80, 80, 16]);
+//! let deployment = engine.deploy(&graph, &weights)?; // fit checked, plans memoized
+//! let mut session = deployment.session();            // weights staged into Flash
+//! let report = session.infer(&input)?;               // zero planning from here on
+//! assert_eq!(report.output.shape(), &[80, 80, 16]);
 //! // vMCU fits this layer in 128 KB; TinyEngine cannot (the paper's
 //! // out-of-memory cases in Figure 7).
-//! assert!(report.plan.measured_bytes <= 128 * 1024);
-//! # Ok::<(), vmcu::EngineError>(())
+//! assert!(report.peak_ram_bytes() <= 128 * 1024);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod deploy;
 pub mod engine;
 pub mod error;
+pub mod exec;
 
-pub use engine::{Engine, InferenceReport, InferenceScratch, LayerReport, PlannerKind};
+pub use deploy::{Deployment, PlanSet, Session};
+pub use engine::{Engine, InferenceReport, LayerReport, PlannerKind};
 pub use error::EngineError;
+pub use exec::{ExecCtx, Executor, StagedLayer};
+
+#[allow(deprecated)]
+pub use engine::InferenceScratch;
 
 // Re-export the workspace crates under their natural names.
 pub use vmcu_codegen;
@@ -65,8 +79,10 @@ pub use vmcu_tensor;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use crate::engine::{Engine, InferenceReport, InferenceScratch, LayerReport, PlannerKind};
+    pub use crate::deploy::{Deployment, Session};
+    pub use crate::engine::{Engine, InferenceReport, LayerReport, PlannerKind};
     pub use crate::error::EngineError;
+    pub use crate::exec::Executor;
     pub use vmcu_graph::{Graph, LayerDesc, LayerWeights};
     pub use vmcu_kernels::{IbParams, IbScheme, PointwiseParams};
     pub use vmcu_plan::{

@@ -41,14 +41,24 @@ fn main() -> Result<(), EngineError> {
         other => println!("TinyEngine: unexpected outcome {other:?}"),
     }
 
-    // Segment-level management (vMCU): fits and runs.
-    let (output, report) = Engine::new(device).run_layer(&case.name, &layer, &weights, &input)?;
+    // Segment-level management (vMCU): fits and runs. Deploy once (fit
+    // validated, plans memoized, weights staged into Flash), then serve
+    // as many inferences as you like with zero replanning.
+    let graph = Graph::linear(case.name.clone(), vec![layer.clone()]).expect("one-layer graph");
+    let graph_weights = vec![weights.clone()];
+    let deployment = Engine::new(device).deploy(&graph, &graph_weights)?;
+    let mut session = deployment.session();
+    let report = session.infer(&input)?;
+    let again = session.infer(&input)?; // same session, no planning, bit-identical
+    assert_eq!(report.output, again.output);
     println!(
-        "vMCU:       fits — {} KB RAM, {:.1} ms, {:.2} mJ",
-        report.plan.measured_bytes / 1024,
-        report.exec.latency_ms,
-        report.exec.energy_mj
+        "vMCU:       fits — {} KB RAM, {:.1} ms, {:.2} mJ ({} inferences served)",
+        report.peak_ram_bytes() / 1024,
+        report.latency_ms(),
+        report.energy_mj(),
+        session.inferences()
     );
+    let output = report.output;
     println!("output shape: {:?}", output.shape());
 
     // The result is bit-exact with the reference operator.

@@ -1,0 +1,233 @@
+//! The deploy-once/run-many contract, end to end: `Engine::deploy` →
+//! `Deployment::session` → `Session::infer` must be bit-exact with the
+//! legacy `run_graph*` entry points for every policy, repeatable call
+//! after call (outputs AND execution counters), and must perform zero
+//! planning work after deploy — asserted via the `vmcu_plan::telemetry`
+//! plan-call counter.
+
+use vmcu::prelude::*;
+use vmcu::vmcu_graph::zoo;
+use vmcu::vmcu_tensor::random;
+
+fn all_kinds() -> [PlannerKind; 5] {
+    [
+        PlannerKind::Vmcu(IbScheme::RowBuffer),
+        PlannerKind::VmcuFused(IbScheme::RowBuffer),
+        PlannerKind::VmcuPatched(IbScheme::RowBuffer),
+        PlannerKind::TinyEngine,
+        PlannerKind::Hmcos,
+    ]
+}
+
+/// `(model, device, policies that deploy it)` — including the zoo models
+/// that exist precisely because only one policy admits them.
+fn matrix() -> Vec<(Graph, Device, Vec<PlannerKind>)> {
+    vec![
+        (
+            zoo::demo_linear_net(),
+            Device::stm32_f767zi(),
+            all_kinds().to_vec(),
+        ),
+        (
+            zoo::mbv2_block_unfused(),
+            Device::stm32_f411re(),
+            vec![
+                PlannerKind::Vmcu(IbScheme::RowBuffer),
+                PlannerKind::VmcuFused(IbScheme::RowBuffer),
+                PlannerKind::VmcuPatched(IbScheme::RowBuffer),
+            ],
+        ),
+        (
+            zoo::wide_expand_chain(),
+            Device::stm32_f411re(),
+            vec![
+                PlannerKind::VmcuFused(IbScheme::RowBuffer),
+                PlannerKind::VmcuPatched(IbScheme::RowBuffer),
+            ],
+        ),
+        (
+            zoo::hires_front_stage(),
+            Device::stm32_f411re(),
+            vec![PlannerKind::VmcuPatched(IbScheme::RowBuffer)],
+        ),
+    ]
+}
+
+#[test]
+#[allow(deprecated)]
+fn deploy_once_infer_many_is_bit_exact_with_the_legacy_paths() {
+    for (g, device, kinds) in matrix() {
+        let weights = g.random_weights(0xDEB);
+        let input = random::tensor_i8(&g.in_shape(), 0x1417);
+        for kind in kinds {
+            let engine = Engine::new(device.clone()).planner(kind);
+            let legacy = engine
+                .run_graph(&g, &weights, &input)
+                .unwrap_or_else(|e| panic!("{}/{kind:?} legacy: {e}", g.name));
+            let mut session = engine
+                .deploy(&g, &weights)
+                .unwrap_or_else(|e| panic!("{}/{kind:?} deploy: {e}", g.name))
+                .session();
+            let new = session.infer(&input).unwrap();
+            assert_eq!(legacy.output, new.output, "{}/{kind:?} output", g.name);
+            assert_eq!(
+                legacy.layers.len(),
+                new.layers.len(),
+                "{}/{kind:?} node count",
+                g.name
+            );
+            for (old, fresh) in legacy.layers.iter().zip(&new.layers) {
+                assert_eq!(old.name, fresh.name, "{}/{kind:?} node name", g.name);
+                assert_eq!(old.plan, fresh.plan, "{}/{kind:?} node plan", g.name);
+                assert_eq!(
+                    old.exec.counters, fresh.exec.counters,
+                    "{}/{kind:?}/{} exec counters",
+                    g.name, old.name
+                );
+            }
+            assert_eq!(legacy.latency_ms(), new.latency_ms());
+            assert_eq!(legacy.energy_mj(), new.energy_mj());
+            assert_eq!(legacy.peak_ram_bytes(), new.peak_ram_bytes());
+        }
+    }
+}
+
+#[test]
+fn repeated_infer_on_one_session_is_bit_identical_including_counters() {
+    for (g, device, kinds) in matrix() {
+        let weights = g.random_weights(0x5E55);
+        let input = random::tensor_i8(&g.in_shape(), 0x10);
+        for kind in kinds {
+            let mut session = Engine::new(device.clone())
+                .planner(kind)
+                .deploy(&g, &weights)
+                .unwrap()
+                .session();
+            let first = session.infer(&input).unwrap();
+            let second = session.infer(&input).unwrap();
+            assert_eq!(first.output, second.output, "{}/{kind:?}", g.name);
+            for (a, b) in first.layers.iter().zip(&second.layers) {
+                assert_eq!(
+                    a.exec.counters, b.exec.counters,
+                    "{}/{kind:?}/{}: the machine reset must not leak state \
+                     between inferences",
+                    g.name, a.name
+                );
+                assert_eq!(a.plan, b.plan);
+            }
+            assert_eq!(session.inferences(), 2);
+        }
+    }
+}
+
+#[test]
+fn session_infer_performs_zero_planning_after_deploy() {
+    // The acceptance criterion, per policy: every plan artifact is
+    // memoized at deploy time; `infer` must not add a single planning
+    // pass (the counter is thread-local, so concurrent tests cannot
+    // interfere).
+    let g = zoo::demo_linear_net();
+    let weights = g.random_weights(0xAB5);
+    let input = random::tensor_i8(&g.in_shape(), 2);
+    for kind in all_kinds() {
+        let mut session = Engine::new(Device::stm32_f767zi())
+            .planner(kind)
+            .deploy(&g, &weights)
+            .unwrap()
+            .session();
+        let before = vmcu::vmcu_plan::telemetry::plan_calls();
+        session.infer(&input).unwrap();
+        session.infer(&input).unwrap();
+        session.infer(&input).unwrap();
+        assert_eq!(
+            vmcu::vmcu_plan::telemetry::plan_calls(),
+            before,
+            "{kind:?}: infer must do zero planning work after deploy"
+        );
+    }
+    // The chained mode executes the memoized chain plan too.
+    let mut session = Engine::new(Device::stm32_f767zi())
+        .deploy(&g, &weights)
+        .unwrap()
+        .session();
+    let before = vmcu::vmcu_plan::telemetry::plan_calls();
+    session.infer_chained(&input).unwrap();
+    session.infer_chained(&input).unwrap();
+    assert_eq!(vmcu::vmcu_plan::telemetry::plan_calls(), before);
+}
+
+#[test]
+#[allow(deprecated)]
+fn chained_session_matches_the_legacy_chained_path() {
+    let g = zoo::demo_linear_net();
+    let weights = g.random_weights(0xC4A1);
+    let input = random::tensor_i8(&g.in_shape(), 0xC4A2);
+    let engine = Engine::new(Device::stm32_f411re());
+    let (legacy, legacy_plan) = engine.run_graph_chained(&g, &weights, &input).unwrap();
+    let deployment = engine.deploy(&g, &weights).unwrap();
+    let mut session = deployment.session();
+    let (new, plan) = session.infer_chained(&input).unwrap();
+    assert_eq!(legacy.output, new.output);
+    assert_eq!(legacy_plan, plan);
+    assert_eq!(legacy.latency_ms(), new.latency_ms());
+    // And a second chained inference repeats exactly.
+    let (again, _) = session.infer_chained(&input).unwrap();
+    assert_eq!(new.output, again.output);
+    assert_eq!(new.latency_ms(), again.latency_ms());
+}
+
+#[test]
+fn one_deployment_serves_many_sessions() {
+    // The fleet pattern: one shared deployment, one session per device.
+    let g = zoo::mbv2_block_unfused();
+    let weights = g.random_weights(0xF1EE);
+    let deployment = Engine::new(Device::stm32_f411re())
+        .planner(PlannerKind::VmcuFused(IbScheme::RowBuffer))
+        .deploy(&g, &weights)
+        .unwrap();
+    let shared = deployment.clone(); // Arc-backed: cloning shares the plans
+    let input = random::tensor_i8(&g.in_shape(), 0xAB);
+    let mut outputs = Vec::new();
+    for _device in 0..3 {
+        let mut session = shared.session();
+        outputs.push(session.infer(&input).unwrap().output.clone());
+    }
+    assert!(outputs.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn deploy_rejects_what_the_planner_rejects() {
+    // The deploy path carries the same typed fails-to-run outcome the
+    // paper reports — and it matches `check_fit` exactly.
+    let g = zoo::hires_front_stage();
+    let weights = g.random_weights(1);
+    let dev = Device::stm32_f411re();
+    for kind in [
+        PlannerKind::Vmcu(IbScheme::RowBuffer),
+        PlannerKind::VmcuFused(IbScheme::RowBuffer),
+        PlannerKind::TinyEngine,
+        PlannerKind::Hmcos,
+    ] {
+        let engine = Engine::new(dev.clone()).planner(kind);
+        let deploy_err = engine.deploy(&g, &weights).unwrap_err();
+        let fit_err = engine.check_fit(&g).unwrap_err();
+        match (deploy_err, fit_err) {
+            (
+                EngineError::DoesNotFit {
+                    layer: a,
+                    needed: na,
+                    ..
+                },
+                EngineError::DoesNotFit {
+                    layer: b,
+                    needed: nb,
+                    ..
+                },
+            ) => {
+                assert_eq!(a, b, "{kind:?}");
+                assert_eq!(na, nb, "{kind:?}");
+            }
+            other => panic!("{kind:?}: expected DoesNotFit twice, got {other:?}"),
+        }
+    }
+}

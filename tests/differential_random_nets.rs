@@ -37,7 +37,8 @@ fn check_seed(seed: u64) {
     ] {
         let report = Engine::new(device.clone())
             .planner(kind)
-            .run_graph(&g, &weights, &input)
+            .deploy(&g, &weights)
+            .and_then(|d| d.session().infer(&input))
             .unwrap_or_else(|e| panic!("VMCU_TEST_SEED={seed} reproduces: {kind:?} failed: {e}"));
         assert_eq!(
             &report.output, expected,
@@ -47,7 +48,8 @@ fn check_seed(seed: u64) {
 
     // Chained single-window execution must agree as well.
     let (chained, plan) = Engine::new(device)
-        .run_graph_chained(&g, &weights, &input)
+        .deploy(&g, &weights)
+        .and_then(|d| d.session().infer_chained(&input))
         .unwrap_or_else(|e| panic!("VMCU_TEST_SEED={seed} reproduces: chained: {e}"));
     assert_eq!(
         &chained.output, expected,

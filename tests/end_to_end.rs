@@ -6,6 +6,16 @@ use vmcu::prelude::*;
 use vmcu::vmcu_graph::{exec, zoo};
 use vmcu::vmcu_tensor::random;
 
+/// Deploy-once/infer-once through the new Session API.
+fn run(
+    engine: &Engine,
+    g: &Graph,
+    weights: &[LayerWeights],
+    input: &Tensor<i8>,
+) -> Result<InferenceReport, EngineError> {
+    engine.deploy(g, weights)?.session().infer(input)
+}
+
 #[test]
 fn demo_net_runs_identically_under_all_executors() {
     let g = zoo::demo_linear_net();
@@ -22,10 +32,13 @@ fn demo_net_runs_identically_under_all_executors() {
         PlannerKind::TinyEngine,
         PlannerKind::Hmcos,
     ] {
-        let report = Engine::new(device.clone())
-            .planner(kind)
-            .run_graph(&g, &weights, &input)
-            .unwrap_or_else(|e| panic!("{kind:?} failed: {e}"));
+        let report = run(
+            &Engine::new(device.clone()).planner(kind),
+            &g,
+            &weights,
+            &input,
+        )
+        .unwrap_or_else(|e| panic!("{kind:?} failed: {e}"));
         assert_eq!(&report.output, expected, "{kind:?} output mismatch");
     }
 }
@@ -37,11 +50,14 @@ fn vmcu_peak_ram_is_lowest_across_policies() {
     let input = random::tensor_i8(&g.in_shape(), 6);
     let device = Device::stm32_f767zi();
     let peak = |kind| {
-        Engine::new(device.clone())
-            .planner(kind)
-            .run_graph(&g, &weights, &input)
-            .unwrap()
-            .peak_ram_bytes()
+        run(
+            &Engine::new(device.clone()).planner(kind),
+            &g,
+            &weights,
+            &input,
+        )
+        .unwrap()
+        .peak_ram_bytes()
     };
     let vm = peak(PlannerKind::Vmcu(IbScheme::RowBuffer));
     let te = peak(PlannerKind::TinyEngine);
@@ -55,9 +71,7 @@ fn reports_expose_consistent_totals() {
     let g = zoo::demo_linear_net();
     let weights = g.random_weights(7);
     let input = random::tensor_i8(&g.in_shape(), 8);
-    let report = Engine::new(Device::stm32_f767zi())
-        .run_graph(&g, &weights, &input)
-        .unwrap();
+    let report = run(&Engine::new(Device::stm32_f767zi()), &g, &weights, &input).unwrap();
     let per_layer_ms: f64 = report.layers.iter().map(|l| l.exec.latency_ms).sum();
     assert!((report.latency_ms() - per_layer_ms).abs() < 1e-9);
     assert!(report.energy_mj() > 0.0);
@@ -125,9 +139,16 @@ fn chained_graph_runs_in_one_window_and_matches_reference() {
     let expected = exec::run_reference(&g, &weights, &input);
 
     let engine = Engine::new(Device::stm32_f411re());
-    let (report, plan) = engine
-        .run_graph_chained(&g, &weights, &input)
+    let deployment = engine.deploy(&g, &weights).expect("demo net deploys");
+    let (report, plan) = deployment
+        .session()
+        .infer_chained(&input)
         .expect("demo net chains on 128 KB");
+    assert_eq!(
+        deployment.chain_plan(),
+        Some(&plan),
+        "the executed chain plan is the memoized one"
+    );
     assert_eq!(&report.output, expected.last().unwrap());
 
     // The single window must be far below the sum of all activations and
@@ -138,7 +159,7 @@ fn chained_graph_runs_in_one_window_and_matches_reference() {
         .map(|l| l.in_bytes() + l.out_bytes())
         .sum();
     assert!(plan.window < sum);
-    let per_layer = engine.run_graph(&g, &weights, &input).unwrap();
+    let per_layer = run(&engine, &g, &weights, &input).unwrap();
     assert!(plan.total_bytes() <= per_layer.peak_ram_bytes());
     // Every tensor's base is the previous output pointer: strictly
     // monotone decreasing by the per-layer distances.
@@ -154,7 +175,10 @@ fn chained_graph_is_rejected_for_baseline_policies() {
     let input = random::tensor_i8(&g.in_shape(), 2);
     let err = Engine::new(Device::stm32_f767zi())
         .planner(PlannerKind::TinyEngine)
-        .run_graph_chained(&g, &weights, &input)
+        .deploy(&g, &weights)
+        .unwrap()
+        .session()
+        .infer_chained(&input)
         .unwrap_err();
     assert!(matches!(err, EngineError::Unsupported { .. }));
 }

@@ -13,6 +13,16 @@ fn fused_kind() -> PlannerKind {
     PlannerKind::VmcuFused(IbScheme::RowBuffer)
 }
 
+/// Deploy-once/infer-once through the new Session API.
+fn run(
+    engine: &Engine,
+    g: &Graph,
+    weights: &[LayerWeights],
+    input: &Tensor<i8>,
+) -> Result<InferenceReport, EngineError> {
+    engine.deploy(g, weights)?.session().infer(input)
+}
+
 fn rq() -> Requant {
     Requant::from_scale(1.0 / 64.0, 0)
 }
@@ -35,11 +45,14 @@ fn single_layer_chain_is_a_noop_fusion_end_to_end() {
     let weights = g.random_weights(1);
     let input = random::tensor_i8(&g.in_shape(), 2);
     let dev = Device::stm32_f411re();
-    let fused = Engine::new(dev.clone())
-        .planner(fused_kind())
-        .run_graph(&g, &weights, &input)
-        .unwrap();
-    let vmcu = Engine::new(dev).run_graph(&g, &weights, &input).unwrap();
+    let fused = run(
+        &Engine::new(dev.clone()).planner(fused_kind()),
+        &g,
+        &weights,
+        &input,
+    )
+    .unwrap();
+    let vmcu = run(&Engine::new(dev), &g, &weights, &input).unwrap();
     assert_eq!(fused.output, vmcu.output);
     assert_eq!(fused.peak_ram_bytes(), vmcu.peak_ram_bytes());
 }
@@ -69,10 +82,13 @@ fn unfusable_op_breaks_the_chain_but_execution_still_matches() {
         .all(|n| matches!(n, FusionNode::Single { .. })));
     let weights = g.random_weights(3);
     let input = random::tensor_i8(&g.in_shape(), 4);
-    let report = Engine::new(Device::stm32_f767zi())
-        .planner(fused_kind())
-        .run_graph(&g, &weights, &input)
-        .unwrap();
+    let report = run(
+        &Engine::new(Device::stm32_f767zi()).planner(fused_kind()),
+        &g,
+        &weights,
+        &input,
+    )
+    .unwrap();
     let expected = exec::run_reference(&g, &weights, &input);
     assert_eq!(&report.output, expected.last().unwrap());
 }
@@ -90,16 +106,16 @@ fn chain_that_only_fits_fused_deploys_and_matches_reference() {
     ] {
         assert!(
             matches!(
-                Engine::with_model(dev.clone(), kind, &g),
+                Engine::new(dev.clone()).planner(kind).check_fit(&g),
                 Err(EngineError::DoesNotFit { .. })
             ),
             "{kind:?} must not fit the wide chain"
         );
     }
-    let engine = Engine::with_model(dev, fused_kind(), &g).unwrap();
+    let engine = Engine::new(dev).planner(fused_kind());
     let weights = g.random_weights(5);
     let input = random::tensor_i8(&g.in_shape(), 6);
-    let report = engine.run_graph(&g, &weights, &input).unwrap();
+    let report = run(&engine, &g, &weights, &input).unwrap();
     let expected = exec::run_reference(&g, &weights, &input);
     assert_eq!(&report.output, expected.last().unwrap());
     assert!(report.peak_ram_bytes() <= 128 * 1024);
@@ -116,11 +132,14 @@ fn fused_peak_ram_strictly_below_vmcu_on_a_zoo_model() {
     let weights = g.random_weights(7);
     let input = random::tensor_i8(&g.in_shape(), 8);
     let dev = Device::stm32_f411re();
-    let fused = Engine::new(dev.clone())
-        .planner(fused_kind())
-        .run_graph(&g, &weights, &input)
-        .unwrap();
-    let vmcu = Engine::new(dev).run_graph(&g, &weights, &input).unwrap();
+    let fused = run(
+        &Engine::new(dev.clone()).planner(fused_kind()),
+        &g,
+        &weights,
+        &input,
+    )
+    .unwrap();
+    let vmcu = run(&Engine::new(dev), &g, &weights, &input).unwrap();
     assert_eq!(fused.output, vmcu.output);
     assert!(fused.peak_ram_bytes() < vmcu.peak_ram_bytes());
 }
@@ -135,10 +154,13 @@ fn fused_execution_is_bit_identical_across_seeded_random_nets() {
         let weights = g.random_weights(seed ^ 0x5EED);
         let input = random::tensor_i8(&g.in_shape(), seed ^ 0xF00D);
         let expected = exec::run_reference(&g, &weights, &input);
-        let report = Engine::new(Device::stm32_f767zi())
-            .planner(fused_kind())
-            .run_graph(&g, &weights, &input)
-            .unwrap_or_else(|e| panic!("seed {seed}: fused execution failed: {e}"));
+        let report = run(
+            &Engine::new(Device::stm32_f767zi()).planner(fused_kind()),
+            &g,
+            &weights,
+            &input,
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: fused execution failed: {e}"));
         assert_eq!(
             &report.output,
             expected.last().unwrap(),
@@ -176,10 +198,13 @@ fn deep_pointwise_tower_fuses_into_one_group() {
     );
     let weights = g.random_weights(9);
     let input = random::tensor_i8(&g.in_shape(), 10);
-    let report = Engine::new(Device::stm32_f411re())
-        .planner(fused_kind())
-        .run_graph(&g, &weights, &input)
-        .unwrap();
+    let report = run(
+        &Engine::new(Device::stm32_f411re()).planner(fused_kind()),
+        &g,
+        &weights,
+        &input,
+    )
+    .unwrap();
     let expected = exec::run_reference(&g, &weights, &input);
     assert_eq!(&report.output, expected.last().unwrap());
 }
@@ -205,10 +230,13 @@ fn strided_depthwise_chain_fuses_and_matches() {
     assert_eq!(plan.fused_groups(), 1);
     let weights = g.random_weights(11);
     let input = random::tensor_i8(&g.in_shape(), 12);
-    let report = Engine::new(Device::stm32_f767zi())
-        .planner(fused_kind())
-        .run_graph(&g, &weights, &input)
-        .unwrap();
+    let report = run(
+        &Engine::new(Device::stm32_f767zi()).planner(fused_kind()),
+        &g,
+        &weights,
+        &input,
+    )
+    .unwrap();
     let expected = exec::run_reference(&g, &weights, &input);
     assert_eq!(&report.output, expected.last().unwrap());
 }

@@ -11,6 +11,16 @@ use vmcu::vmcu_plan::patch;
 use vmcu::vmcu_plan::peak_demand_bytes;
 use vmcu::vmcu_tensor::random;
 
+/// Deploy-once/infer-once through the new Session API.
+fn run(
+    engine: &Engine,
+    g: &Graph,
+    weights: &[LayerWeights],
+    input: &Tensor<i8>,
+) -> Result<InferenceReport, EngineError> {
+    engine.deploy(g, weights)?.session().infer(input)
+}
+
 #[test]
 fn hires_front_stage_ooms_under_every_whole_tensor_planner() {
     // The acceptance criterion: the first-stage activation (96·96·16 =
@@ -25,14 +35,20 @@ fn hires_front_stage_ooms_under_every_whole_tensor_planner() {
         PlannerKind::TinyEngine,
         PlannerKind::Hmcos,
     ] {
-        let err = Engine::with_model(dev.clone(), kind, &g).unwrap_err();
+        let err = Engine::new(dev.clone())
+            .planner(kind)
+            .check_fit(&g)
+            .unwrap_err();
         assert!(
             matches!(err, EngineError::DoesNotFit { .. }),
             "{kind:?} must report the paper's fails-to-run outcome"
         );
     }
     assert!(
-        Engine::with_model(dev, PlannerKind::VmcuPatched(IbScheme::RowBuffer), &g).is_ok(),
+        Engine::new(dev)
+            .planner(PlannerKind::VmcuPatched(IbScheme::RowBuffer))
+            .check_fit(&g)
+            .is_ok(),
         "patch-based execution must admit the spatial model"
     );
 }
@@ -43,10 +59,13 @@ fn patched_output_is_bit_identical_to_the_unpatched_reference() {
     let weights = g.random_weights(101);
     let input = random::tensor_i8(&g.in_shape(), 102);
     let reference = exec::run_reference(&g, &weights, &input);
-    let report = Engine::new(Device::stm32_f411re())
-        .planner(PlannerKind::VmcuPatched(IbScheme::RowBuffer))
-        .run_graph(&g, &weights, &input)
-        .unwrap();
+    let report = run(
+        &Engine::new(Device::stm32_f411re()).planner(PlannerKind::VmcuPatched(IbScheme::RowBuffer)),
+        &g,
+        &weights,
+        &input,
+    )
+    .unwrap();
     assert_eq!(&report.output, reference.last().unwrap());
     assert!(report.peak_ram_bytes() <= 128 * 1024);
 }
@@ -61,10 +80,13 @@ fn patched_plan_prices_execution_exactly() {
     let demand = peak_demand_bytes(&planner, &g);
     let weights = g.random_weights(111);
     let input = random::tensor_i8(&g.in_shape(), 112);
-    let report = Engine::new(dev.clone())
-        .planner(PlannerKind::VmcuPatched(IbScheme::RowBuffer))
-        .run_graph(&g, &weights, &input)
-        .unwrap();
+    let report = run(
+        &Engine::new(dev.clone()).planner(PlannerKind::VmcuPatched(IbScheme::RowBuffer)),
+        &g,
+        &weights,
+        &input,
+    )
+    .unwrap();
     assert_eq!(report.peak_ram_bytes(), demand + dev.runtime_overhead_bytes);
 }
 
@@ -123,14 +145,20 @@ fn patched_falls_back_to_fused_pricing_when_patching_does_not_pay() {
     let weights = g.random_weights(121);
     let input = random::tensor_i8(&g.in_shape(), 122);
     let dev = Device::stm32_f411re();
-    let patched = Engine::new(dev.clone())
-        .planner(PlannerKind::VmcuPatched(IbScheme::RowBuffer))
-        .run_graph(&g, &weights, &input)
-        .unwrap();
-    let fused = Engine::new(dev)
-        .planner(PlannerKind::VmcuFused(IbScheme::RowBuffer))
-        .run_graph(&g, &weights, &input)
-        .unwrap();
+    let patched = run(
+        &Engine::new(dev.clone()).planner(PlannerKind::VmcuPatched(IbScheme::RowBuffer)),
+        &g,
+        &weights,
+        &input,
+    )
+    .unwrap();
+    let fused = run(
+        &Engine::new(dev).planner(PlannerKind::VmcuFused(IbScheme::RowBuffer)),
+        &g,
+        &weights,
+        &input,
+    )
+    .unwrap();
     assert_eq!(patched.output, fused.output);
     assert_eq!(patched.peak_ram_bytes(), fused.peak_ram_bytes());
 }
