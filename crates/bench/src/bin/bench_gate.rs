@@ -18,8 +18,14 @@
 //! the deploy-once worker path) must not rise above the baseline — the
 //! replanning win is gated, not just claimed.
 //!
+//! The gate can additionally hold the SIMD kernel win: pass
+//! `--simd-current BENCH_simd.json --simd-baseline ci/bench_simd_baseline.json`
+//! and each device's vectorized GEMM cycles/MAC must not rise above the
+//! committed baseline (cycles/MAC are simulated, so unchanged code
+//! compares exactly), and no benchmark-internal check may have failed.
+//!
 //! Usage:
-//! `bench_gate [--current BENCH_fleet.json] [--baseline ci/bench_baseline.json] [--max-drop 0.20]`
+//! `bench_gate [--current BENCH_fleet.json] [--baseline ci/bench_baseline.json] [--max-drop 0.20] [--simd-current PATH --simd-baseline PATH]`
 
 use vmcu_bench::json::Json;
 
@@ -27,6 +33,8 @@ struct Args {
     current: String,
     baseline: String,
     max_drop: f64,
+    simd_current: Option<String>,
+    simd_baseline: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -34,6 +42,8 @@ fn parse_args() -> Args {
         current: "BENCH_fleet.json".to_owned(),
         baseline: "ci/bench_baseline.json".to_owned(),
         max_drop: 0.20,
+        simd_current: None,
+        simd_baseline: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -41,6 +51,8 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--current" => args.current = value("--current"),
             "--baseline" => args.baseline = value("--baseline"),
+            "--simd-current" => args.simd_current = Some(value("--simd-current")),
+            "--simd-baseline" => args.simd_baseline = Some(value("--simd-baseline")),
             "--max-drop" => {
                 args.max_drop = value("--max-drop").parse().expect("--max-drop: fraction");
                 assert!(
@@ -51,6 +63,11 @@ fn parse_args() -> Args {
             other => panic!("unknown flag `{other}`"),
         }
     }
+    assert_eq!(
+        args.simd_current.is_some(),
+        args.simd_baseline.is_some(),
+        "--simd-current and --simd-baseline must be passed together"
+    );
     args
 }
 
@@ -94,6 +111,67 @@ fn planner_rows(doc: &Json, path: &str) -> Vec<PlannerRow> {
             }
         })
         .collect()
+}
+
+/// Gates the SIMD kernel report: per-device vectorized cycles/MAC must
+/// not exceed the committed baseline (simulated numbers compare exactly
+/// on an unchanged tree), and the report's own checks must all pass.
+fn gate_simd(current_path: &str, baseline_path: &str) -> bool {
+    let current = load(current_path);
+    let baseline = load(baseline_path);
+    let devices = |doc: &Json, path: &str| -> Vec<(String, f64)> {
+        doc.get("devices")
+            .and_then(Json::as_array)
+            .unwrap_or_else(|| panic!("{path}: missing `devices` array"))
+            .iter()
+            .map(|row| {
+                let name = row
+                    .get("device")
+                    .and_then(Json::as_str)
+                    .unwrap_or_else(|| panic!("{path}: device row missing `device`"))
+                    .to_owned();
+                let cpm = row
+                    .get("dot_vectorized_cycles_per_mac")
+                    .and_then(Json::as_f64)
+                    .unwrap_or_else(|| {
+                        panic!("{path}: device row missing `dot_vectorized_cycles_per_mac`")
+                    });
+                (name, cpm)
+            })
+            .collect()
+    };
+    let mut ok = true;
+    println!("simd gate: {current_path} vs baseline {baseline_path}");
+    let cur_devices = devices(&current, current_path);
+    for (name, base_cpm) in devices(&baseline, baseline_path) {
+        let Some((_, cur_cpm)) = cur_devices.iter().find(|(n, _)| *n == name) else {
+            println!("  [FAIL] {name}: device missing from current SIMD report");
+            ok = false;
+            continue;
+        };
+        // Simulated cycles are deterministic: any rise is a real kernel
+        // or cost-model regression, not noise.
+        let passed = *cur_cpm <= base_cpm + 1e-9;
+        println!(
+            "  [{}] {name} vectorized cycles/MAC: {cur_cpm:.4} vs baseline {base_cpm:.4}",
+            if passed { "PASS" } else { "FAIL" }
+        );
+        ok &= passed;
+    }
+    for check in current
+        .get("checks")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| panic!("{current_path}: missing `checks` array"))
+    {
+        let name = check.get("name").and_then(Json::as_str).unwrap_or("?");
+        let passed = matches!(check.get("passed"), Some(Json::Bool(true)));
+        println!(
+            "  [{}] simd check {name}",
+            if passed { "PASS" } else { "FAIL" }
+        );
+        ok &= passed;
+    }
+    ok
 }
 
 fn main() {
@@ -162,6 +240,9 @@ fn main() {
     if compared == 0 {
         println!("  [FAIL] no planners in common between current and baseline");
         ok = false;
+    }
+    if let (Some(sc), Some(sb)) = (&args.simd_current, &args.simd_baseline) {
+        ok &= gate_simd(sc, sb);
     }
     if !ok {
         println!(

@@ -17,10 +17,9 @@ use vmcu_ir::stmt::{Kernel, Stmt};
 /// Maximum constant trip count that `unroll` loops expand fully.
 const MAX_FULL_UNROLL: i64 = 64;
 
-/// The C prelude shared by all generated kernels: intrinsic helpers and
-/// the circular-buffer access macros.
-pub fn prelude() -> String {
-    r#"#include <stdint.h>
+/// The memory helpers every generated kernel needs, independent of the
+/// target's SIMD width.
+const PRELUDE_BASE: &str = r#"#include <stdint.h>
 #include <string.h>
 
 #define VMCU_MIN(a, b) ((a) < (b) ? (a) : (b))
@@ -54,9 +53,21 @@ static inline void vmcu_ram_store(const int8_t *src, int64_t addr, int32_t len) 
 static inline void vmcu_flash_load(int8_t *dst, int64_t addr, int32_t len) {
   memcpy(dst, vmcu_flash_base + addr, len);
 }
+"#;
 
-/* Dot: int8 x int8 -> int32, SXTB16+SMLAD pairs on DSP-capable cores. */
-#if defined(__ARM_FEATURE_DSP)
+/// Portable scalar `vmcu_dot` body (also the `#else` fallback of the
+/// vectorized variants).
+const DOT_SCALAR: &str = r#"static inline void vmcu_dot(int32_t *acc, const int8_t *a, const int8_t *b,
+                            int32_t ki, int32_t ni) {
+  for (int32_t k = 0; k < ki; ++k)
+    for (int32_t n = 0; n < ni; ++n)
+      acc[n] += (int32_t)a[k] * (int32_t)b[k * ni + n];
+}
+"#;
+
+/// Dual-lane `vmcu_dot`: SXTB16+SMLAD pairs on DSP-capable cores
+/// (Cortex-M4/M7), 2 int8 MACs per instruction.
+const DOT_DSP: &str = r#"#if defined(__ARM_FEATURE_DSP)
 #include <arm_acle.h>
 static inline void vmcu_dot(int32_t *acc, const int8_t *a, const int8_t *b,
                             int32_t ki, int32_t ni) {
@@ -75,14 +86,34 @@ static inline void vmcu_dot(int32_t *acc, const int8_t *a, const int8_t *b,
   }
 }
 #else
+"#;
+
+/// Quad-lane `vmcu_dot`: MVE/Helium vector MAC-accumulate on Cortex-M55
+/// class cores (`VMLADAVA` retires 4 int8 MACs per cycle on a quad-lane
+/// datapath).
+const DOT_MVE: &str = r#"#if defined(__ARM_FEATURE_MVE)
+#include <arm_mve.h>
 static inline void vmcu_dot(int32_t *acc, const int8_t *a, const int8_t *b,
                             int32_t ki, int32_t ni) {
-  for (int32_t k = 0; k < ki; ++k)
-    for (int32_t n = 0; n < ni; ++n)
-      acc[n] += (int32_t)a[k] * (int32_t)b[k * ni + n];
+  for (int32_t n = 0; n < ni; ++n) {
+    int32_t sum = acc[n];
+    int32_t k = 0;
+    int8_t brow[16];
+    for (; k + 15 < ki; k += 16) {
+      for (int32_t j = 0; j < 16; ++j) brow[j] = b[(k + j) * ni + n];
+      int8x16_t av = vldrbq_s8(a + k);
+      int8x16_t bv = vldrbq_s8(brow);
+      sum = vmladavaq_s8(sum, av, bv);
+    }
+    for (; k < ki; ++k) sum += (int32_t)a[k] * (int32_t)b[k * ni + n];
+    acc[n] = sum;
+  }
 }
-#endif
+#else
+"#;
 
+/// Epilogue helpers shared by every lane width.
+const PRELUDE_TAIL: &str = r#"
 /* Broadcast: PKHBT-style splat. */
 static inline void vmcu_broadcast(int32_t *dst, int32_t value, int32_t len) {
   for (int32_t i = 0; i < len; ++i) dst[i] = value;
@@ -99,8 +130,47 @@ static inline int8_t vmcu_requant(int32_t acc, int32_t mult, int32_t shift,
   if (r < -128) r = -128;
   return (int8_t)r;
 }
-"#
-    .to_owned()
+"#;
+
+/// The C prelude for a target with the given SIMD lane count: memory
+/// helpers, a `vmcu_dot` inner loop vectorized to that width (with the
+/// portable scalar body as the `#else` fallback on lanes > 1), and the
+/// epilogue helpers. `lanes = 1` targets scalar cores (Cortex-M0 class)
+/// and emits no architecture-conditional code at all; `2` the
+/// SXTB16+SMLAD pairs of the DSP extension (M4/M7); `4` and above the
+/// MVE/Helium quad-lane path (M55).
+pub fn prelude_with_lanes(lanes: u64) -> String {
+    let mut out = String::from(PRELUDE_BASE);
+    out.push('\n');
+    match lanes {
+        0 | 1 => {
+            out.push_str("/* Dot: int8 x int8 -> int32, scalar (no SIMD extension). */\n");
+            out.push_str(DOT_SCALAR);
+        }
+        2 | 3 => {
+            out.push_str(
+                "/* Dot: int8 x int8 -> int32, SXTB16+SMLAD pairs on DSP-capable cores. */\n",
+            );
+            out.push_str(DOT_DSP);
+            out.push_str(DOT_SCALAR);
+            out.push_str("#endif\n");
+        }
+        _ => {
+            out.push_str("/* Dot: int8 x int8 -> int32, MVE/Helium quad-lane MAC-accumulate. */\n");
+            out.push_str(DOT_MVE);
+            out.push_str(DOT_SCALAR);
+            out.push_str("#endif\n");
+        }
+    }
+    out.push_str(PRELUDE_TAIL);
+    out
+}
+
+/// The C prelude shared by all generated kernels: intrinsic helpers and
+/// the circular-buffer access macros, at the historic dual-lane (DSP)
+/// width the evaluation boards use.
+pub fn prelude() -> String {
+    prelude_with_lanes(2)
 }
 
 fn expr_c(e: &Expr) -> String {
@@ -286,7 +356,13 @@ pub fn emit_kernel(kernel: &Kernel) -> String {
 /// Emits a complete compilable library: prelude plus every kernel
 /// (the paper packs the generated kernels into one light library, §6.2).
 pub fn emit_library(kernels: &[Kernel]) -> String {
-    let mut out = prelude();
+    emit_library_with_lanes(kernels, 2)
+}
+
+/// [`emit_library`] with the prelude vectorized to the target's SIMD
+/// width (see [`prelude_with_lanes`]).
+pub fn emit_library_with_lanes(kernels: &[Kernel], lanes: u64) -> String {
+    let mut out = prelude_with_lanes(lanes);
     out.push('\n');
     for k in kernels {
         out.push_str(&emit_kernel(k));
@@ -330,6 +406,46 @@ mod tests {
         assert!(p.contains("__ARM_FEATURE_DSP"));
         assert!(p.contains("#else")); // scalar fallback exists
         assert!(p.contains("vmcu_wrap")); // modulo boundary check
+    }
+
+    #[test]
+    fn scalar_prelude_has_no_architecture_conditionals() {
+        let p = prelude_with_lanes(1);
+        assert!(!p.contains("#if"));
+        assert!(!p.contains("__smlad"));
+        assert!(p.contains("vmcu_dot"));
+        assert!(p.contains("vmcu_wrap"));
+    }
+
+    #[test]
+    fn quad_lane_prelude_targets_mve_with_scalar_fallback() {
+        let p = prelude_with_lanes(4);
+        assert!(p.contains("__ARM_FEATURE_MVE"));
+        assert!(p.contains("vmladavaq_s8"));
+        assert!(p.contains("#else")); // scalar fallback exists
+        assert!(!p.contains("__smlad"));
+    }
+
+    #[test]
+    fn default_prelude_is_the_dual_lane_dsp_one() {
+        assert_eq!(prelude(), prelude_with_lanes(2));
+    }
+
+    #[test]
+    fn every_lane_width_emits_a_balanced_compilable_library() {
+        for lanes in [1, 2, 4, 8] {
+            let lib = emit_library_with_lanes(&[sample_kernel()], lanes);
+            assert_eq!(
+                lib.matches('{').count(),
+                lib.matches('}').count(),
+                "lanes={lanes}: emitted C must be balanced"
+            );
+            assert_eq!(
+                lib.matches("#if").count(),
+                lib.matches("#endif").count(),
+                "lanes={lanes}: preprocessor conditionals must be balanced"
+            );
+        }
     }
 
     #[test]

@@ -289,8 +289,7 @@ impl Interp<'_> {
                     zp: *zp,
                 };
                 let out: Vec<i32> = vals.iter().map(|&v| i32::from(rq.apply(v))).collect();
-                self.machine
-                    .charge_cycles(*len as u64 * crate::REQUANT_CYCLES_PER_ELEM);
+                self.machine.charge_requant(*len as u64);
                 self.reg_write(dst, doff, &out)
             }
         }

@@ -6,15 +6,16 @@
 //! row's window can touch them, which is what lets the output chase the
 //! input through the circular pool.
 
-use crate::intrinsics::{broadcast, dot_tile, requant_row};
+use crate::intrinsics::{broadcast, dot_tile_u8, requant_row};
 use crate::params::Conv2dParams;
 use crate::trace::{exec_distance, ExecEvent};
 use vmcu_pool::{PoolError, SegmentPool};
 use vmcu_sim::Machine;
 
 /// Exclusive upper bound of input rows that are dead once output row `p`
-/// has been produced (shared by the kernel and its trace).
-fn free_upto(p: &Conv2dParams, row: usize) -> usize {
+/// has been produced (shared by the kernel, its trace, and the im2col
+/// lowering, which reproduces the same store/free order).
+pub(crate) fn free_upto(p: &Conv2dParams, row: usize) -> usize {
     if row + 1 == p.out_h() {
         p.h
     } else {
@@ -123,10 +124,14 @@ pub fn run_conv2d(
                                 let row = w_base + ((ri * p.s + si) * p.c + c0 + cc) * p.k + k0;
                                 m.flash_load(row, &mut w_tile[cc * kw..cc * kw + kw])?;
                             }
-                            let a_i8: Vec<i8> = a_reg[..cw].iter().map(|&b| b as i8).collect();
-                            let w_i8: Vec<i8> =
-                                w_tile[..cw * kw].iter().map(|&b| b as i8).collect();
-                            dot_tile(m, &a_i8, &w_i8, kw, &mut acc[..kw], true);
+                            dot_tile_u8(
+                                m,
+                                &a_reg[..cw],
+                                &w_tile[..cw * kw],
+                                kw,
+                                &mut acc[..kw],
+                                true,
+                            );
                             m.charge_branches(1);
                             c0 += cw;
                         }

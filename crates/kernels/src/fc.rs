@@ -9,7 +9,7 @@
 //! [`fc_exec_trace`] reproduces the kernel's exact store/free order for
 //! the planner; [`fc_exec_distance`] is the offset the kernel needs.
 
-use crate::intrinsics::{broadcast, dot_tile, requant_row};
+use crate::intrinsics::{broadcast, dot_tile_u8, requant_row};
 use crate::params::FcParams;
 use crate::trace::{exec_distance, ExecEvent};
 use vmcu_pool::{PoolError, SegmentPool};
@@ -106,10 +106,17 @@ pub fn run_fc(
                         m.flash_load(row, &mut w_tile[kk * nw..kk * nw + nw])?;
                     }
                 }
-                // Inner level: fully unrolled Dot micro-kernels.
-                let a_i8: Vec<i8> = a_reg[..kw].iter().map(|&b| b as i8).collect();
-                let w_i8: Vec<i8> = w_tile[..kw * nw].iter().map(|&b| b as i8).collect();
-                dot_tile(m, &a_i8, &w_i8, nw, &mut acc[..nw], true);
+                // Inner level: fully unrolled Dot micro-kernels, reading
+                // int8 straight out of the staging registers (no per-tile
+                // sign-conversion allocations on the host).
+                dot_tile_u8(
+                    m,
+                    &a_reg[..kw],
+                    &w_tile[..kw * nw],
+                    nw,
+                    &mut acc[..nw],
+                    true,
+                );
                 m.charge_branches(1);
                 k0 += kw;
             }

@@ -19,7 +19,7 @@
 //! planner's offset ([`chain_exec_distance`]) derives from that trace —
 //! correct by construction and verified empirically by the checked pool.
 
-use crate::intrinsics::{broadcast, dot_tile, requant_row};
+use crate::intrinsics::{broadcast, dot_tile_u8, requant_row};
 use crate::params::{Conv2dParams, DepthwiseParams, FcParams, PointwiseParams};
 use crate::trace::{exec_distance, ExecEvent};
 use std::fmt;
@@ -421,27 +421,23 @@ impl ChainExec<'_> {
             ChainOp::Pointwise(p) => {
                 let mut w_tile = vec![0u8; p.c * p.k];
                 m.flash_load(w_base, &mut w_tile)?;
-                let w_i8: Vec<i8> = w_tile.iter().map(|&b| b as i8).collect();
                 let mut a = vec![0u8; p.c];
                 let mut acc = vec![0i32; p.k];
                 for x in 0..p.w {
                     self.load(m, pool, op_idx, row, x * p.c, &mut a)?;
                     broadcast(m, &mut acc, 0);
-                    let a_i8: Vec<i8> = a.iter().map(|&b| b as i8).collect();
-                    dot_tile(m, &a_i8, &w_i8, p.k, &mut acc, true);
+                    dot_tile_u8(m, &a, &w_tile, p.k, &mut acc, true);
                     requant_row(m, &acc, p.rq, p.clamp, &mut out[x * p.k..(x + 1) * p.k]);
                 }
             }
             ChainOp::Dense(p) => {
                 let mut w_tile = vec![0u8; p.k * p.n];
                 m.flash_load(w_base, &mut w_tile)?;
-                let w_i8: Vec<i8> = w_tile.iter().map(|&b| b as i8).collect();
                 let mut a = vec![0u8; p.k];
                 let mut acc = vec![0i32; p.n];
                 self.load(m, pool, op_idx, row, 0, &mut a)?;
                 broadcast(m, &mut acc, 0);
-                let a_i8: Vec<i8> = a.iter().map(|&b| b as i8).collect();
-                dot_tile(m, &a_i8, &w_i8, p.n, &mut acc, true);
+                dot_tile_u8(m, &a, &w_tile, p.n, &mut acc, true);
                 requant_row(m, &acc, p.rq, p.clamp, out);
             }
             ChainOp::Depthwise(p) => {
@@ -450,6 +446,7 @@ impl ChainExec<'_> {
                 let mut acc = vec![0i32; p.c];
                 for q in 0..p.out_w() {
                     broadcast(m, &mut acc, 0);
+                    let mut taps = 0u64;
                     for ri in 0..p.r {
                         let y = (row * p.stride + ri) as isize - p.pad as isize;
                         if y < 0 || y >= p.h as isize {
@@ -465,9 +462,12 @@ impl ChainExec<'_> {
                             for c in 0..p.c {
                                 acc[c] += i32::from(a[c] as i8) * i32::from(w_row[c] as i8);
                             }
-                            m.charge_macs(p.c as u64, true);
+                            taps += 1;
                         }
                     }
+                    // One batched charge per pixel (counter-identical to the
+                    // per-tap charges the loop used to make).
+                    m.charge_macs_batched(p.c as u64, taps, true);
                     requant_row(m, &acc, p.rq, p.clamp, &mut out[q * p.c..(q + 1) * p.c]);
                 }
             }
@@ -489,9 +489,7 @@ impl ChainExec<'_> {
                             }
                             self.load(m, pool, op_idx, y as usize, x as usize * p.c, &mut a)?;
                             m.flash_load(w_base + (ri * p.s + si) * p.c * p.k, &mut w_tile)?;
-                            let a_i8: Vec<i8> = a.iter().map(|&b| b as i8).collect();
-                            let w_i8: Vec<i8> = w_tile.iter().map(|&b| b as i8).collect();
-                            dot_tile(m, &a_i8, &w_i8, p.k, &mut acc, true);
+                            dot_tile_u8(m, &a, &w_tile, p.k, &mut acc, true);
                         }
                     }
                     requant_row(m, &acc, p.rq, p.clamp, &mut out[q * p.k..(q + 1) * p.k]);

@@ -19,7 +19,7 @@
 //! shared schedule ([`ib_schedule`]), so the planner's offsets are correct
 //! by construction and verified empirically by the checked pool.
 
-use crate::intrinsics::{broadcast, dot_tile, requant_row};
+use crate::intrinsics::{broadcast, dot_tile_u8, requant_row};
 use crate::params::IbParams;
 use crate::trace::{exec_distance, ExecEvent};
 use vmcu_pool::{PoolError, SegmentPool};
@@ -203,11 +203,9 @@ fn expand_pixel(
     let mut a_reg = vec![0u8; p.c_in];
     pool.load(m, b_in + ((y * p.hw + x) * p.c_in) as i64, &mut a_reg)?;
     m.flash_load(flash.w1, w1_tile)?;
-    let a_i8: Vec<i8> = a_reg.iter().map(|&b| b as i8).collect();
-    let w_i8: Vec<i8> = w1_tile.iter().map(|&b| b as i8).collect();
     let mut acc = vec![0i32; p.c_mid];
     broadcast(m, &mut acc, 0);
-    dot_tile(m, &a_i8, &w_i8, p.c_mid, &mut acc, true);
+    dot_tile_u8(m, &a_reg, w1_tile, p.c_mid, &mut acc, true);
     requant_row(m, &acc, p.rq1, p.clamp1, out);
     Ok(())
 }
@@ -320,6 +318,7 @@ pub fn run_fused_ib(
                 }
                 // Depthwise over the window.
                 broadcast(m, &mut acc_mid, 0);
+                let mut taps = 0u64;
                 for r in 0..p.rs {
                     let b = (pi * p.s2 + r) as isize - pad as isize;
                     if b < 0 || b >= h1 as isize {
@@ -345,16 +344,16 @@ pub fn run_fused_ib(
                         for c in 0..p.c_mid {
                             acc_mid[c] += i32::from(b_pixel[c] as i8) * i32::from(wdw_reg[c] as i8);
                         }
-                        m.charge_macs(p.c_mid as u64, true);
+                        taps += 1;
                     }
                 }
+                // Batched per pixel, counter-identical to per-tap charges.
+                m.charge_macs_batched(p.c_mid as u64, taps, true);
                 requant_row(m, &acc_mid, p.rq2, p.clamp2, &mut c_pixel);
                 // Project (pw2).
                 broadcast(m, &mut acc_out, 0);
                 m.flash_load(flash.w2, &mut w2_tile)?;
-                let c_i8: Vec<i8> = c_pixel.iter().map(|&b| b as i8).collect();
-                let w_i8: Vec<i8> = w2_tile.iter().map(|&b| b as i8).collect();
-                dot_tile(m, &c_i8, &w_i8, p.c_out, &mut acc_out, true);
+                dot_tile_u8(m, &c_pixel, &w2_tile, p.c_out, &mut acc_out, true);
                 requant_row(m, &acc_out, p.rq3, p.clamp3, &mut d_pixel);
                 // Residual add with the original A pixel.
                 if p.has_residual() {

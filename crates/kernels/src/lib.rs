@@ -14,6 +14,9 @@
 //!   both workspace schemes;
 //! * [`fused_chain`] — the generalized multi-layer fused chain kernel
 //!   (line-buffer rings per intermediate, one pool window end to end);
+//! * [`im2col`] — im2col + matmul lowering for conv2d/fc: receptive
+//!   fields gathered into staging RAM (RAM-to-RAM copy traffic), then a
+//!   branch-free GEMM through the lane-blocked `Dot` micro-kernel;
 //! * [`patched`] — patch-based front-stage execution: spatial tiles of
 //!   the output run through the single-layer kernels slice by slice,
 //!   with receptive-field halos recomputed (and charged) honestly;
@@ -35,6 +38,7 @@ pub mod depthwise;
 pub mod fc;
 pub mod fused_chain;
 pub mod fused_ib;
+pub mod im2col;
 pub mod intrinsics;
 pub mod params;
 pub mod patched;
@@ -44,5 +48,6 @@ pub mod trace;
 
 pub use fused_chain::{ChainOp, FusedChain};
 pub use fused_ib::{IbFlash, IbScheme};
+pub use im2col::{run_conv2d_im2col, run_fc_im2col};
 pub use params::{Conv2dParams, DepthwiseParams, FcParams, IbParams, PointwiseParams};
 pub use patched::{PatchGrid, PatchedFront};

@@ -16,7 +16,7 @@
 //! Functional results are bit-exact with the reference operators — the
 //! baselines differ from vMCU only in memory layout and cost.
 
-use crate::intrinsics::{broadcast, dot_tile, requant_row};
+use crate::intrinsics::{broadcast, dot_tile_u8, requant_row};
 use crate::params::{DepthwiseParams, IbParams, PointwiseParams};
 use vmcu_sim::{Machine, MemError};
 use vmcu_tensor::quant::sat8;
@@ -75,7 +75,6 @@ pub fn run_pointwise_te(
         for qi in 0..w_out {
             // Whole weight matrix streamed from Flash per pixel.
             m.flash_load(w_base, &mut w_full)?;
-            let w_i8: Vec<i8> = w_full.iter().map(|&b| b as i8).collect();
             let mut k0 = 0;
             while k0 < p.k {
                 let kw = TE_COL_TILE.min(p.k - k0);
@@ -84,7 +83,6 @@ pub fn run_pointwise_te(
                 // pair — the extra RAM traffic §7.2 attributes the energy
                 // gap to.
                 m.ram_load(layout.im2col + qi * p.c, &mut a_reg)?;
-                let a_i8: Vec<i8> = a_reg.iter().map(|&b| b as i8).collect();
                 broadcast(m, &mut acc[..kw], 0);
                 if let Some(b) = bias {
                     for (a, &bv) in acc[..kw].iter_mut().zip(&b[k0..k0 + kw]) {
@@ -92,7 +90,7 @@ pub fn run_pointwise_te(
                     }
                 }
                 // Fixed-depth unrolling: the stall penalty applies.
-                dot_tile(m, &a_i8, &w_i8[k0..], p.k, &mut acc[..kw], false);
+                dot_tile_u8(m, &a_reg, &w_full[k0..], p.k, &mut acc[..kw], false);
                 requant_row(m, &acc[..kw], p.rq, p.clamp, &mut out_reg[..kw]);
                 m.ram_store(layout.output + (pi * w_out + qi) * p.k + k0, &out_reg[..kw])?;
                 m.charge_branches(1);
@@ -139,6 +137,7 @@ pub fn run_depthwise_te_inplace(
         }
         for qi in 0..w_out {
             broadcast(m, &mut acc, 0);
+            let mut taps = 0u64;
             for ri in 0..p.r {
                 let y = (pi * p.stride + ri) as isize - p.pad as isize;
                 if y < 0 || y >= p.h as isize {
@@ -157,9 +156,12 @@ pub fn run_depthwise_te_inplace(
                     for c in 0..p.c {
                         acc[c] += i32::from(a_reg[c] as i8) * i32::from(w_reg[c] as i8);
                     }
-                    m.charge_macs(p.c as u64, false);
+                    taps += 1;
                 }
             }
+            // Counter-identical to the per-tap charges this loop used to
+            // make (tiles × mac_cost, never a merged rounding).
+            m.charge_macs_batched(p.c as u64, taps, false);
             requant_row(m, &acc, p.rq, p.clamp, &mut out_reg);
             m.ram_store(buf + (pi * w_out + qi) * p.c, &out_reg)?;
             m.charge_branches(1);

@@ -18,6 +18,9 @@
 //! * [`fusion`] — the multi-layer segment fusion pass and the
 //!   fusion-aware [`FusedPlanner`], which groups fusable layer runs into
 //!   single fused chains so fat intermediates never materialize;
+//! * [`lowering`] — per-device kernel lowering selection: direct
+//!   segment-aware kernels vs the im2col + lane-blocked matmul path,
+//!   decided analytically from the device's `CostModel`;
 //! * [`patch`] — patch-based front-stage planning and the
 //!   [`PatchedPlanner`]: high-resolution front layers execute as spatial
 //!   patches whose receptive-field slabs, not whole tensors, set the
@@ -50,6 +53,7 @@ pub mod chain;
 pub mod fusion;
 pub mod headroom;
 pub mod hmcos_planner;
+pub mod lowering;
 pub mod patch;
 pub mod planner;
 pub mod telemetry;
@@ -60,6 +64,7 @@ pub use capacity::{concurrent_capacity, peak_demand_bytes, plan_graph};
 pub use chain::{plan_chain, ChainPlan};
 pub use fusion::{fuse_graph, FusedPlanner, FusionNode, FusionPlan};
 pub use hmcos_planner::HmcosPlanner;
+pub use lowering::{select_conv2d_lowering, select_fc_lowering, LoweringChoice, LoweringKind};
 pub use patch::{PatchPlan, PatchedPlanner};
 pub use planner::{LayerPlan, MemoryPlan, MemoryPlanner};
 pub use tinyengine_planner::TinyEnginePlanner;

@@ -1,0 +1,169 @@
+//! Per-device kernel lowering selection.
+//!
+//! Conv2d and fc layers have two executable lowerings: the **direct**
+//! segment-aware kernels (boundary branches in the inner loop, no staging
+//! traffic) and the **im2col + matmul** path (`vmcu_kernels::im2col`):
+//! receptive fields gathered into staging RAM, then a branch-free GEMM
+//! the device's SIMD lanes can be kept full on. Which one is faster is a
+//! device property — the wider the datapath and the cheaper the RAM
+//! traffic, the more the dense GEMM wins back its copy cost — so the
+//! choice belongs to the planner, not the kernel.
+//!
+//! [`select_conv2d_lowering`]/[`select_fc_lowering`] make the call
+//! analytically from the
+//! [`CostModel`](vmcu_sim::CostModel): it compares the modelled cycles of
+//! the direct kernel (MACs at native width plus per-tap boundary
+//! branches) against the im2col path (dense-GEMM MACs at native width
+//! plus the RAM-to-RAM gather). Both estimates use the same `mac_cost`
+//! arithmetic the kernels charge, so the decision agrees with what the
+//! simulated machine would measure.
+
+use vmcu_kernels::params::{Conv2dParams, FcParams};
+use vmcu_sim::Device;
+
+/// The executable lowering of a conv2d/fc layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoweringKind {
+    /// Direct segment-aware kernel (`run_conv2d`/`run_fc`).
+    Direct,
+    /// im2col gather + lane-blocked matmul
+    /// (`run_conv2d_im2col`/`run_fc_im2col`).
+    Im2colMatmul,
+}
+
+impl LoweringKind {
+    /// Human-readable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LoweringKind::Direct => "direct",
+            LoweringKind::Im2colMatmul => "im2col+matmul",
+        }
+    }
+}
+
+/// Modelled cycle estimates behind a lowering decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LoweringChoice {
+    /// The selected lowering.
+    pub kind: LoweringKind,
+    /// Estimated cycles of the direct kernel.
+    pub direct_cycles: u64,
+    /// Estimated cycles of the im2col path (including gather traffic).
+    pub im2col_cycles: u64,
+}
+
+/// Analytic conv2d lowering decision for `device`.
+pub fn select_conv2d_lowering(device: &Device, p: &Conv2dParams) -> LoweringChoice {
+    let cost = &device.cost;
+    let pixels = (p.out_h() * p.out_w()) as u64;
+    // Direct: exact MACs (padding taps skipped), but every tap pays the
+    // window boundary branches.
+    let taps_checked = (p.out_h() * p.out_w() * p.r * p.s) as u64;
+    let direct = cost.mac_cost(p.macs(), true)
+        + taps_checked * cost.branch_cycles
+        + p.macs().div_ceil(p.c.max(1) as u64) * cost.modulo_cycles;
+    // im2col: dense GEMM over the zero-filled patch plus the RAM-to-RAM
+    // gather (read + write of R·S·C bytes per pixel) and per-tile packing.
+    let patch = (p.r * p.s * p.c) as u64;
+    let dense_macs = pixels * patch * p.k as u64;
+    let gather_bytes = pixels * patch;
+    let im2col = cost.mac_cost(dense_macs, true)
+        + gather_bytes * (cost.ram_byte_cycles_x100 * 2).div_ceil(100)
+        + pixels * cost.simd.packing_cycles;
+    LoweringChoice {
+        kind: if im2col < direct {
+            LoweringKind::Im2colMatmul
+        } else {
+            LoweringKind::Direct
+        },
+        direct_cycles: direct,
+        im2col_cycles: im2col,
+    }
+}
+
+/// Analytic fc lowering decision for `device`: the staged GEMM trades one
+/// RAM-to-RAM row copy for `n/seg`-fold fewer modulo-checked pool loads.
+pub fn select_fc_lowering(device: &Device, p: &FcParams) -> LoweringChoice {
+    let cost = &device.cost;
+    let n_tiles = p.n.div_ceil(p.seg.max(1)) as u64;
+    let k_tiles = p.k.div_ceil(p.seg.max(1)) as u64;
+    let rows = p.m as u64;
+    let macs = p.macs();
+    // Direct: each of the n-tiles re-loads the row's k-tiles from the
+    // modulo-checked pool.
+    let direct = cost.mac_cost(macs, true) + rows * n_tiles * k_tiles * cost.modulo_cycles;
+    // Staged: one pool pass per row plus the RAM-to-RAM copy, then
+    // branch-free reloads from flat RAM.
+    let im2col = cost.mac_cost(macs, true)
+        + rows * k_tiles * cost.modulo_cycles
+        + rows * p.k as u64 * (cost.ram_byte_cycles_x100 * 2).div_ceil(100)
+        + rows * n_tiles * cost.simd.packing_cycles;
+    LoweringChoice {
+        kind: if im2col < direct {
+            LoweringKind::Im2colMatmul
+        } else {
+            LoweringKind::Direct
+        },
+        direct_cycles: direct,
+        im2col_cycles: im2col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmcu_tensor::Requant;
+
+    fn conv() -> Conv2dParams {
+        Conv2dParams::new(8, 8, 8, 8, 3, 3, 1, 1, Requant::from_scale(1.0 / 64.0, 0))
+    }
+
+    #[test]
+    fn every_ladder_device_gets_a_decision_with_consistent_estimates() {
+        let p = conv();
+        for d in Device::simd_ladder() {
+            let c = select_conv2d_lowering(&d, &p);
+            assert!(c.direct_cycles > 0 && c.im2col_cycles > 0);
+            match c.kind {
+                LoweringKind::Im2colMatmul => assert!(c.im2col_cycles < c.direct_cycles),
+                LoweringKind::Direct => assert!(c.direct_cycles <= c.im2col_cycles),
+            }
+        }
+    }
+
+    #[test]
+    fn padding_free_conv_still_prices_the_gather() {
+        // Without padding the dense GEMM does the same MACs as the direct
+        // kernel, so the im2col estimate differs exactly by gather traffic
+        // vs branch overhead.
+        let p = Conv2dParams::new(6, 6, 4, 4, 3, 3, 1, 0, Requant::identity());
+        let d = Device::stm32_f411re();
+        let c = select_conv2d_lowering(&d, &p);
+        assert!(c.im2col_cycles != c.direct_cycles);
+    }
+
+    #[test]
+    fn wide_fc_prefers_the_staged_gemm() {
+        // Many output tiles per row: the direct kernel's repeated modulo-
+        // checked reloads dominate and staging wins.
+        let p = FcParams::new(4, 8, 256, Requant::identity());
+        let d = Device::stm32_f411re();
+        let c = select_fc_lowering(&d, &p);
+        assert_eq!(c.kind, LoweringKind::Im2colMatmul);
+    }
+
+    #[test]
+    fn single_tile_fc_keeps_the_direct_kernel() {
+        // One output tile: nothing to save, the copy is pure overhead.
+        let p = FcParams::new(4, 8, 8, Requant::identity());
+        let d = Device::stm32_f411re();
+        let c = select_fc_lowering(&d, &p);
+        assert_eq!(c.kind, LoweringKind::Direct);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(LoweringKind::Direct.name(), "direct");
+        assert_eq!(LoweringKind::Im2colMatmul.name(), "im2col+matmul");
+    }
+}

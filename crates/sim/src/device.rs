@@ -8,17 +8,23 @@ use std::fmt;
 /// Processor core of a device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Core {
+    /// ARM Cortex-M0+ (scalar, no DSP extension).
+    CortexM0Plus,
     /// ARM Cortex-M4 (single-issue, DSP extension).
     CortexM4,
     /// ARM Cortex-M7 (dual-issue, DSP extension).
     CortexM7,
+    /// ARM Cortex-M55 (Helium/MVE vector extension).
+    CortexM55,
 }
 
 impl fmt::Display for Core {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Core::CortexM0Plus => f.write_str("Cortex-M0+"),
             Core::CortexM4 => f.write_str("Cortex-M4"),
             Core::CortexM7 => f.write_str("Cortex-M7"),
+            Core::CortexM55 => f.write_str("Cortex-M55"),
         }
     }
 }
@@ -82,6 +88,51 @@ impl Device {
             dot_ki: 16,
             dot_ni: 2,
         }
+    }
+
+    /// STM32-G071RB: Cortex-M0+, 36 KB RAM, 128 KB Flash, 64 MHz — the
+    /// scalar (no-DSP) floor of the SIMD capability ladder.
+    pub fn stm32_g071rb() -> Self {
+        Self {
+            name: "STM32-G071RB".to_owned(),
+            core: Core::CortexM0Plus,
+            ram_bytes: 36 * 1024,
+            flash_bytes: 128 * 1024,
+            clock_hz: 64_000_000,
+            runtime_overhead_bytes: 4 * 1024,
+            cost: CostModel::cortex_m0(),
+            energy: EnergyModel::stm32_g0(),
+            dot_ki: 8,
+            dot_ni: 1,
+        }
+    }
+
+    /// MPS3-AN547 (Corstone-300): Cortex-M55, 1 MB SRAM, 4 MB Flash,
+    /// 400 MHz — the quad-lane MVE-style top of the capability ladder.
+    pub fn mps3_an547() -> Self {
+        Self {
+            name: "MPS3-AN547".to_owned(),
+            core: Core::CortexM55,
+            ram_bytes: 1024 * 1024,
+            flash_bytes: 4 * 1024 * 1024,
+            clock_hz: 400_000_000,
+            runtime_overhead_bytes: 4 * 1024,
+            cost: CostModel::cortex_m55(),
+            energy: EnergyModel::corstone_m55(),
+            dot_ki: 16,
+            dot_ni: 4,
+        }
+    }
+
+    /// The SIMD capability ladder in ascending lane order: scalar M0+,
+    /// dual-lane M4/M7, quad-lane M55.
+    pub fn simd_ladder() -> Vec<Self> {
+        vec![
+            Self::stm32_g071rb(),
+            Self::stm32_f411re(),
+            Self::stm32_f767zi(),
+            Self::mps3_an547(),
+        ]
     }
 
     /// RAM available to tensor data after runtime overhead.
@@ -163,6 +214,36 @@ mod tests {
         assert_eq!(d.ram_bytes, 524_288);
         assert_eq!(d.core, Core::CortexM7);
         assert_eq!(d.clock_hz, 216_000_000);
+    }
+
+    #[test]
+    fn simd_ladder_is_ordered_by_lanes() {
+        let ladder = Device::simd_ladder();
+        assert_eq!(ladder.len(), 4);
+        let lanes: Vec<u64> = ladder.iter().map(|d| d.cost.simd.lanes).collect();
+        assert_eq!(lanes, [1, 2, 2, 4]);
+        for pair in ladder.windows(2) {
+            assert!(pair[0].cost.simd.lanes <= pair[1].cost.simd.lanes);
+        }
+    }
+
+    #[test]
+    fn g071rb_is_the_scalar_floor() {
+        let d = Device::stm32_g071rb();
+        assert_eq!(d.core, Core::CortexM0Plus);
+        assert_eq!(d.cost.simd.lanes, 1);
+        assert_eq!(d.cost.simd.packing_cycles, 0);
+        assert!(d.ram_bytes < Device::stm32_f411re().ram_bytes);
+        assert!(d.to_string().contains("Cortex-M0+"));
+    }
+
+    #[test]
+    fn an547_is_the_quad_lane_top() {
+        let d = Device::mps3_an547();
+        assert_eq!(d.core, Core::CortexM55);
+        assert_eq!(d.cost.simd.lanes, 4);
+        assert_eq!(d.dot_ni, 4);
+        assert!(d.to_string().contains("Cortex-M55"));
     }
 
     #[test]

@@ -43,6 +43,27 @@ impl EnergyModel {
         }
     }
 
+    /// STM32G0 (Cortex-M0+ @ 64 MHz, ~10 mW active): low absolute power,
+    /// but scalar MACs burn more cycles — and therefore energy — per
+    /// inference.
+    pub fn stm32_g0() -> Self {
+        Self {
+            core_pj_per_cycle: 160,
+            ram_pj_per_byte: 30,
+            flash_pj_per_byte: 80,
+        }
+    }
+
+    /// Corstone-300-class Cortex-M55 @ 400 MHz: wider datapath at a
+    /// denser process node.
+    pub fn corstone_m55() -> Self {
+        Self {
+            core_pj_per_cycle: 250,
+            ram_pj_per_byte: 20,
+            flash_pj_per_byte: 45,
+        }
+    }
+
     /// Total energy for the counted work, in picojoules.
     pub fn energy_pj(&self, c: &Counters) -> u64 {
         self.core_pj_per_cycle * c.cycles

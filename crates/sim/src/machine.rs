@@ -140,6 +140,33 @@ impl Machine {
         self.counters.cycles += self.device.cost.mac_cost(n, fully_unrolled);
     }
 
+    /// Charges `n` 8-bit MACs issued at `lanes_used` SIMD lanes per
+    /// instruction ([`crate::cost::CostModel::mac_cost_lanes`]): the
+    /// pricing surface for alternative kernel lowerings. At the device's
+    /// native width this is exactly [`Machine::charge_macs`].
+    pub fn charge_macs_lanes(&mut self, n: u64, fully_unrolled: bool, lanes_used: u64) {
+        self.counters.macs += n;
+        self.counters.cycles += self
+            .device
+            .cost
+            .mac_cost_lanes(n, fully_unrolled, lanes_used);
+    }
+
+    /// Charges `tiles` dot tiles of `n_per_tile` MACs each in one call —
+    /// counter-identical to calling [`Machine::charge_macs`] `tiles`
+    /// times (the per-call `div_ceil` rounding is applied per tile, so
+    /// hoisting the accounting out of a hot loop cannot drift cycles).
+    pub fn charge_macs_batched(&mut self, n_per_tile: u64, tiles: u64, fully_unrolled: bool) {
+        self.counters.macs += n_per_tile * tiles;
+        self.counters.cycles += tiles * self.device.cost.mac_cost(n_per_tile, fully_unrolled);
+    }
+
+    /// Charges an `n`-element requantization epilogue at the device's
+    /// [`requant_cycles_x100`](crate::cost::CostModel::requant_cycles_x100).
+    pub fn charge_requant(&mut self, n: u64) {
+        self.counters.cycles += self.device.cost.requant_cost(n);
+    }
+
     /// Charges `n` address-modulo operations (circular-buffer boundary
     /// checks).
     pub fn charge_modulo(&mut self, n: u64) {
@@ -322,6 +349,41 @@ mod tests {
         let mut buf = [0u8; 8];
         assert!(m.ram_load(cap, &mut buf).is_err());
         assert!(m.ram_store(cap - 4, &buf).is_err());
+    }
+
+    #[test]
+    fn batched_charging_is_counter_identical_to_per_tile_calls() {
+        // 9 tiles of 24 MACs on the M7 model: per-call div_ceil rounding
+        // makes 9 * cost(24) != cost(216), so the batched path must
+        // round per tile to stay identical.
+        let mut per_call = Machine::new(Device::stm32_f767zi());
+        for _ in 0..9 {
+            per_call.charge_macs(24, true);
+        }
+        let mut batched = Machine::new(Device::stm32_f767zi());
+        batched.charge_macs_batched(24, 9, true);
+        assert_eq!(batched.snapshot(), per_call.snapshot());
+        // And the naive merge really would have drifted:
+        let mut merged = Machine::new(Device::stm32_f767zi());
+        merged.charge_macs(216, true);
+        assert_ne!(merged.snapshot().cycles, per_call.snapshot().cycles);
+    }
+
+    #[test]
+    fn lane_charging_doubles_scalar_cost_on_dsp_cores() {
+        let mut native = machine();
+        native.charge_macs_lanes(1000, true, 2);
+        let mut scalar = machine();
+        scalar.charge_macs_lanes(1000, true, 1);
+        assert_eq!(scalar.snapshot().cycles, 2 * native.snapshot().cycles);
+        assert_eq!(native.snapshot().macs, scalar.snapshot().macs);
+    }
+
+    #[test]
+    fn requant_charges_model_cycles() {
+        let mut m = machine();
+        m.charge_requant(10);
+        assert_eq!(m.snapshot().cycles, m.device.cost.requant_cost(10));
     }
 
     #[test]
