@@ -13,6 +13,14 @@
 //! current == baseline exactly; the 20% margin only buys room for
 //! intentional small trade-offs, not for machine noise.
 //!
+//! Online rows (the sustained serving simulator, keyed by
+//! `(planner, profile)`) are gated on the two SLO-facing metrics:
+//! `p99_sojourn_ms` and `shed_rate` must not rise more than the allowed
+//! fraction above baseline (shed rate gets an extra 0.5-point absolute
+//! slack so near-zero baselines don't gate on dust). A baseline online
+//! row missing from the current report fails; a baseline that predates
+//! the online section skips the online gate.
+//!
 //! The gate also holds the plan-once contract: each planner's
 //! `plan_calls_per_request` (serving-side planning amortization, 0 on
 //! the deploy-once worker path) must not rise above the baseline — the
@@ -113,6 +121,86 @@ fn planner_rows(doc: &Json, path: &str) -> Vec<PlannerRow> {
         .collect()
 }
 
+struct OnlineRow {
+    planner: String,
+    profile: String,
+    p99_sojourn_ms: f64,
+    shed_rate: f64,
+}
+
+/// Extracts the `online` rows; `None` when the file predates the
+/// online serving section (pre-online baselines stay usable).
+fn online_rows(doc: &Json, path: &str) -> Option<Vec<OnlineRow>> {
+    Some(
+        doc.get("online")?
+            .as_array()
+            .unwrap_or_else(|| panic!("{path}: `online` is not an array"))
+            .iter()
+            .map(|row| {
+                let text = |key: &str| {
+                    row.get(key)
+                        .and_then(Json::as_str)
+                        .unwrap_or_else(|| panic!("{path}: online row missing `{key}`"))
+                        .to_owned()
+                };
+                let field = |key: &str| {
+                    row.get(key)
+                        .and_then(Json::as_f64)
+                        .unwrap_or_else(|| panic!("{path}: online row missing number `{key}`"))
+                };
+                OnlineRow {
+                    planner: text("planner"),
+                    profile: text("profile"),
+                    p99_sojourn_ms: field("p99_sojourn_ms"),
+                    shed_rate: field("shed_rate"),
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Gates the online serving rows: per `(planner, profile)` pair present
+/// in the baseline, simulated p99 sojourn and shed rate must not rise
+/// beyond the allowed margin. Both are simulated, so an unchanged tree
+/// compares exactly.
+fn gate_online(current: &[OnlineRow], baseline: &[OnlineRow], max_drop: f64) -> bool {
+    let mut ok = true;
+    for base in baseline {
+        let key = format!("{}/{}", base.planner, base.profile);
+        let Some(cur) = current
+            .iter()
+            .find(|r| r.planner == base.planner && r.profile == base.profile)
+        else {
+            println!("  [FAIL] online {key}: row missing from current report");
+            ok = false;
+            continue;
+        };
+        let p99_ceiling = base.p99_sojourn_ms * (1.0 + max_drop) + 1e-9;
+        let p99_ok = cur.p99_sojourn_ms <= p99_ceiling;
+        println!(
+            "  [{}] online {key} p99_sojourn_ms: {:.3} vs baseline {:.3} (ceiling {:.3})",
+            if p99_ok { "PASS" } else { "FAIL" },
+            cur.p99_sojourn_ms,
+            base.p99_sojourn_ms,
+            p99_ceiling
+        );
+        // Relative margin plus half a percentage point of absolute slack:
+        // a 0.1% -> 0.4% shed move is noise-scale churn in the queue
+        // tail, but 10% -> 13% is a real capacity regression and fails.
+        let shed_ceiling = base.shed_rate * (1.0 + max_drop) + 0.005;
+        let shed_ok = cur.shed_rate <= shed_ceiling;
+        println!(
+            "  [{}] online {key} shed_rate: {:.4} vs baseline {:.4} (ceiling {:.4})",
+            if shed_ok { "PASS" } else { "FAIL" },
+            cur.shed_rate,
+            base.shed_rate,
+            shed_ceiling
+        );
+        ok &= p99_ok && shed_ok;
+    }
+    ok
+}
+
 /// Gates the SIMD kernel report: per-device vectorized cycles/MAC must
 /// not exceed the committed baseline (simulated numbers compare exactly
 /// on an unchanged tree), and the report's own checks must all pass.
@@ -176,8 +264,10 @@ fn gate_simd(current_path: &str, baseline_path: &str) -> bool {
 
 fn main() {
     let args = parse_args();
-    let current = planner_rows(&load(&args.current), &args.current);
-    let baseline = planner_rows(&load(&args.baseline), &args.baseline);
+    let current_doc = load(&args.current);
+    let baseline_doc = load(&args.baseline);
+    let current = planner_rows(&current_doc, &args.current);
+    let baseline = planner_rows(&baseline_doc, &args.baseline);
 
     let mut ok = true;
     let mut compared = 0usize;
@@ -240,6 +330,17 @@ fn main() {
     if compared == 0 {
         println!("  [FAIL] no planners in common between current and baseline");
         ok = false;
+    }
+    // Online serving gate: only when the baseline has online rows (so
+    // pre-online baselines remain usable); the current report must then
+    // carry every baseline row.
+    if let Some(base_online) = online_rows(&baseline_doc, &args.baseline) {
+        if base_online.is_empty() {
+            println!("  online gate: baseline has no online rows, skipping");
+        } else {
+            let cur_online = online_rows(&current_doc, &args.current).unwrap_or_default();
+            ok &= gate_online(&cur_online, &base_online, args.max_drop);
+        }
     }
     if let (Some(sc), Some(sb)) = (&args.simd_current, &args.simd_baseline) {
         ok &= gate_simd(sc, sb);

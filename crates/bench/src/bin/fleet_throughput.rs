@@ -1,21 +1,40 @@
-//! Fleet-throughput experiment: the same seeded request stream offered to
-//! an N-device 128 KB fleet under vMCU, vMCU-fused (the multi-layer
-//! segment fusion pipeline), vMCU-patched (patch-based front-stage
-//! execution), TinyEngine, and HMCOS planning.
+//! Fleet-serving experiment: batch admission capacity plus the online
+//! serving simulator, per planning policy.
 //!
-//! Emits `BENCH_fleet.json` (requests/sec, admission rate, p50/p99
-//! latency per planner — all in simulated device time, bit-reproducible
-//! across machines) and exits non-zero unless vMCU planning admits
-//! strictly more requests than both disjoint baselines and the fused
-//! policy admits at least as many as single-layer vMCU. The CI bench
-//! gate (`bench_gate`) consumes the emitted file.
+//! Two sections land in `BENCH_fleet.json`:
 //!
-//! Flags: `--light` (shorter stream for CI), `--workers N`, `--requests N`,
-//! `--seed S`, `--out PATH`.
+//! * **`planners`** — the legacy batch rows: the same seeded request
+//!   batch offered to an N-device 128 KB fleet under vMCU, vMCU-fused,
+//!   vMCU-patched, TinyEngine, and HMCOS planning (requests/sec,
+//!   admission rate, p50/p99 latency).
+//! * **`online`** — sustained online runs ([`Fleet::run_online`]): a
+//!   seeded million-request arrival stream through per-device EDF
+//!   queues with deadline shedding and LRU model hot-swap. Every
+//!   planner serves the Poisson stream; the vMCU policy additionally
+//!   serves the bursty and diurnal profiles. Reported: p50/p99 sojourn,
+//!   shed rate, swap counts and priced staging time, SLO violations,
+//!   and host-side wall-clock throughput.
+//!
+//! All simulated metrics are bit-reproducible across machines — one
+//! online row is re-run in-process and compared bit-for-bit as a check.
+//! The CI bench gate (`bench_gate`) consumes the emitted file and gates
+//! p99 sojourn and shed rate against `ci/bench_baseline.json`.
+//!
+//! Flags: `--light` (shorter batch stream for CI), `--workers N`,
+//! `--requests N` (batch), `--seed S`, `--out PATH`, `--online`
+//! (online-only walkthrough mode), `--online-requests N` (default
+//! 1,000,000), `--rate R` (nominal req/s, default 150), `--slo-ms F`
+//! (default 250), `--profile poisson|bursty|diurnal` (restrict online
+//! profiles).
+//!
+//! [`Fleet::run_online`]: vmcu_serve::Fleet::run_online
 
 use vmcu::prelude::*;
 use vmcu_bench::json::Json;
-use vmcu_serve::{random_stream, Fleet, FleetConfig, FleetStats, ModelCatalog};
+use vmcu_serve::{
+    random_stream, ArrivalProfile, Fleet, FleetConfig, FleetStats, ModelCatalog, OnlineConfig,
+    OnlineStats,
+};
 
 struct Args {
     light: bool,
@@ -23,6 +42,11 @@ struct Args {
     requests: usize,
     seed: u64,
     out: String,
+    online_only: bool,
+    online_requests: usize,
+    rate: f64,
+    slo_ms: f64,
+    profile: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -32,16 +56,30 @@ fn parse_args() -> Args {
         requests: 96,
         seed: 2024,
         out: "BENCH_fleet.json".to_owned(),
+        online_only: false,
+        online_requests: 1_000_000,
+        rate: 150.0,
+        slo_ms: 250.0,
+        profile: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
         match a.as_str() {
             "--light" => args.light = true,
+            "--online" => args.online_only = true,
             "--workers" => args.workers = value("--workers").parse().expect("--workers: integer"),
             "--requests" => {
                 args.requests = value("--requests").parse().expect("--requests: integer");
             }
+            "--online-requests" => {
+                args.online_requests = value("--online-requests")
+                    .parse()
+                    .expect("--online-requests: integer");
+            }
+            "--rate" => args.rate = value("--rate").parse().expect("--rate: req/s"),
+            "--slo-ms" => args.slo_ms = value("--slo-ms").parse().expect("--slo-ms: ms"),
+            "--profile" => args.profile = Some(value("--profile")),
             "--seed" => args.seed = value("--seed").parse().expect("--seed: integer"),
             "--out" => args.out = value("--out"),
             other => panic!("unknown flag `{other}`"),
@@ -51,6 +89,26 @@ fn parse_args() -> Args {
         args.requests = args.requests.min(32);
     }
     args
+}
+
+/// The three load shapes, parameterized by the nominal rate: steady
+/// Poisson at `rate`, 200 ms bursts at 4x over a halved base, and a
+/// one-simulated-minute diurnal swing around `rate`.
+fn profiles(rate: f64) -> Vec<ArrivalProfile> {
+    vec![
+        ArrivalProfile::Poisson { rate_per_sec: rate },
+        ArrivalProfile::Bursty {
+            base_rate_per_sec: rate * 0.5,
+            burst_rate_per_sec: rate * 4.0,
+            burst_ms: 200.0,
+            gap_ms: 800.0,
+        },
+        ArrivalProfile::Diurnal {
+            trough_rate_per_sec: rate * 0.25,
+            peak_rate_per_sec: rate * 2.0,
+            period_ms: 60_000.0,
+        },
+    ]
 }
 
 fn stats_json(planner: &str, stats: &FleetStats) -> Json {
@@ -90,6 +148,54 @@ fn stats_json(planner: &str, stats: &FleetStats) -> Json {
     ])
 }
 
+fn online_json(planner: &str, profile: &str, cfg: &OnlineConfig, s: &OnlineStats) -> Json {
+    Json::Object(vec![
+        ("planner".into(), Json::str(planner)),
+        ("profile".into(), Json::str(profile)),
+        ("requests".into(), Json::from(cfg.requests)),
+        ("slo_ms".into(), Json::from(cfg.slo_ms)),
+        ("offered".into(), Json::from(s.offered)),
+        ("routed".into(), Json::from(s.routed)),
+        ("rejected".into(), Json::from(s.rejected)),
+        ("completed".into(), Json::from(s.completed)),
+        ("shed".into(), Json::from(s.shed)),
+        ("failed".into(), Json::from(s.failed)),
+        ("shed_rate".into(), Json::from(s.shed_rate)),
+        ("slo_violations".into(), Json::from(s.slo_violations)),
+        ("p50_sojourn_ms".into(), Json::from(s.p50_sojourn_ms)),
+        ("p99_sojourn_ms".into(), Json::from(s.p99_sojourn_ms)),
+        ("p99_first_half_ms".into(), Json::from(s.p99_first_half_ms)),
+        (
+            "p99_second_half_ms".into(),
+            Json::from(s.p99_second_half_ms),
+        ),
+        ("stagings".into(), Json::from(s.stagings as usize)),
+        ("swaps".into(), Json::from(s.swaps as usize)),
+        ("evictions".into(), Json::from(s.evictions as usize)),
+        ("swap_ms".into(), Json::from(s.swap_ms)),
+        ("makespan_ms".into(), Json::from(s.makespan_ms)),
+        (
+            "sim_requests_per_sec".into(),
+            Json::from(s.sim_requests_per_sec),
+        ),
+        ("energy_mj".into(), Json::from(s.energy_mj)),
+        (
+            "deploy_plan_calls".into(),
+            Json::from(s.deploy_plan_calls as usize),
+        ),
+        (
+            "serve_plan_calls".into(),
+            Json::from(s.serve_plan_calls as usize),
+        ),
+        ("planning_ms".into(), Json::from(s.planning_ms)),
+        ("host_wall_ms".into(), Json::from(s.host_wall_ms)),
+        (
+            "host_requests_per_sec".into(),
+            Json::from(s.host_requests_per_sec),
+        ),
+    ])
+}
+
 fn main() {
     let args = parse_args();
     let device = Device::stm32_f411re();
@@ -108,75 +214,123 @@ fn main() {
     ];
     let mut rows = Vec::new();
     let mut per_planner = Vec::new();
+    let mut online_rows = Vec::new();
+    let mut online_stats: Vec<(String, String, OnlineStats)> = Vec::new();
+    // The bit-reproducibility witness: the first online row is re-run
+    // and its simulated projection must compare equal, bit for bit.
+    let mut repro: Option<(String, bool)> = None;
     println!(
-        "fleet_throughput: {} x {} | {} requests, seed {}",
-        args.workers, device, args.requests, args.seed
+        "fleet_throughput: {} x {} | batch {} requests, online {} requests at {} req/s nominal, SLO {} ms, seed {}",
+        args.workers, device, args.requests, args.online_requests, args.rate, args.slo_ms, args.seed
     );
     for (name, kind) in planners {
         let fleet = Fleet::new(
             FleetConfig::new(device.clone(), args.workers, kind),
             catalog.clone(),
         );
-        let report = fleet.run_batch(&requests);
-        let s = &report.stats;
-        println!(
-            "  {name:<10} admitted {:>3}/{:<3} ({:>5.1}%)  {:>8.2} req/s  p50 {:>7.3} ms  p99 {:>7.3} ms  {:>7.2} mJ  plan {}+{} calls",
-            s.admitted,
-            s.offered,
-            s.admission_rate * 100.0,
-            s.requests_per_sec,
-            s.p50_latency_ms,
-            s.p99_latency_ms,
-            s.energy_mj,
-            s.deploy_plan_calls,
-            s.serve_plan_calls
-        );
-        rows.push(stats_json(name, s));
-        per_planner.push((name, s.clone()));
+        if !args.online_only {
+            let report = fleet.run_batch(&requests);
+            let s = &report.stats;
+            println!(
+                "  batch  {name:<12} admitted {:>3}/{:<3} ({:>5.1}%)  {:>8.2} req/s  p50 {:>7.3} ms  p99 {:>7.3} ms  {:>7.2} mJ  plan {}+{} calls",
+                s.admitted,
+                s.offered,
+                s.admission_rate * 100.0,
+                s.requests_per_sec,
+                s.p50_latency_ms,
+                s.p99_latency_ms,
+                s.energy_mj,
+                s.deploy_plan_calls,
+                s.serve_plan_calls
+            );
+            rows.push(stats_json(name, s));
+            per_planner.push((name, s.clone()));
+        }
+        // Online: every planner serves the Poisson stream; the vMCU
+        // policy also serves the bursty and diurnal shapes (load-shape
+        // sensitivity is a property of the queueing policy, not of the
+        // planner comparison).
+        for profile in profiles(args.rate) {
+            if name != "vMCU" && profile.name() != "poisson" {
+                continue;
+            }
+            if args
+                .profile
+                .as_deref()
+                .is_some_and(|want| want != profile.name())
+            {
+                continue;
+            }
+            let cfg = OnlineConfig::new(profile, args.online_requests, args.seed)
+                .with_slo_ms(args.slo_ms);
+            let report = fleet.run_online(&cfg);
+            let s = &report.stats;
+            println!(
+                "  online {name:<12} {:<8} completed {:>7}/{:<7}  shed {:>5.2}%  p50 {:>7.2} ms  p99 {:>7.2} ms  swaps {:>6} ({:>9.1} ms staged)  {:>9.0} req/s host",
+                cfg.profile.name(),
+                s.completed,
+                s.offered,
+                s.shed_rate * 100.0,
+                s.p50_sojourn_ms,
+                s.p99_sojourn_ms,
+                s.swaps,
+                s.swap_ms,
+                s.host_requests_per_sec,
+            );
+            if repro.is_none() {
+                let again = fleet.run_online(&cfg);
+                repro = Some((
+                    format!("{name}/{}", cfg.profile.name()),
+                    again.stats.simulated() == s.simulated() && again.workers == report.workers,
+                ));
+            }
+            online_rows.push(online_json(name, cfg.profile.name(), &cfg, s));
+            online_stats.push((name.to_owned(), cfg.profile.name().to_owned(), s.clone()));
+        }
     }
 
-    // The headline criteria: segment-level planning must admit strictly
-    // more of the same offered load than both disjoint baselines, and
-    // the fusion pass may only add capacity on top of it.
-    let by_name = |wanted: &str| {
-        &per_planner
-            .iter()
-            .find(|(name, _)| *name == wanted)
-            .expect("planner ran")
-            .1
-    };
-    let vmcu = by_name("vMCU");
-    let fused = by_name("vMCU-fused");
-    let patched = by_name("vMCU-patched");
-    let checks: Vec<(String, bool, String)> = ["TinyEngine", "HMCOS"]
-        .iter()
-        .map(|name| {
+    let mut checks: Vec<(String, bool, String)> = Vec::new();
+    if !args.online_only {
+        // The headline batch criteria: segment-level planning must admit
+        // strictly more of the same offered load than both disjoint
+        // baselines, and the fusion pass may only add capacity on top.
+        let by_name = |wanted: &str| {
+            &per_planner
+                .iter()
+                .find(|(name, _)| *name == wanted)
+                .expect("planner ran")
+                .1
+        };
+        let vmcu = by_name("vMCU");
+        let fused = by_name("vMCU-fused");
+        let patched = by_name("vMCU-patched");
+        for name in ["TinyEngine", "HMCOS"] {
             let s = by_name(name);
-            (
+            checks.push((
                 format!("vmcu_admits_more_than_{}", name.to_lowercase()),
                 vmcu.admitted > s.admitted,
                 format!("vMCU {} vs {} {}", vmcu.admitted, name, s.admitted),
-            )
-        })
-        .chain(std::iter::once((
+            ));
+        }
+        checks.push((
             "fused_admits_at_least_vmcu".to_owned(),
             fused.admitted >= vmcu.admitted,
             format!("vMCU-fused {} vs vMCU {}", fused.admitted, vmcu.admitted),
-        )))
-        .chain(std::iter::once((
+        ));
+        checks.push((
             "patched_admits_at_least_vmcu".to_owned(),
             patched.admitted >= vmcu.admitted,
             format!(
                 "vMCU-patched {} vs vMCU {}",
                 patched.admitted, vmcu.admitted
             ),
-        )))
-        .chain(std::iter::once((
+        ));
+        checks.push((
             "no_execution_failures".to_owned(),
             per_planner.iter().all(|(_, s)| s.failed == 0),
             "typed engine errors during admitted runs".to_owned(),
-        )))
-        .chain(std::iter::once((
+        ));
+        checks.push((
             "planning_amortized".to_owned(),
             per_planner.iter().all(|(_, s)| s.serve_plan_calls == 0),
             format!(
@@ -190,17 +344,71 @@ fn main() {
                     .map(|(_, s)| s.deploy_plan_calls)
                     .collect::<Vec<_>>()
             ),
-        )))
-        .collect();
+        ));
+    }
+    // Online criteria.
+    if !online_stats.is_empty() {
+        let total_swaps: u64 = online_stats.iter().map(|(_, _, s)| s.swaps).sum();
+        let priced: bool = online_stats
+            .iter()
+            .all(|(_, _, s)| s.stagings == 0 || s.swap_ms > 0.0);
+        checks.push((
+            "online_hot_swaps_priced".to_owned(),
+            total_swaps >= 1 && priced,
+            format!("{total_swaps} hot swaps across online rows, every staging priced"),
+        ));
+        checks.push((
+            "online_planning_amortized".to_owned(),
+            online_stats.iter().all(|(_, _, s)| s.serve_plan_calls == 0),
+            "online serving performs zero planning passes".to_owned(),
+        ));
+        checks.push((
+            "online_no_execution_failures".to_owned(),
+            online_stats.iter().all(|(_, _, s)| s.failed == 0),
+            "typed engine errors during online serving".to_owned(),
+        ));
+        // Steady state: under EDF + shedding the completion tail must
+        // not drift between the first and second half of the run — a
+        // diverging queue would blow the second half up.
+        let stable = online_stats
+            .iter()
+            .filter(|(_, _, s)| s.completed >= 1_000)
+            .all(|(_, _, s)| s.p99_second_half_ms <= 1.5 * s.p99_first_half_ms);
+        checks.push((
+            "online_p99_stable".to_owned(),
+            stable,
+            format!(
+                "p99 halves per row: {:?}",
+                online_stats
+                    .iter()
+                    .map(|(n, p, s)| format!(
+                        "{n}/{p} {:.1}->{:.1}",
+                        s.p99_first_half_ms, s.p99_second_half_ms
+                    ))
+                    .collect::<Vec<_>>()
+            ),
+        ));
+        if let Some((row, passed)) = &repro {
+            checks.push((
+                "online_bit_reproducible".to_owned(),
+                *passed,
+                format!("row {row} re-run in-process compares bit-identical"),
+            ));
+        }
+    }
 
     let doc = Json::Object(vec![
         ("id".into(), Json::str("fleet_throughput")),
         ("device".into(), Json::str(device.name.clone())),
         ("workers".into(), Json::from(args.workers)),
         ("requests".into(), Json::from(args.requests)),
+        ("online_requests".into(), Json::from(args.online_requests)),
+        ("rate_per_sec".into(), Json::from(args.rate)),
+        ("slo_ms".into(), Json::from(args.slo_ms)),
         ("seed".into(), Json::from(args.seed)),
         ("light".into(), Json::from(args.light)),
         ("planners".into(), Json::Array(rows)),
+        ("online".into(), Json::Array(online_rows)),
         (
             "checks".into(),
             Json::Array(

@@ -22,10 +22,12 @@
 //!    [`FleetStats::planning_ms`] are real time.
 
 use crate::admission::AdmissionController;
+use crate::arrivals::ArrivalProfile;
 use crate::catalog::ModelCatalog;
+use crate::queue::Router;
 use crate::request::{Outcome, RequestSpec};
-use crate::stats::{FleetStats, PlanningStats, WorkerStats};
-use crate::worker::{model_weight_seed, Worker};
+use crate::stats::{FleetStats, OnlineStats, OnlineWorkerStats, PlanningStats, WorkerStats};
+use crate::worker::{model_weight_seed, run_online, OnlineJob, OnlineModel, Worker};
 use std::collections::HashMap;
 use std::time::Instant;
 use vmcu::prelude::Deployment;
@@ -52,6 +54,64 @@ impl FleetConfig {
             planner,
         }
     }
+}
+
+/// Configuration of one online serving run: the load shape, how much of
+/// it, and the latency SLO.
+///
+/// # Examples
+///
+/// ```
+/// use vmcu_serve::{ArrivalProfile, OnlineConfig};
+///
+/// let cfg = OnlineConfig::new(
+///     ArrivalProfile::Poisson { rate_per_sec: 150.0 },
+///     10_000,
+///     2024,
+/// );
+/// assert_eq!(cfg.slo_ms, 250.0); // default SLO
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// The seeded arrival process.
+    pub profile: ArrivalProfile,
+    /// Number of requests in the stream.
+    pub requests: usize,
+    /// Stream seed — same seed, same run, bit for bit.
+    pub seed: u64,
+    /// Latency SLO in simulated milliseconds: each request's deadline is
+    /// its arrival time plus this. Requests not *started* by their
+    /// deadline are shed; requests finished past it count as SLO
+    /// violations.
+    pub slo_ms: f64,
+}
+
+impl OnlineConfig {
+    /// A run of `requests` arrivals from `profile` under the default
+    /// 250 ms SLO.
+    pub fn new(profile: ArrivalProfile, requests: usize, seed: u64) -> Self {
+        Self {
+            profile,
+            requests,
+            seed,
+            slo_ms: 250.0,
+        }
+    }
+
+    /// Overrides the latency SLO.
+    pub fn with_slo_ms(mut self, slo_ms: f64) -> Self {
+        self.slo_ms = slo_ms;
+        self
+    }
+}
+
+/// Everything an online run produced.
+#[derive(Debug, Clone)]
+pub struct OnlineReport {
+    /// Per-worker device statistics.
+    pub workers: Vec<OnlineWorkerStats>,
+    /// Aggregated fleet statistics.
+    pub stats: OnlineStats,
 }
 
 /// Everything a batch run produced.
@@ -250,6 +310,132 @@ impl Fleet {
                 .cloned()
                 .zip(outcomes.into_iter().map(|o| o.expect("every slot filled")))
                 .collect(),
+            workers: worker_stats,
+            stats,
+        }
+    }
+
+    /// Runs a seeded online serving simulation: a continuous arrival
+    /// stream through per-device EDF queues with deadline-based shedding
+    /// and LRU model hot-swap.
+    ///
+    /// Three phases, mirroring [`run_batch`](Self::run_batch):
+    ///
+    /// 1. **Routing (sequential, deterministic).** The seeded stream is
+    ///    generated and each request pinned to a device by the
+    ///    locality-first [`Router`]. Requests to models that never
+    ///    deployed are rejected here.
+    /// 2. **Serving (parallel).** One thread per device runs an
+    ///    integer-microsecond event loop: pull arrivals, pop the
+    ///    earliest deadline, shed if expired, hot-swap the model in if
+    ///    not resident (charging [`Deployment::staging_ms`] of simulated
+    ///    time), and serve for the model's calibrated service time.
+    /// 3. **Aggregation.** Per-worker records merge into [`OnlineStats`]
+    ///    — every simulated number bit-reproducible across hosts and
+    ///    runs ([`OnlineStats::simulated`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vmcu_serve::{ArrivalProfile, Fleet, FleetConfig, ModelCatalog, OnlineConfig};
+    /// use vmcu::prelude::*;
+    ///
+    /// let fleet = Fleet::new(
+    ///     FleetConfig::new(Device::stm32_f411re(), 2, PlannerKind::Vmcu(IbScheme::RowBuffer)),
+    ///     ModelCatalog::standard(),
+    /// );
+    /// let cfg = OnlineConfig::new(ArrivalProfile::Poisson { rate_per_sec: 60.0 }, 300, 42);
+    /// let report = fleet.run_online(&cfg);
+    /// assert!(report.stats.completed > 0);
+    /// assert_eq!(
+    ///     report.stats.offered,
+    ///     report.stats.completed + report.stats.shed + report.stats.rejected
+    ///         + report.stats.failed,
+    /// );
+    /// ```
+    pub fn run_online(&self, cfg: &OnlineConfig) -> OnlineReport {
+        assert!(
+            cfg.slo_ms.is_finite() && cfg.slo_ms > 0.0,
+            "the SLO must be a positive latency"
+        );
+        let started = Instant::now();
+        let plan_calls_before = vmcu_plan::telemetry::plan_calls();
+
+        // Phase 0: resolve the serving surface per catalog index from
+        // the cached deployments — footprints and staging prices, no
+        // replanning.
+        let models: Vec<Option<OnlineModel>> = self
+            .catalog
+            .models()
+            .iter()
+            .map(|m| {
+                self.deployments.get(m.name).map(|dep| OnlineModel {
+                    name: m.name.to_owned(),
+                    ram_bytes: dep.peak_demand_bytes(),
+                    flash_bytes: dep.image_bytes(),
+                    staging_us: (dep.staging_ms() * 1e3).round() as u64,
+                    deployment: dep.clone(),
+                })
+            })
+            .collect();
+
+        // Phase 1: seeded arrivals, routed deterministically.
+        let slo_us = (cfg.slo_ms * 1e3).round() as u64;
+        let arrivals = cfg.profile.stream(cfg.requests, models.len(), cfg.seed);
+        let mut router = Router::new(self.config.workers, cfg.requests);
+        let mut lanes: Vec<Vec<OnlineJob>> = vec![Vec::new(); self.config.workers];
+        let mut rejected = 0usize;
+        for (seq, a) in arrivals.iter().enumerate() {
+            if models[a.model].is_none() {
+                rejected += 1;
+                continue;
+            }
+            lanes[router.route(a.model)].push(OnlineJob {
+                at_us: a.at_us,
+                deadline_us: a.at_us + slo_us,
+                seq: seq as u64,
+                model: a.model,
+            });
+        }
+        let routing_plan_calls = vmcu_plan::telemetry::plan_calls() - plan_calls_before;
+
+        // Phase 2: one thread per device drains its lane.
+        let ram_budget = self.config.device.usable_ram_bytes();
+        let flash_budget = self.config.device.flash_bytes;
+        let runs = std::thread::scope(|scope| {
+            let handles: Vec<_> = lanes
+                .iter()
+                .map(|jobs| {
+                    let models = &models;
+                    scope.spawn(move || run_online(models, jobs, ram_budget, flash_budget))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread must not panic"))
+                .collect::<Vec<_>>()
+        });
+
+        // Phase 3: merge and aggregate.
+        let mut completions = Vec::new();
+        let mut worker_stats = Vec::with_capacity(runs.len());
+        for run in runs {
+            completions.extend(run.completions);
+            worker_stats.push(run.stats);
+        }
+        let planning = PlanningStats {
+            serve_plan_calls: routing_plan_calls,
+            ..self.planning.clone()
+        };
+        let stats = OnlineStats::aggregate(
+            cfg.requests,
+            rejected,
+            &mut completions,
+            &worker_stats,
+            &planning,
+            started.elapsed().as_secs_f64() * 1e3,
+        );
+        OnlineReport {
             workers: worker_stats,
             stats,
         }

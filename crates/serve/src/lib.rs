@@ -14,7 +14,38 @@
 //! bench gate depends on this) — with planning time and plan calls
 //! accounted separately from inference time.
 //!
-//! ## Quickstart
+//! ## Quickstart: online serving
+//!
+//! The primary serving path is the **online simulator**
+//! ([`Fleet::run_online`]): a seeded [`ArrivalProfile`] generates a
+//! continuous request stream, each device runs an earliest-deadline-
+//! first queue with deadline-based shedding, and models hot-swap on and
+//! off devices with every staging charged simulated Flash-programming
+//! time ([`vmcu::Deployment::staging_ms`]). See `docs/SERVING.md` for
+//! the operations handbook.
+//!
+//! ```
+//! use vmcu_serve::{ArrivalProfile, Fleet, FleetConfig, ModelCatalog, OnlineConfig};
+//! use vmcu::prelude::*;
+//!
+//! let fleet = Fleet::new(
+//!     FleetConfig::new(Device::stm32_f411re(), 2, PlannerKind::Vmcu(IbScheme::RowBuffer)),
+//!     ModelCatalog::standard(),
+//! );
+//! let cfg = OnlineConfig::new(ArrivalProfile::Poisson { rate_per_sec: 60.0 }, 400, 2024);
+//! let report = fleet.run_online(&cfg);
+//! assert!(report.stats.completed > 0);
+//! assert!(report.stats.p99_sojourn_ms >= report.stats.p50_sojourn_ms);
+//! // Same seed => bit-identical simulated stats, on any host.
+//! assert_eq!(
+//!     report.stats.simulated(),
+//!     fleet.run_online(&cfg).stats.simulated(),
+//! );
+//! ```
+//!
+//! The legacy **batch path** ([`Fleet::run_batch`]) admits one seeded
+//! batch up front and drains it — still the cleanest way to measure the
+//! paper's admission-capacity claim:
 //!
 //! ```
 //! use vmcu_serve::{Fleet, FleetConfig, ModelCatalog, random_stream};
@@ -39,14 +70,23 @@
 #![forbid(unsafe_code)]
 
 pub mod admission;
+pub mod arrivals;
 pub mod catalog;
 pub mod fleet;
+pub mod queue;
 pub mod request;
 pub mod stats;
+pub mod swap;
 mod worker;
 
 pub use admission::AdmissionController;
+pub use arrivals::{Arrival, ArrivalProfile};
 pub use catalog::ModelCatalog;
-pub use fleet::{Fleet, FleetConfig, FleetReport};
+pub use fleet::{Fleet, FleetConfig, FleetReport, OnlineConfig, OnlineReport};
+pub use queue::{EdfQueue, QueuedRequest, Router};
 pub use request::{random_stream, Completion, Outcome, RejectReason, RequestSpec};
-pub use stats::{percentile_ms, FleetStats, PlanningStats, WorkerStats};
+pub use stats::{
+    percentile_ms, percentile_us, FleetStats, OnlineStats, OnlineWorkerStats, PlanningStats,
+    WorkerStats,
+};
+pub use swap::{Admit, ResidencyLedger};

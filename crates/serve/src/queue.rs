@@ -1,0 +1,245 @@
+//! Per-device request queues: earliest-deadline-first dispatch and
+//! deterministic routing.
+//!
+//! The online simulator gives every device its own [`EdfQueue`]: arrived
+//! requests wait in deadline order, and the device serves the most
+//! urgent one next (classic EDF). Shedding is the *scheduler's* job —
+//! the queue only orders; the worker pops and drops requests whose
+//! deadline already passed before service could start.
+//!
+//! Routing happens once, up front, in arrival order: the [`Router`]
+//! pins each request to a device with a locality-first policy (keep a
+//! model's traffic on its home device so hot-swaps stay rare) that
+//! spills to the least-loaded device when the home lane runs too far
+//! ahead. Both structures are plain deterministic data structures — no
+//! clocks, no randomness — so a seeded arrival stream routes and
+//! dispatches identically on every host.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One queued request, ordered by urgency.
+///
+/// The derived `Ord` compares fields in declaration order: deadline
+/// first (EDF), then the globally unique arrival sequence number as the
+/// deterministic tie-break.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct QueuedRequest {
+    /// Absolute deadline, microseconds of simulated time: arrival time
+    /// plus the fleet SLO. Requests not *started* by this instant are
+    /// shed.
+    pub deadline_us: u64,
+    /// Arrival sequence number (unique, assigned in arrival order).
+    pub seq: u64,
+    /// Arrival timestamp, microseconds of simulated time.
+    pub at_us: u64,
+    /// Catalog model index.
+    pub model: usize,
+}
+
+/// An earliest-deadline-first queue of waiting requests.
+///
+/// # Examples
+///
+/// ```
+/// use vmcu_serve::{EdfQueue, QueuedRequest};
+///
+/// let mut q = EdfQueue::new();
+/// for (seq, deadline_us) in [(0, 900), (1, 300), (2, 600)] {
+///     q.push(QueuedRequest { deadline_us, seq, at_us: 0, model: 0 });
+/// }
+/// // Pops in deadline order, not arrival order.
+/// assert_eq!(q.pop().unwrap().deadline_us, 300);
+/// assert_eq!(q.pop().unwrap().deadline_us, 600);
+/// assert_eq!(q.pop().unwrap().deadline_us, 900);
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct EdfQueue {
+    heap: BinaryHeap<Reverse<QueuedRequest>>,
+}
+
+impl EdfQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a request.
+    pub fn push(&mut self, request: QueuedRequest) {
+        self.heap.push(Reverse(request));
+    }
+
+    /// Removes and returns the most urgent request (earliest deadline;
+    /// ties broken by arrival order).
+    pub fn pop(&mut self) -> Option<QueuedRequest> {
+        self.heap.pop().map(|Reverse(r)| r)
+    }
+
+    /// The most urgent request without removing it.
+    pub fn peek(&self) -> Option<&QueuedRequest> {
+        self.heap.peek().map(|Reverse(r)| r)
+    }
+
+    /// Number of waiting requests.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Deterministic locality-first request router.
+///
+/// Each model has a *home* device (`model_index % workers`), so
+/// steady-state traffic keeps models resident and hot-swaps rare. To
+/// stop a hot model from drowning its home device while others idle,
+/// the router spills: when the home lane is more than `slack` requests
+/// ahead of the least-loaded lane, the request routes there instead
+/// (which may cost that device a swap — locality traded for balance).
+///
+/// # Examples
+///
+/// ```
+/// use vmcu_serve::Router;
+///
+/// let mut r = Router::new(2, 1000);
+/// // Model 0 lives on device 0, model 1 on device 1.
+/// assert_eq!(r.route(0), 0);
+/// assert_eq!(r.route(1), 1);
+/// assert_eq!(r.route(0), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Router {
+    assigned: Vec<u64>,
+    slack: u64,
+}
+
+impl Router {
+    /// A router over `workers` devices expecting roughly
+    /// `expected_requests` routings (sizes the spill slack).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers == 0`.
+    pub fn new(workers: usize, expected_requests: usize) -> Self {
+        assert!(workers > 0, "router needs at least one device");
+        Self {
+            assigned: vec![0; workers],
+            // Tolerate ~12% skew of a fair share before spilling, but
+            // never thrash on tiny streams.
+            slack: ((expected_requests / workers / 8) as u64).max(64),
+        }
+    }
+
+    /// Routes one request for `model` to a device index.
+    pub fn route(&mut self, model: usize) -> usize {
+        let home = model % self.assigned.len();
+        let least = self
+            .assigned
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &n)| (n, i))
+            .map(|(i, _)| i)
+            .expect("router has at least one device");
+        let chosen = if self.assigned[home] >= self.assigned[least] + self.slack {
+            least
+        } else {
+            home
+        };
+        self.assigned[chosen] += 1;
+        chosen
+    }
+
+    /// Requests routed to each device so far.
+    pub fn assigned(&self) -> &[u64] {
+        &self.assigned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(deadline_us: u64, seq: u64) -> QueuedRequest {
+        QueuedRequest {
+            deadline_us,
+            seq,
+            at_us: 0,
+            model: 0,
+        }
+    }
+
+    #[test]
+    fn edf_pops_in_deadline_order() {
+        let mut q = EdfQueue::new();
+        for (i, d) in [500u64, 100, 900, 300, 700].iter().enumerate() {
+            q.push(req(*d, i as u64));
+        }
+        let mut popped = Vec::new();
+        while let Some(r) = q.pop() {
+            popped.push(r.deadline_us);
+        }
+        assert_eq!(popped, vec![100, 300, 500, 700, 900]);
+    }
+
+    #[test]
+    fn deadline_ties_break_by_arrival_order() {
+        let mut q = EdfQueue::new();
+        q.push(req(100, 7));
+        q.push(req(100, 3));
+        q.push(req(100, 5));
+        assert_eq!(q.pop().unwrap().seq, 3);
+        assert_eq!(q.pop().unwrap().seq, 5);
+        assert_eq!(q.pop().unwrap().seq, 7);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EdfQueue::new();
+        q.push(req(42, 0));
+        assert_eq!(q.peek().unwrap().deadline_us, 42);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn router_prefers_the_home_device() {
+        let mut r = Router::new(4, 100);
+        for model in 0..8 {
+            assert_eq!(r.route(model), model % 4);
+        }
+    }
+
+    #[test]
+    fn router_spills_a_hot_model() {
+        let mut r = Router::new(2, 100);
+        // 1000 requests to one model: without spilling device 0 would
+        // take everything.
+        for _ in 0..1000 {
+            r.route(0);
+        }
+        let a = r.assigned();
+        assert_eq!(a.iter().sum::<u64>(), 1000);
+        assert!(
+            a[1] > 0,
+            "hot-model traffic must spill off the home device: {a:?}"
+        );
+        // Spilling keeps lanes within one slack band of each other.
+        assert!(a[0].abs_diff(a[1]) <= 65, "{a:?}");
+    }
+
+    #[test]
+    fn router_is_deterministic() {
+        let run = || {
+            let mut r = Router::new(3, 500);
+            (0..500).map(|i| r.route(i % 7)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,223 @@
+//! Model residency and hot-swap accounting for one device.
+//!
+//! A device can only serve models that are *resident*: their weights
+//! staged in Flash and their peak SRAM demand reserved. The
+//! [`ResidencyLedger`] tracks the resident set under the device's two
+//! budgets — SRAM (sum of peak demands) and Flash (sum of firmware
+//! images) — and evicts least-recently-used models when an incoming
+//! model needs room. Every staging is charged simulated
+//! flash-programming time by the caller (the worker adds
+//! [`vmcu::Deployment::staging_ms`] to its device clock, **exactly once
+//! per staging**); a staging that had to evict is a *hot swap*.
+//!
+//! The ledger is pure bookkeeping — no clocks, no randomness — so the
+//! swap sequence is a deterministic function of the request sequence.
+
+/// Outcome of asking the ledger to make a model resident.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admit {
+    /// Already resident — serve immediately, nothing to charge.
+    Hit,
+    /// Newly staged; the caller must charge one staging (simulated
+    /// flash-programming time) before serving. `evicted` lists the
+    /// models dropped to make room (empty on a cold, uncontended
+    /// staging).
+    Staged {
+        /// Catalog indices of the models evicted to make room.
+        evicted: Vec<usize>,
+    },
+    /// The model exceeds a device budget even on an empty device; it can
+    /// never be served here.
+    TooLarge,
+}
+
+#[derive(Debug, Clone)]
+struct ResidentModel {
+    model: usize,
+    ram_bytes: usize,
+    flash_bytes: usize,
+    last_used: u64,
+}
+
+/// LRU residency ledger for one device: which models are staged, and
+/// what it cost to get them there.
+///
+/// # Examples
+///
+/// ```
+/// use vmcu_serve::{Admit, ResidencyLedger};
+///
+/// // A device with room for one of these two models at a time.
+/// let mut ledger = ResidencyLedger::new(100, 1000);
+/// assert_eq!(ledger.request(0, 80, 400), Admit::Staged { evicted: vec![] });
+/// assert_eq!(ledger.request(0, 80, 400), Admit::Hit);
+/// // Model 1 needs the RAM model 0 holds: staging it is a hot swap.
+/// assert_eq!(ledger.request(1, 60, 400), Admit::Staged { evicted: vec![0] });
+/// assert_eq!(ledger.stagings(), 2);
+/// assert_eq!(ledger.swaps(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResidencyLedger {
+    ram_budget: usize,
+    flash_budget: usize,
+    resident: Vec<ResidentModel>,
+    tick: u64,
+    stagings: u64,
+    swaps: u64,
+    evictions: u64,
+}
+
+impl ResidencyLedger {
+    /// A ledger over a device with `ram_budget` bytes of usable SRAM and
+    /// `flash_budget` bytes of Flash.
+    pub fn new(ram_budget: usize, flash_budget: usize) -> Self {
+        Self {
+            ram_budget,
+            flash_budget,
+            resident: Vec::new(),
+            tick: 0,
+            stagings: 0,
+            swaps: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Makes `model` resident (or refreshes its recency if it already
+    /// is), evicting least-recently-used models as needed.
+    pub fn request(&mut self, model: usize, ram_bytes: usize, flash_bytes: usize) -> Admit {
+        self.tick += 1;
+        if let Some(r) = self.resident.iter_mut().find(|r| r.model == model) {
+            r.last_used = self.tick;
+            return Admit::Hit;
+        }
+        if ram_bytes > self.ram_budget || flash_bytes > self.flash_budget {
+            return Admit::TooLarge;
+        }
+        let mut evicted = Vec::new();
+        while self.ram_used() + ram_bytes > self.ram_budget
+            || self.flash_used() + flash_bytes > self.flash_budget
+        {
+            let lru = self
+                .resident
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, r)| r.last_used)
+                .map(|(i, _)| i)
+                .expect("over budget implies something is resident");
+            evicted.push(self.resident.remove(lru).model);
+        }
+        self.resident.push(ResidentModel {
+            model,
+            ram_bytes,
+            flash_bytes,
+            last_used: self.tick,
+        });
+        self.stagings += 1;
+        if !evicted.is_empty() {
+            self.swaps += 1;
+            self.evictions += evicted.len() as u64;
+        }
+        Admit::Staged { evicted }
+    }
+
+    /// Whether `model` is currently resident.
+    pub fn is_resident(&self, model: usize) -> bool {
+        self.resident.iter().any(|r| r.model == model)
+    }
+
+    /// SRAM currently reserved by resident models.
+    pub fn ram_used(&self) -> usize {
+        self.resident.iter().map(|r| r.ram_bytes).sum()
+    }
+
+    /// Flash currently occupied by resident images.
+    pub fn flash_used(&self) -> usize {
+        self.resident.iter().map(|r| r.flash_bytes).sum()
+    }
+
+    /// Total stagings (every one was charged staging time once).
+    pub fn stagings(&self) -> u64 {
+        self.stagings
+    }
+
+    /// Stagings that had to evict at least one model — the hot swaps.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Models evicted over the ledger's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_staging_evicts_nothing() {
+        let mut l = ResidencyLedger::new(1000, 1000);
+        assert_eq!(l.request(3, 100, 100), Admit::Staged { evicted: vec![] });
+        assert!(l.is_resident(3));
+        assert_eq!((l.stagings(), l.swaps(), l.evictions()), (1, 0, 0));
+        assert_eq!((l.ram_used(), l.flash_used()), (100, 100));
+    }
+
+    #[test]
+    fn hits_do_not_restage() {
+        let mut l = ResidencyLedger::new(1000, 1000);
+        l.request(1, 100, 100);
+        for _ in 0..10 {
+            assert_eq!(l.request(1, 100, 100), Admit::Hit);
+        }
+        assert_eq!(l.stagings(), 1, "a resident model is never re-staged");
+    }
+
+    #[test]
+    fn lru_is_evicted_first() {
+        // Budget fits two of the three models.
+        let mut l = ResidencyLedger::new(200, 10_000);
+        l.request(0, 100, 10);
+        l.request(1, 100, 10);
+        l.request(0, 100, 10); // refresh 0 => 1 is now LRU
+        assert_eq!(l.request(2, 100, 10), Admit::Staged { evicted: vec![1] });
+        assert!(l.is_resident(0) && l.is_resident(2) && !l.is_resident(1));
+        assert_eq!((l.swaps(), l.evictions()), (1, 1));
+    }
+
+    #[test]
+    fn one_staging_can_evict_many() {
+        let mut l = ResidencyLedger::new(300, 10_000);
+        l.request(0, 100, 10);
+        l.request(1, 100, 10);
+        l.request(2, 100, 10);
+        // One fat model displaces all three: one swap, three evictions.
+        assert_eq!(
+            l.request(3, 300, 10),
+            Admit::Staged {
+                evicted: vec![0, 1, 2]
+            }
+        );
+        assert_eq!((l.swaps(), l.evictions()), (1, 3));
+    }
+
+    #[test]
+    fn either_budget_can_force_the_swap() {
+        // RAM is plentiful; Flash is the binding constraint.
+        let mut l = ResidencyLedger::new(10_000, 100);
+        l.request(0, 10, 80);
+        assert_eq!(l.request(1, 10, 80), Admit::Staged { evicted: vec![0] });
+        assert_eq!(l.swaps(), 1);
+    }
+
+    #[test]
+    fn impossible_models_are_too_large_not_thrash() {
+        let mut l = ResidencyLedger::new(100, 100);
+        l.request(0, 50, 50);
+        assert_eq!(l.request(1, 101, 10), Admit::TooLarge);
+        assert_eq!(l.request(2, 10, 101), Admit::TooLarge);
+        assert!(l.is_resident(0), "TooLarge must not evict anything");
+        assert_eq!(l.stagings(), 1);
+    }
+}

@@ -10,8 +10,10 @@
 //! ([`vmcu_plan::telemetry`]) is reported in [`WorkerStats`] so the
 //! zero-replanning contract is gated, not just claimed.
 
+use crate::queue::{EdfQueue, QueuedRequest};
 use crate::request::{Completion, RequestSpec};
-use crate::stats::WorkerStats;
+use crate::stats::{OnlineWorkerStats, WorkerStats};
+use crate::swap::{Admit, ResidencyLedger};
 use std::collections::HashMap;
 use vmcu::prelude::*;
 use vmcu_tensor::random;
@@ -118,6 +120,168 @@ impl<'a> Worker<'a> {
     }
 }
 
+/// A request routed to one device's online queue (times in simulated
+/// microseconds; `model` is a catalog index).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OnlineJob {
+    pub at_us: u64,
+    pub deadline_us: u64,
+    pub seq: u64,
+    pub model: usize,
+}
+
+/// The serving surface of one catalog model, resolved once by the
+/// fleet: the shared deployment plus its residency footprint and
+/// staging price (all derived from the cached plans — no replanning).
+#[derive(Debug, Clone)]
+pub(crate) struct OnlineModel {
+    pub name: String,
+    pub deployment: Deployment,
+    /// Peak SRAM demand while serving (residency RAM budget share).
+    pub ram_bytes: usize,
+    /// Firmware image size (residency Flash budget share).
+    pub flash_bytes: usize,
+    /// Simulated staging price, µs — charged on every staging.
+    pub staging_us: u64,
+}
+
+/// Calibrated per-model service cost. The simulated cost model is
+/// shape-driven — latency and energy do not depend on input *values* —
+/// so one real inference per (device, model) prices every request to
+/// that model. `tests/serve_online.rs` pins that input-independence.
+#[derive(Debug, Clone, Copy)]
+struct ServiceProfile {
+    service_us: u64,
+    energy_mj: f64,
+}
+
+/// Result of one device's online run.
+#[derive(Debug)]
+pub(crate) struct OnlineWorkerRun {
+    /// `(completion_us, sojourn_us)` per served request, in completion
+    /// order.
+    pub completions: Vec<(u64, u64)>,
+    pub stats: OnlineWorkerStats,
+}
+
+/// Drains one device's arrival lane through an EDF queue with
+/// deadline-based shedding and LRU hot-swap.
+///
+/// The event loop runs on an integer microsecond clock: pull arrivals
+/// that have occurred, pop the most urgent queued request, shed it if
+/// its deadline already passed, otherwise make its model resident
+/// (charging staging time on a swap) and serve it for its calibrated
+/// service time. `jobs` must be sorted by arrival time (routing
+/// preserves arrival order).
+pub(crate) fn run_online(
+    models: &[Option<OnlineModel>],
+    jobs: &[OnlineJob],
+    ram_budget: usize,
+    flash_budget: usize,
+) -> OnlineWorkerRun {
+    let plan_calls_before = vmcu_plan::telemetry::plan_calls();
+    let mut stats = OnlineWorkerStats {
+        routed: jobs.len(),
+        ..Default::default()
+    };
+    let mut completions = Vec::with_capacity(jobs.len());
+    let mut ledger = ResidencyLedger::new(ram_budget, flash_budget);
+    let mut sessions: HashMap<usize, Session> = HashMap::new();
+    // Calibrated service profiles survive eviction: a model that swaps
+    // back in pays staging time again, but never re-calibrates.
+    let mut profiles: Vec<Option<Result<ServiceProfile, ()>>> = vec![None; models.len()];
+    let mut queue = EdfQueue::new();
+    let mut next_arrival = 0usize;
+    let mut now: u64 = 0;
+    loop {
+        while next_arrival < jobs.len() && jobs[next_arrival].at_us <= now {
+            let j = jobs[next_arrival];
+            queue.push(QueuedRequest {
+                deadline_us: j.deadline_us,
+                seq: j.seq,
+                at_us: j.at_us,
+                model: j.model,
+            });
+            next_arrival += 1;
+        }
+        let Some(job) = queue.pop() else {
+            if next_arrival < jobs.len() {
+                // Idle until the next arrival.
+                now = now.max(jobs[next_arrival].at_us);
+                continue;
+            }
+            break;
+        };
+        // Shed-on-deadline: a request whose deadline passed before
+        // service could start is dropped, costing no device time.
+        if now >= job.deadline_us {
+            stats.shed += 1;
+            continue;
+        }
+        let model = models[job.model]
+            .as_ref()
+            .expect("routing rejects undeployed models");
+        // Residency: stage (and possibly hot-swap) before serving. The
+        // staging price comes from the Session API surface
+        // (`Deployment::staging_ms`), charged exactly once per staging.
+        match ledger.request(job.model, model.ram_bytes, model.flash_bytes) {
+            Admit::Hit => {}
+            Admit::Staged { evicted } => {
+                for e in evicted {
+                    sessions.remove(&e);
+                }
+                sessions.insert(job.model, model.deployment.session());
+                now += model.staging_us;
+                stats.staging_us += model.staging_us;
+            }
+            // A deployed model always fits an empty device (deploy
+            // validated RAM and Flash), so this cannot happen.
+            Admit::TooLarge => unreachable!("deployed models fit their device"),
+        }
+        // Calibrate on first service: one real inference prices the
+        // model; every later request reuses the profile.
+        let profile = match profiles[job.model] {
+            Some(p) => p,
+            None => {
+                let session = sessions
+                    .get_mut(&job.model)
+                    .expect("resident models have a session");
+                let input = random::tensor_i8(
+                    &model.deployment.graph().in_shape(),
+                    model_weight_seed(&model.name) ^ 0xCA11_B7A7,
+                );
+                let measured = session
+                    .infer(&input)
+                    .map(|report| ServiceProfile {
+                        service_us: ((report.latency_ms() * 1e3).round() as u64).max(1),
+                        energy_mj: report.energy_mj(),
+                    })
+                    .map_err(|_| ());
+                profiles[job.model] = Some(measured);
+                measured
+            }
+        };
+        let Ok(profile) = profile else {
+            stats.failed += 1;
+            continue;
+        };
+        now += profile.service_us;
+        stats.served += 1;
+        stats.busy_us += profile.service_us;
+        stats.energy_mj += profile.energy_mj;
+        if now > job.deadline_us {
+            stats.slo_violations += 1;
+        }
+        completions.push((now, now - job.at_us));
+    }
+    stats.clock_us = now;
+    stats.stagings = ledger.stagings();
+    stats.swaps = ledger.swaps();
+    stats.evictions = ledger.evictions();
+    stats.plan_calls = vmcu_plan::telemetry::plan_calls() - plan_calls_before;
+    OnlineWorkerRun { completions, stats }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +349,99 @@ mod tests {
         assert!((run.stats.busy_ms - total).abs() < 1e-9);
         // The whole point of holding deployments: serving plans nothing.
         assert_eq!(run.stats.plan_calls, 0, "workers must never replan");
+    }
+
+    fn online_models_for(names: &[&str]) -> Vec<Option<OnlineModel>> {
+        let deployments = deployments_for(names);
+        names
+            .iter()
+            .map(|name| {
+                let dep = deployments[*name].clone();
+                Some(OnlineModel {
+                    name: (*name).to_owned(),
+                    ram_bytes: dep.peak_demand_bytes(),
+                    flash_bytes: dep.image_bytes(),
+                    staging_us: (dep.staging_ms() * 1e3).round() as u64,
+                    deployment: dep,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn online_worker_charges_staging_exactly_once_per_staging() {
+        let models = online_models_for(&["vww-s5", "demo-linear-net"]);
+        let ram = |m: &Option<OnlineModel>| m.as_ref().unwrap().ram_bytes;
+        let staging = |m: &Option<OnlineModel>| m.as_ref().unwrap().staging_us;
+        assert!(ram(&models[0]) > 0 && ram(&models[1]) > 0);
+        // A RAM budget that fits either model alone but never both:
+        // every alternation is a hot swap.
+        let ram_budget = ram(&models[0]).max(ram(&models[1]));
+        let jobs: Vec<OnlineJob> = (0..4)
+            .map(|i| OnlineJob {
+                at_us: 0,
+                deadline_us: u64::MAX,
+                seq: i,
+                model: (i % 2) as usize,
+            })
+            .collect();
+        let run = run_online(&models, &jobs, ram_budget, usize::MAX);
+        assert_eq!(run.stats.served, 4);
+        assert_eq!(run.stats.shed, 0);
+        assert_eq!(run.stats.failed, 0);
+        // 0,1,0,1 with room for one resident: 4 stagings, the last 3
+        // evict (hot swaps).
+        assert_eq!(run.stats.stagings, 4);
+        assert_eq!(run.stats.swaps, 3);
+        assert_eq!(run.stats.evictions, 3);
+        // The staging clock charge is exactly stagings × per-model
+        // price — once per staging, never more, never less.
+        let expected = 2 * staging(&models[0]) + 2 * staging(&models[1]);
+        assert_eq!(run.stats.staging_us, expected);
+        assert!(run.stats.clock_us >= run.stats.staging_us + run.stats.busy_us);
+        assert_eq!(run.stats.plan_calls, 0, "online serving must not plan");
+        // And the whole run is deterministic.
+        let again = run_online(&models, &jobs, ram_budget, usize::MAX);
+        assert_eq!(run.completions, again.completions);
+        assert_eq!(run.stats, again.stats);
+    }
+
+    #[test]
+    fn online_worker_sheds_expired_requests_at_dispatch() {
+        let models = online_models_for(&["demo-linear-net"]);
+        // Two requests arrive together; the deadline only covers one
+        // service time, so EDF serves the more urgent and sheds the
+        // other when its turn comes too late.
+        let probe = run_online(
+            &models,
+            &[OnlineJob {
+                at_us: 0,
+                deadline_us: u64::MAX,
+                seq: 0,
+                model: 0,
+            }],
+            usize::MAX,
+            usize::MAX,
+        );
+        let service_us = probe.stats.busy_us;
+        assert!(service_us > 0);
+        let staging_us = models[0].as_ref().unwrap().staging_us;
+        // Deadline lands exactly when the first service completes: the
+        // first request finishes on time, the second is expired at
+        // dispatch.
+        let deadline = staging_us + service_us;
+        let jobs: Vec<OnlineJob> = (0..2)
+            .map(|i| OnlineJob {
+                at_us: 0,
+                deadline_us: deadline,
+                seq: i,
+                model: 0,
+            })
+            .collect();
+        let run = run_online(&models, &jobs, usize::MAX, usize::MAX);
+        assert_eq!(run.stats.served, 1);
+        assert_eq!(run.stats.shed, 1, "the second request expired in queue");
+        assert_eq!(run.stats.slo_violations, 0);
     }
 
     #[test]

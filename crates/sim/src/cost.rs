@@ -63,6 +63,12 @@ pub struct CostModel {
     /// Cycles ×100 per byte read from Flash (includes wait states
     /// amortized by prefetch).
     pub flash_byte_cycles_x100: u64,
+    /// Cycles ×100 per byte *programmed* into Flash. Writing NOR flash is
+    /// orders of magnitude slower than reading it (erase + word-program
+    /// sequences through the flash controller), which is what makes
+    /// hot-swapping a model image onto a device a priceable decision
+    /// rather than a free one.
+    pub flash_write_byte_cycles_x100: u64,
     /// Cycles per address modulo (circular-buffer boundary check).
     pub modulo_cycles: u64,
     /// Cycles per taken branch.
@@ -84,6 +90,7 @@ impl CostModel {
             partial_unroll_penalty_x100: 150, // stalls every unroll boundary
             ram_byte_cycles_x100: 50,         // ~2 cycles per 32-bit word
             flash_byte_cycles_x100: 75,       // ART accelerator hides most waits
+            flash_write_byte_cycles_x100: 40_000, // erase+program, ~4µs/byte at 100MHz
             modulo_cycles: 3,
             branch_cycles: 3,
             call_overhead_cycles: 6,
@@ -102,6 +109,7 @@ impl CostModel {
             partial_unroll_penalty_x100: 165, // dual-issue pipeline suffers more from short dependent chains
             ram_byte_cycles_x100: 30,
             flash_byte_cycles_x100: 55,
+            flash_write_byte_cycles_x100: 30_000, // wider program words, faster controller
             modulo_cycles: 2,
             branch_cycles: 2,
             call_overhead_cycles: 5,
@@ -122,6 +130,7 @@ impl CostModel {
             partial_unroll_penalty_x100: 140,
             ram_byte_cycles_x100: 75,
             flash_byte_cycles_x100: 100,
+            flash_write_byte_cycles_x100: 50_000, // byte-wide programming, busy-wait per word
             modulo_cycles: 4,
             branch_cycles: 4,
             call_overhead_cycles: 8,
@@ -138,6 +147,7 @@ impl CostModel {
             partial_unroll_penalty_x100: 120, // LE/LETP loops stall little
             ram_byte_cycles_x100: 25,
             flash_byte_cycles_x100: 40,
+            flash_write_byte_cycles_x100: 20_000, // row-buffer programming
             modulo_cycles: 2,
             branch_cycles: 1,
             call_overhead_cycles: 4,
@@ -193,6 +203,16 @@ impl CostModel {
     /// Cycles to read `n` bytes from Flash.
     pub fn flash_read_cost(&self, n: u64) -> u64 {
         (n * self.flash_byte_cycles_x100).div_ceil(100)
+    }
+
+    /// Cycles to *program* `n` bytes into Flash (staging a model image).
+    ///
+    /// This is the simulated price of a model hot-swap: re-staging a
+    /// deployment's weights onto a device charges
+    /// `flash_write_cost(image_bytes)` cycles of device time, hundreds of
+    /// times the cost of reading the same bytes back.
+    pub fn flash_write_cost(&self, n: u64) -> u64 {
+        (n * self.flash_write_byte_cycles_x100).div_ceil(100)
     }
 }
 
@@ -306,6 +326,24 @@ mod tests {
         }
         assert_eq!(CostModel::cortex_m0().requant_cost(4), 20);
         assert_eq!(CostModel::cortex_m55().requant_cost(4), 8);
+    }
+
+    #[test]
+    fn flash_writes_dwarf_flash_reads() {
+        // Programming flash must cost orders of magnitude more than
+        // reading it on every core, or hot-swap decisions are free.
+        for m in [
+            CostModel::cortex_m4(),
+            CostModel::cortex_m7(),
+            CostModel::cortex_m0(),
+            CostModel::cortex_m55(),
+        ] {
+            assert!(m.flash_write_cost(1024) >= 100 * m.flash_read_cost(1024));
+        }
+        // M4: 400 cycles/byte, rounding up.
+        let m4 = CostModel::cortex_m4();
+        assert_eq!(m4.flash_write_cost(1), 400);
+        assert_eq!(m4.flash_write_cost(0), 0);
     }
 
     #[test]

@@ -61,6 +61,7 @@ struct DeployInner {
     weights: Vec<LayerWeights>,
     plans: PlanSet,
     planning_ms: f64,
+    image_bytes: usize,
 }
 
 impl std::fmt::Debug for DeployInner {
@@ -126,6 +127,7 @@ impl Deployment {
         // capacity), so the validation can never drift from it.
         let mut probe = Machine::new(device.clone());
         stage_graph(&mut probe, graph.layers(), weights)?;
+        let image_bytes = probe.flash.used();
         drop(probe);
         let planning_ms = started.elapsed().as_secs_f64() * 1e3;
         Ok(Self {
@@ -138,6 +140,7 @@ impl Deployment {
                 weights: weights.to_vec(),
                 plans,
                 planning_ms,
+                image_bytes,
             }),
         })
     }
@@ -216,6 +219,57 @@ impl Deployment {
         self.inner.planning_ms
     }
 
+    /// Size of the staged firmware image (all weights programmed into
+    /// Flash), measured once at deploy time from the dry-run probe —
+    /// the bytes a hot-swap must re-program.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vmcu::prelude::*;
+    ///
+    /// let g = vmcu_graph::zoo::demo_linear_net();
+    /// let weights = g.random_weights(7);
+    /// let dep = Engine::new(Device::stm32_f767zi()).deploy(&g, &weights)?;
+    /// assert!(dep.image_bytes() > 0);
+    /// assert!(dep.image_bytes() <= dep.device().flash_bytes);
+    /// # Ok::<(), vmcu::EngineError>(())
+    /// ```
+    pub fn image_bytes(&self) -> usize {
+        self.inner.image_bytes
+    }
+
+    /// Simulated device milliseconds to (re-)stage this deployment's
+    /// firmware image into Flash — [`image_bytes`](Self::image_bytes)
+    /// priced through the device cost model's flash-programming cost.
+    ///
+    /// This is what a model hot-swap charges: evict a resident model,
+    /// stage this one, and the device is busy for `staging_ms()` of
+    /// simulated time before it can serve the first request. Staging is
+    /// deterministic (pure integer cycle counts scaled by the device
+    /// clock), so fleet simulations that charge it stay bit-reproducible.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vmcu::prelude::*;
+    ///
+    /// let g = vmcu_graph::zoo::demo_linear_net();
+    /// let weights = g.random_weights(7);
+    /// let dep = Engine::new(Device::stm32_f411re()).deploy(&g, &weights)?;
+    /// // Programming flash is slow: staging costs real simulated time.
+    /// assert!(dep.staging_ms() > 0.0);
+    /// # Ok::<(), vmcu::EngineError>(())
+    /// ```
+    pub fn staging_ms(&self) -> f64 {
+        let cycles = self
+            .inner
+            .device
+            .cost
+            .flash_write_cost(self.inner.image_bytes as u64);
+        self.inner.device.cycles_to_ms(cycles)
+    }
+
     /// Creates a session: boots a machine for the device and stages the
     /// firmware image (all weights into Flash) once. Everything that can
     /// fail was validated at deploy time.
@@ -257,6 +311,19 @@ impl Session {
     /// Inferences served so far.
     pub fn inferences(&self) -> u64 {
         self.inferences
+    }
+
+    /// Bytes of Flash this session staged when it booted.
+    pub fn staged_flash_bytes(&self) -> usize {
+        self.staged_flash_bytes
+    }
+
+    /// Simulated device milliseconds it cost to stage this session's
+    /// flash image — the price a fleet charges when it hot-swaps this
+    /// model onto the device. Delegates to
+    /// [`Deployment::staging_ms`].
+    pub fn staging_ms(&self) -> f64 {
+        self.deployment.staging_ms()
     }
 
     /// Resets volatile machine state between inferences and verifies the
@@ -421,6 +488,21 @@ mod tests {
             }
             other => panic!("expected StateLeak, got {other}"),
         }
+    }
+
+    #[test]
+    fn staging_is_priced_from_the_probe_image() {
+        let (dep, _) = deployed();
+        // The probe image at deploy equals what a live session stages.
+        let s = dep.session();
+        assert_eq!(dep.image_bytes(), s.staged_flash_bytes());
+        // And the simulated staging price is the flash-write cost of
+        // exactly those bytes, scaled by the device clock.
+        let dev = dep.device();
+        let expected = dev.cycles_to_ms(dev.cost.flash_write_cost(dep.image_bytes() as u64));
+        assert_eq!(dep.staging_ms(), expected);
+        assert_eq!(s.staging_ms(), expected);
+        assert!(expected > 0.0);
     }
 
     #[test]

@@ -153,6 +153,51 @@ fn readme_references_the_architecture_recipes() {
 }
 
 #[test]
+fn serving_handbook_cross_links_are_bidirectional() {
+    // README ↔ ARCHITECTURE ↔ PLANNERS ↔ SERVING: the serving
+    // operations handbook must be reachable from all three entry
+    // points, and must link back to all three.
+    let root = repo_root();
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap();
+    let arch = std::fs::read_to_string(root.join("docs/ARCHITECTURE.md")).unwrap();
+    let planners = std::fs::read_to_string(root.join("docs/PLANNERS.md")).unwrap();
+    let serving = std::fs::read_to_string(root.join("docs/SERVING.md")).unwrap();
+    assert!(
+        readme.contains("docs/SERVING.md"),
+        "README must link the serving handbook"
+    );
+    assert!(
+        arch.contains("SERVING.md"),
+        "ARCHITECTURE must link the serving handbook"
+    );
+    assert!(
+        planners.contains("SERVING.md"),
+        "PLANNERS must link the serving handbook"
+    );
+    assert!(
+        serving.contains("ARCHITECTURE.md")
+            && serving.contains("PLANNERS.md")
+            && serving.contains("../README.md"),
+        "the serving handbook must link back to ARCHITECTURE, PLANNERS, and the README"
+    );
+    // The operational spec the online tests lean on: one section per
+    // mechanism. Whole-line matches so renames cannot hide.
+    for heading in [
+        "## Arrival profiles",
+        "## Routing",
+        "## Queues, SLOs, and shedding",
+        "## Model hot-swap",
+        "## Metric definitions",
+        "## Worked walkthrough: `fleet_throughput --online`",
+    ] {
+        assert!(
+            serving.lines().any(|l| l == heading),
+            "SERVING.md must keep the `{heading}` section"
+        );
+    }
+}
+
+#[test]
 fn handbook_cross_links_are_bidirectional() {
     // README ↔ ARCHITECTURE ↔ PLANNERS: the planner handbook must be
     // reachable from both entry points, and must link back to both.
