@@ -32,8 +32,18 @@
 //! committed baseline (cycles/MAC are simulated, so unchanged code
 //! compares exactly), and no benchmark-internal check may have failed.
 //!
+//! A second, standalone mode holds the bit-reproducibility contract
+//! across *processes*: `bench_gate --identical A.json B.json` compares
+//! two `fleet_throughput` reports field by field after stripping the
+//! host-time fields (`planning_ms`, `host_wall_ms`,
+//! `host_requests_per_sec`) — every remaining number is simulated
+//! device time and must compare bit-identical, or the gate fails. CI
+//! runs `fleet_throughput` twice and feeds both files through this
+//! mode.
+//!
 //! Usage:
 //! `bench_gate [--current BENCH_fleet.json] [--baseline ci/bench_baseline.json] [--max-drop 0.20] [--simd-current PATH --simd-baseline PATH]`
+//! `bench_gate --identical A.json B.json`
 
 use vmcu_bench::json::Json;
 
@@ -43,6 +53,10 @@ struct Args {
     max_drop: f64,
     simd_current: Option<String>,
     simd_baseline: Option<String>,
+    /// `--identical A B`: standalone mode, compare two reports'
+    /// simulated fields bit for bit instead of gating against the
+    /// baseline.
+    identical: Option<(String, String)>,
 }
 
 fn parse_args() -> Args {
@@ -52,6 +66,7 @@ fn parse_args() -> Args {
         max_drop: 0.20,
         simd_current: None,
         simd_baseline: None,
+        identical: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -59,6 +74,11 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--current" => args.current = value("--current"),
             "--baseline" => args.baseline = value("--baseline"),
+            "--identical" => {
+                let a = value("--identical");
+                let b = value("--identical");
+                args.identical = Some((a, b));
+            }
             "--simd-current" => args.simd_current = Some(value("--simd-current")),
             "--simd-baseline" => args.simd_baseline = Some(value("--simd-baseline")),
             "--max-drop" => {
@@ -262,8 +282,68 @@ fn gate_simd(current_path: &str, baseline_path: &str) -> bool {
     ok
 }
 
+/// Host-side wall-clock fields: the only numbers in a report that are
+/// allowed to differ between two runs of the same build.
+const HOST_TIME_KEYS: &[&str] = &["planning_ms", "host_wall_ms", "host_requests_per_sec"];
+
+/// Recursively drops the host-time fields, leaving only simulated (and
+/// therefore bit-reproducible) content.
+fn strip_host_time(json: &Json) -> Json {
+    match json {
+        Json::Object(fields) => Json::Object(
+            fields
+                .iter()
+                .filter(|(k, _)| !HOST_TIME_KEYS.contains(&k.as_str()))
+                .map(|(k, v)| (k.clone(), strip_host_time(v)))
+                .collect(),
+        ),
+        Json::Array(items) => Json::Array(items.iter().map(strip_host_time).collect()),
+        other => other.clone(),
+    }
+}
+
+/// The cross-process bit-reproducibility gate: two `fleet_throughput`
+/// reports must agree on every simulated field.
+fn gate_identical(a_path: &str, b_path: &str) -> bool {
+    let a = load(a_path);
+    let b = load(b_path);
+    println!("identical gate: {a_path} vs {b_path} (host-time fields excluded)");
+    let mut ok = true;
+    for section in ["planners", "online", "checks"] {
+        let (sa, sb) = (a.get(section), b.get(section));
+        let passed = match (sa, sb) {
+            (Some(sa), Some(sb)) => {
+                strip_host_time(sa).to_string_pretty() == strip_host_time(sb).to_string_pretty()
+            }
+            (None, None) => true,
+            _ => false,
+        };
+        println!(
+            "  [{}] section `{section}` compares bit-identical",
+            if passed { "PASS" } else { "FAIL" }
+        );
+        ok &= passed;
+    }
+    let whole = strip_host_time(&a).to_string_pretty() == strip_host_time(&b).to_string_pretty();
+    println!(
+        "  [{}] whole report (minus host time) compares bit-identical",
+        if whole { "PASS" } else { "FAIL" }
+    );
+    ok && whole
+}
+
 fn main() {
     let args = parse_args();
+    if let Some((a, b)) = &args.identical {
+        let ok = gate_identical(a, b);
+        if !ok {
+            println!(
+                "simulated fields differ across processes — a nondeterminism bug, \
+                 not a perf regression; bisect the fields above"
+            );
+        }
+        std::process::exit(i32::from(!ok));
+    }
     let current_doc = load(&args.current);
     let baseline_doc = load(&args.baseline);
     let current = planner_rows(&current_doc, &args.current);

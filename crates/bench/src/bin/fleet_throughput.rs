@@ -5,8 +5,11 @@
 //!
 //! * **`planners`** — the legacy batch rows: the same seeded request
 //!   batch offered to an N-device 128 KB fleet under vMCU, vMCU-fused,
-//!   vMCU-patched, TinyEngine, and HMCOS planning (requests/sec,
-//!   admission rate, p50/p99 latency).
+//!   vMCU-patched, TinyEngine, HMCOS, and vMCU-split planning
+//!   (requests/sec, admission rate, p50/p99 latency). The split rows
+//!   exercise the multi-device pipeline: the `hires-split-only` model
+//!   OOMs every single device and is served only by the split fleet —
+//!   checked deterministically every run.
 //! * **`online`** — sustained online runs ([`Fleet::run_online`]): a
 //!   seeded million-request arrival stream through per-device EDF
 //!   queues with deadline shedding and LRU model hot-swap. Every
@@ -211,6 +214,13 @@ fn main() {
         ),
         ("TinyEngine", PlannerKind::TinyEngine),
         ("HMCOS", PlannerKind::Hmcos),
+        (
+            "vMCU-split",
+            PlannerKind::VmcuSplit {
+                devices: 4,
+                scheme: IbScheme::RowBuffer,
+            },
+        ),
     ];
     let mut rows = Vec::new();
     let mut per_planner = Vec::new();
@@ -343,6 +353,43 @@ fn main() {
                     .iter()
                     .map(|(_, s)| s.deploy_plan_calls)
                     .collect::<Vec<_>>()
+            ),
+        ));
+    }
+    if !args.online_only {
+        // The split tentpole, as a deterministic serving check: the
+        // hires-split-only zoo model OOMs every single 128 KB device,
+        // so a 2-worker fleet rejects its request under single-device
+        // vMCU planning and completes it under the split policy (the
+        // pipeline commits one stage arena per device).
+        let hires = vec![vmcu_serve::RequestSpec {
+            id: 0,
+            model: "hires-split-only".into(),
+            seed: args.seed,
+        }];
+        let single = Fleet::new(
+            FleetConfig::new(device.clone(), 2, PlannerKind::Vmcu(IbScheme::RowBuffer)),
+            catalog.clone(),
+        )
+        .run_batch(&hires);
+        let split = Fleet::new(
+            FleetConfig::new(
+                device.clone(),
+                2,
+                PlannerKind::VmcuSplit {
+                    devices: 2,
+                    scheme: IbScheme::RowBuffer,
+                },
+            ),
+            catalog.clone(),
+        )
+        .run_batch(&hires);
+        checks.push((
+            "split_serves_the_oversized_model".to_owned(),
+            single.stats.rejected == 1 && split.stats.completed == 1 && split.stats.failed == 0,
+            format!(
+                "hires-split-only on 2x {}: vMCU rejected {}, vMCU-split completed {}",
+                device.name, single.stats.rejected, split.stats.completed
             ),
         ));
     }

@@ -216,6 +216,36 @@ pub fn hires_front_stage() -> Graph {
     .expect("front-stage shapes chain")
 }
 
+/// The split-only model: a deep 40×40 expand–project stack that no
+/// *single* 128 KB device can hold under **any** policy, but a 2-device
+/// split pipeline can. The leading inverted bottleneck is deliberate —
+/// patch-based planning cannot tile through an `Ib` module, so the
+/// patched policy falls back to the fused plan and fails like everyone
+/// else. The fused chain over all the expand–project blocks is
+/// *profitable* (it undercuts the 153.6 KB wide intermediates) yet its
+/// accumulated line-buffer rings still overshoot 128 KB; cutting the
+/// chain between blocks — where the tensor is a narrow 25.6 KB — gives
+/// every stage a comfortable fused footprint. The model that motivates
+/// `PlannerKind::VmcuSplit`.
+pub fn hires_split_only() -> Graph {
+    let rq = Requant::from_scale(1.0 / 64.0, 0);
+    let mut front = IbParams::new(40, 16, 32, 16, 3, (1, 1, 1));
+    front.clamp1 = (0, 127);
+    front.clamp2 = (0, 127);
+    let mut layers = vec![LayerDesc::Ib(front)];
+    for _ in 0..7 {
+        let mut expand = PointwiseParams::new(40, 40, 16, 96, rq);
+        expand.clamp = (0, 127);
+        let mut dw = DepthwiseParams::new(40, 40, 96, 3, 3, 1, 1, rq);
+        dw.clamp = (0, 127);
+        let project = PointwiseParams::new(40, 40, 96, 16, rq);
+        layers.push(LayerDesc::Pointwise(expand));
+        layers.push(LayerDesc::Depthwise(dw));
+        layers.push(LayerDesc::Pointwise(project));
+    }
+    Graph::linear("hires-split-only", layers).expect("block shapes chain")
+}
+
 /// A named deployable model for fleet serving.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NamedGraph {
@@ -287,6 +317,13 @@ pub fn fleet_catalog() -> Vec<NamedGraph> {
         NamedGraph {
             name: "hires-front-stage",
             graph: hires_front_stage(),
+        },
+        // The capacity-frontier model: no single 128 KB device holds it
+        // under any policy (patched included); only the multi-device
+        // split pipeline admits it.
+        NamedGraph {
+            name: "hires-split-only",
+            graph: hires_split_only(),
         },
     ]
 }

@@ -25,6 +25,10 @@
 //!   [`PatchedPlanner`]: high-resolution front layers execute as spatial
 //!   patches whose receptive-field slabs, not whole tensors, set the
 //!   peak — the policy that deploys models whose *input* exceeds SRAM;
+//! * [`split`] — layer-wise partitioning across 2–8 networked MCUs and
+//!   the [`SplitPlanner`]: contiguous per-device stages chosen to
+//!   minimize the max per-device peak, the policy that deploys models
+//!   no *single* device can hold;
 //! * [`telemetry`] — a thread-local counter of planning passes, so the
 //!   deploy-once/run-many contract (`session.infer` does zero planning
 //!   after `deploy`) is checkable by tests and the serve bench gate.
@@ -56,6 +60,7 @@ pub mod hmcos_planner;
 pub mod lowering;
 pub mod patch;
 pub mod planner;
+pub mod split;
 pub mod telemetry;
 pub mod tinyengine_planner;
 pub mod vmcu_planner;
@@ -67,5 +72,6 @@ pub use hmcos_planner::HmcosPlanner;
 pub use lowering::{select_conv2d_lowering, select_fc_lowering, LoweringChoice, LoweringKind};
 pub use patch::{PatchPlan, PatchedPlanner};
 pub use planner::{LayerPlan, MemoryPlan, MemoryPlanner};
+pub use split::{plan_split, SplitPlan, SplitPlanner, SplitStage};
 pub use tinyengine_planner::TinyEnginePlanner;
 pub use vmcu_planner::VmcuPlanner;

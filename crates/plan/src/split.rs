@@ -1,0 +1,401 @@
+//! Layer-wise graph partitioning for split inference across networked
+//! MCUs.
+//!
+//! Some models fit on *no* single device: even the fused and patched
+//! planners bottom out at the biggest single execution node. Following
+//! the split-CNN line of work, [`plan_split`] cuts a linear graph into
+//! 2–8 contiguous per-device sub-graphs, choosing the cut points that
+//! **minimize the maximum per-device peak** — each sub-graph is planned
+//! by the existing fusion pass ([`fuse_graph`]), so every stage inherits
+//! the single-device planners' savings. Cut edges ship the boundary
+//! activation tensor over a board-to-board link priced by
+//! `vmcu_sim::LinkModel`.
+//!
+//! The partitioner is exact: a dynamic program over contiguous
+//! partitions (O(devices · n²) table over O(n²) fused sub-range
+//! demands), deterministic under ties — fewest stages first, then
+//! earliest cut — so the same graph always splits the same way on any
+//! host.
+//!
+//! # Examples
+//!
+//! ```
+//! use vmcu_plan::split::plan_split;
+//! use vmcu_plan::{peak_demand_bytes, FusedPlanner};
+//! use vmcu_graph::zoo;
+//! use vmcu_kernels::IbScheme;
+//!
+//! let g = zoo::hires_split_only();
+//! let split = plan_split(&g, 4, IbScheme::RowBuffer);
+//! assert!(split.stages().len() >= 2);
+//! // Splitting strictly relieves the single-device fused bottleneck.
+//! assert!(split.max_stage_demand_bytes() < peak_demand_bytes(&FusedPlanner::default(), &g));
+//! ```
+
+use crate::fusion::{fuse_graph, FusionPlan};
+use crate::planner::{LayerPlan, MemoryPlan, MemoryPlanner};
+use crate::vmcu_planner::VmcuPlanner;
+use vmcu_graph::{Graph, LayerDesc};
+use vmcu_kernels::IbScheme;
+use vmcu_sim::Device;
+
+/// One per-device stage of a split plan: a contiguous layer range, the
+/// memoized sub-graph and its fused execution plan, and the cut tensor
+/// it ships downstream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitStage {
+    /// Pipeline position — stage `k` runs on device `k`.
+    pub device: usize,
+    /// Index of the first layer in this stage.
+    pub start: usize,
+    /// One past the last layer in this stage.
+    pub end: usize,
+    /// The stage sub-graph (layers `[start, end)`; node indices inside
+    /// [`Self::fusion`] are stage-local).
+    pub graph: Graph,
+    /// The stage's fused execution plan, memoized at partition time so
+    /// deployments never re-run the fusion pass per inference.
+    pub fusion: FusionPlan,
+    /// Peak SRAM this stage demands (the fused plan's peak, no runtime
+    /// overhead).
+    pub demand_bytes: usize,
+    /// Bytes shipped over the link to the next stage (the boundary
+    /// activation tensor); `0` for the final stage.
+    pub cut_bytes: usize,
+}
+
+impl SplitStage {
+    /// Number of graph layers assigned to this stage.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the stage is empty (never true for plans built by
+    /// [`plan_split`]).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A whole-model split plan: contiguous stages whose layer ranges tile
+/// the graph, one device per stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitPlan {
+    stages: Vec<SplitStage>,
+}
+
+impl SplitPlan {
+    /// The stages in pipeline order.
+    pub fn stages(&self) -> &[SplitStage] {
+        &self.stages
+    }
+
+    /// Number of devices the plan occupies.
+    pub fn device_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The plan's bottleneck: the maximum per-stage peak demand (no
+    /// runtime overhead) — the number admission prices each device at.
+    pub fn max_stage_demand_bytes(&self) -> usize {
+        self.stages
+            .iter()
+            .map(|s| s.demand_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total bytes crossing device boundaries for one inference — by
+    /// construction exactly the sum of the cut-edge tensor sizes.
+    pub fn transfer_bytes(&self) -> usize {
+        self.stages.iter().map(|s| s.cut_bytes).sum()
+    }
+
+    /// Per-stage peak demands in pipeline order (the admission
+    /// controller's multi-device price vector).
+    pub fn stage_demands(&self) -> Vec<usize> {
+        self.stages.iter().map(|s| s.demand_bytes).collect()
+    }
+}
+
+/// The stage sub-graph for layers `[start, end)` — a contiguous slice of
+/// a validated chain, so re-validation cannot fail.
+fn subgraph(graph: &Graph, start: usize, end: usize) -> Graph {
+    Graph::linear(
+        format!("{}[{start}..{end}]", graph.name),
+        graph.layers()[start..end].to_vec(),
+    )
+    .expect("a contiguous slice of a validated chain chains")
+}
+
+/// Partitions a linear graph into at most `devices` (clamped to 1..=8)
+/// contiguous stages minimizing the maximum per-stage fused peak.
+///
+/// Exact dynamic program over contiguous partitions; among optima it
+/// prefers **fewest stages** (a model that fits one device is not split
+/// needlessly), then the earliest cut points. Each candidate range is
+/// priced by the fusion pass, so a 1-stage plan's demand equals
+/// [`crate::FusedPlanner::model_demand_bytes`] exactly.
+pub fn plan_split(graph: &Graph, devices: u8, scheme: IbScheme) -> SplitPlan {
+    let n = graph.len();
+    if n == 0 {
+        return SplitPlan { stages: Vec::new() };
+    }
+    let max_stages = (devices.clamp(1, 8) as usize).min(n);
+
+    // Fused peak demand of every contiguous layer range.
+    let mut demand = vec![vec![0usize; n + 1]; n];
+    for (i, row) in demand.iter_mut().enumerate() {
+        for (j, slot) in row.iter_mut().enumerate().skip(i + 1) {
+            *slot = fuse_graph(&subgraph(graph, i, j), scheme).peak_demand_bytes();
+        }
+    }
+
+    // best[k][j]: minimal achievable max-stage demand partitioning
+    // layers [0, j) into exactly k non-empty stages.
+    let mut best = vec![vec![usize::MAX; n + 1]; max_stages + 1];
+    let mut cut = vec![vec![0usize; n + 1]; max_stages + 1];
+    best[0][0] = 0;
+    for k in 1..=max_stages {
+        for j in k..=n {
+            for i in k - 1..j {
+                if best[k - 1][i] == usize::MAX {
+                    continue;
+                }
+                let cand = best[k - 1][i].max(demand[i][j]);
+                // Strict improvement only: ascending i means ties keep
+                // the earliest previous cut — deterministic.
+                if cand < best[k][j] {
+                    best[k][j] = cand;
+                    cut[k][j] = i;
+                }
+            }
+        }
+    }
+
+    // Fewest stages among the optima: ascending k with strict
+    // improvement, so a model that already fits stays on one device.
+    let mut stage_count = 1;
+    for k in 2..=max_stages {
+        if best[k][n] < best[stage_count][n] {
+            stage_count = k;
+        }
+    }
+
+    let mut bounds = vec![0usize; stage_count + 1];
+    bounds[stage_count] = n;
+    let mut j = n;
+    for k in (1..=stage_count).rev() {
+        j = cut[k][j];
+        bounds[k - 1] = j;
+    }
+
+    let stages = (0..stage_count)
+        .map(|k| {
+            let (start, end) = (bounds[k], bounds[k + 1]);
+            let sub = subgraph(graph, start, end);
+            let fusion = fuse_graph(&sub, scheme);
+            let demand_bytes = fusion.peak_demand_bytes();
+            let cut_bytes = if k + 1 < stage_count {
+                graph.layers()[end - 1].out_bytes()
+            } else {
+                0
+            };
+            SplitStage {
+                device: k,
+                start,
+                end,
+                graph: sub,
+                fusion,
+                demand_bytes,
+                cut_bytes,
+            }
+        })
+        .collect();
+    SplitPlan { stages }
+}
+
+/// The split-aware planner: single layers price exactly like
+/// [`VmcuPlanner`], whole models price at the partition's **max
+/// per-stage peak** — the demand each device in the pipeline must
+/// individually satisfy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitPlanner {
+    /// Maximum number of networked devices to cut across (2–8 in the
+    /// split-CNN setting; clamped to 1..=8).
+    pub devices: u8,
+    /// Workspace scheme for fused inverted-bottleneck singletons inside
+    /// each stage.
+    pub scheme: IbScheme,
+}
+
+impl Default for SplitPlanner {
+    fn default() -> Self {
+        Self {
+            devices: 4,
+            scheme: IbScheme::RowBuffer,
+        }
+    }
+}
+
+impl SplitPlanner {
+    /// Builds the whole-model [`MemoryPlan`] from an **already computed**
+    /// split plan, in execution-report order: each stage's fusion nodes
+    /// (names prefixed `dev{k}:`, node names stage-local), then a `link`
+    /// entry for the cut tensor it ships downstream. The engine's deploy
+    /// step memoizes the [`SplitPlan`] and derives the memory plan here
+    /// without re-partitioning.
+    ///
+    /// A `link` entry's `activation_bytes` is the cut tensor; its
+    /// measured size never exceeds the sending stage's peak (a fused
+    /// window always covers its own output), so the plan's bottleneck —
+    /// and with it `Deployment::peak_demand_bytes` — stays at a stage.
+    pub fn plan_model_from(&self, split: &SplitPlan, device: &Device) -> MemoryPlan {
+        let mut layers = Vec::new();
+        for stage in split.stages() {
+            for node in &stage.fusion.nodes {
+                let mut plan = node.layer_plan(&stage.graph, device);
+                plan.name = format!("dev{}:{}", stage.device, plan.name);
+                layers.push(plan);
+            }
+            if stage.cut_bytes > 0 {
+                let measured = stage.cut_bytes + device.runtime_overhead_bytes;
+                layers.push(LayerPlan {
+                    name: format!("link:dev{}->dev{}", stage.device, stage.device + 1),
+                    kind: "link",
+                    activation_bytes: stage.cut_bytes,
+                    workspace_bytes: 0,
+                    measured_bytes: measured,
+                    fits: measured <= device.ram_bytes,
+                });
+            }
+        }
+        MemoryPlan {
+            planner: self.name(),
+            device: device.name.clone(),
+            layers,
+        }
+    }
+}
+
+impl MemoryPlanner for SplitPlanner {
+    fn name(&self) -> &'static str {
+        "vMCU-split"
+    }
+
+    fn plan_layer(&self, layer: &LayerDesc) -> (usize, usize) {
+        VmcuPlanner {
+            scheme: self.scheme,
+        }
+        .plan_layer(layer)
+    }
+
+    fn model_demand_bytes(&self, graph: &Graph) -> usize {
+        plan_split(graph, self.devices, self.scheme).max_stage_demand_bytes()
+    }
+
+    fn plan_model(&self, graph: &Graph, device: &Device) -> MemoryPlan {
+        self.plan_model_from(&plan_split(graph, self.devices, self.scheme), device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacity::peak_demand_bytes;
+    use crate::fusion::FusedPlanner;
+    use vmcu_graph::zoo;
+
+    #[test]
+    fn stages_tile_the_graph_and_respect_the_device_cap() {
+        for seed in 0..20 {
+            let g = zoo::random_linear_net(seed, 5);
+            for devices in [2u8, 4, 8] {
+                let split = plan_split(&g, devices, IbScheme::RowBuffer);
+                assert!(split.device_count() <= devices as usize, "seed {seed}");
+                let mut next = 0;
+                for stage in split.stages() {
+                    assert_eq!(stage.start, next, "seed {seed}");
+                    assert!(!stage.is_empty(), "seed {seed}");
+                    assert_eq!(stage.len(), stage.graph.len(), "seed {seed}");
+                    next = stage.end;
+                }
+                assert_eq!(next, g.len(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_stage_prices_exactly_like_the_fused_planner() {
+        // A model that fits one device must not be split needlessly:
+        // the fewest-stages tie-break keeps k = 1 whenever one stage is
+        // already optimal, and then the demand is the fused peak.
+        let g = zoo::mbv2_block_unfused();
+        let split = plan_split(&g, 8, IbScheme::RowBuffer);
+        assert_eq!(split.device_count(), 1);
+        assert_eq!(
+            split.max_stage_demand_bytes(),
+            peak_demand_bytes(&FusedPlanner::default(), &g)
+        );
+        assert_eq!(split.transfer_bytes(), 0);
+    }
+
+    #[test]
+    fn split_peak_never_exceeds_the_single_device_planners() {
+        // Structural: k = 1 is always a DP candidate, so the chosen
+        // partition's max stage demand is ≤ the fused peak ≤ vMCU's.
+        for seed in 0..20 {
+            let g = zoo::random_linear_net(seed, 4);
+            let split = peak_demand_bytes(&SplitPlanner::default(), &g);
+            let fused = peak_demand_bytes(&FusedPlanner::default(), &g);
+            let vmcu = peak_demand_bytes(&crate::VmcuPlanner::default(), &g);
+            assert!(split <= fused, "seed {seed}: split {split} > fused {fused}");
+            assert!(fused <= vmcu, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cut_bytes_are_the_boundary_tensors() {
+        let g = zoo::hires_split_only();
+        let split = plan_split(&g, 4, IbScheme::RowBuffer);
+        assert!(split.device_count() >= 2);
+        let mut total = 0;
+        for w in split.stages().windows(2) {
+            let sender = &w[0];
+            assert_eq!(
+                sender.cut_bytes,
+                g.layers()[sender.end - 1].out_bytes(),
+                "cut ships exactly the boundary activation"
+            );
+            total += sender.cut_bytes;
+        }
+        assert_eq!(split.stages().last().unwrap().cut_bytes, 0);
+        assert_eq!(split.transfer_bytes(), total);
+    }
+
+    #[test]
+    fn plan_model_orders_stage_nodes_then_links() {
+        let g = zoo::hires_split_only();
+        let device = vmcu_sim::Device::stm32_f411re();
+        let planner = SplitPlanner::default();
+        let split = plan_split(&g, planner.devices, planner.scheme);
+        let plan = planner.plan_model_from(&split, &device);
+        let links = plan.layers.iter().filter(|l| l.kind == "link").count();
+        assert_eq!(links, split.device_count() - 1);
+        // The bottleneck stays at a stage, never at a link, so the
+        // deployment's peak-demand accessor reports the stage peak.
+        assert_eq!(
+            plan.bottleneck_bytes() - device.runtime_overhead_bytes,
+            split.max_stage_demand_bytes()
+        );
+        assert!(plan.deployable(), "every stage must fit the 128 KB device");
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let g = zoo::random_linear_net(7, 6);
+        let a = plan_split(&g, 8, IbScheme::RowBuffer);
+        let b = plan_split(&g, 8, IbScheme::RowBuffer);
+        assert_eq!(a, b);
+    }
+}

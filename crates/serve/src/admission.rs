@@ -9,6 +9,13 @@
 //! segment-level plans peak far below tensor-level plans, the same fleet
 //! admits strictly more concurrent models under vMCU — the paper's §7 RAM
 //! savings, restated as serving capacity.
+//!
+//! Under the split policy (`PlannerKind::VmcuSplit`) a model is priced
+//! as a *vector* of per-stage demands and admitted against the fleet's
+//! **aggregate** RAM: each pipeline stage commits its arena on a
+//! distinct device, so a model that fits no single device deploys the
+//! moment enough devices jointly have the room. Requests pin to the
+//! entry (stage-0) device, which drives the pipeline.
 
 use crate::request::RejectReason;
 use vmcu::prelude::MemoryPlanner;
@@ -31,15 +38,21 @@ struct Ledger {
 /// Deterministic admission controller for a homogeneous fleet.
 pub struct AdmissionController {
     device: Device,
+    kind: PlannerKind,
     /// The planning policy object, resolved **once** at construction —
     /// pricing a model must not re-box a planner per call.
     planner: Box<dyn MemoryPlanner>,
     workers: Vec<Ledger>,
-    /// Demand per model name. Seeded from cached deployment plans via
-    /// [`with_priced_models`](Self::with_priced_models) so the serving
-    /// path never replans; unseeded models (e.g. ones that failed to
-    /// deploy) are priced once on first sight.
-    demand_cache: std::collections::HashMap<String, usize>,
+    /// Per-stage demands per model name (single-element for every
+    /// non-split policy). Seeded from cached deployment plans via
+    /// [`with_priced_models`](Self::with_priced_models) /
+    /// [`with_priced_stage_demands`](Self::with_priced_stage_demands) so
+    /// the serving path never replans; unseeded models (e.g. ones that
+    /// failed to deploy) are priced once on first sight.
+    demand_cache: std::collections::HashMap<String, Vec<usize>>,
+    /// Worker indices hosting each resident model's stages, entry
+    /// (stage-0) worker first.
+    placements: std::collections::HashMap<String, Vec<usize>>,
 }
 
 impl std::fmt::Debug for AdmissionController {
@@ -78,12 +91,36 @@ impl AdmissionController {
         workers: usize,
         prices: impl IntoIterator<Item = (String, usize)>,
     ) -> Self {
+        Self::with_priced_stage_demands(
+            device,
+            kind,
+            workers,
+            prices.into_iter().map(|(name, d)| (name, vec![d])),
+        )
+    }
+
+    /// [`with_priced_models`](Self::with_priced_models), with each model
+    /// priced as a **vector of per-stage demands** — the split policy's
+    /// shape, harvested from `vmcu::Deployment::split_plan`. Non-split
+    /// models pass single-element vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` is zero.
+    pub fn with_priced_stage_demands(
+        device: Device,
+        kind: PlannerKind,
+        workers: usize,
+        prices: impl IntoIterator<Item = (String, Vec<usize>)>,
+    ) -> Self {
         assert!(workers > 0, "fleet needs at least one worker");
         Self {
             device,
+            kind,
             planner: kind.planner(),
             workers: vec![Ledger::default(); workers],
             demand_cache: prices.into_iter().collect(),
+            placements: std::collections::HashMap::new(),
         }
     }
 
@@ -95,69 +132,94 @@ impl AdmissionController {
         vmcu_plan::peak_demand_bytes(&*self.planner, graph)
     }
 
+    /// Per-stage demands for a model: the split partition's stage peaks
+    /// under `VmcuSplit`, a single-element vector under every other
+    /// policy.
+    fn stage_demands(&self, graph: &Graph) -> Vec<usize> {
+        match self.kind {
+            PlannerKind::VmcuSplit { devices, scheme } => {
+                vmcu_plan::plan_split(graph, devices, scheme).stage_demands()
+            }
+            _ => vec![self.demand_bytes(graph)],
+        }
+    }
+
     /// Decides one request: `Ok(worker)` pins the request to a device,
     /// `Err` carries the typed rejection.
     ///
-    /// Deterministic given the call sequence: workers already hosting the
-    /// model are preferred (their arena is already paid for), then the
-    /// least-loaded worker with enough SRAM; ties break to the lowest
+    /// Deterministic given the call sequence: a model already resident
+    /// routes to its entry worker; otherwise each stage commits its
+    /// arena on a **distinct** least-loaded worker with room (stage
+    /// count is 1 under every non-split policy, so this degenerates to
+    /// the classic single-device placement); ties break to the lowest
     /// index.
     ///
     /// # Errors
     ///
     /// [`RejectReason::EmptyModel`] for a model with zero planned
-    /// demand; [`RejectReason::TooLargeForDevice`] when even an empty
-    /// device cannot host the model; [`RejectReason::NoCapacity`] when
-    /// all devices' SRAM is committed.
+    /// demand; [`RejectReason::TooLargeForDevice`] when some stage
+    /// exceeds even an empty device; [`RejectReason::NoCapacity`] when
+    /// the fleet's aggregate uncommitted SRAM (or worker count) cannot
+    /// host every stage at once.
     pub fn admit(&mut self, model: &str, graph: &Graph) -> Result<usize, RejectReason> {
-        let demand = match self.demand_cache.get(model) {
-            Some(d) => *d,
+        let demands = match self.demand_cache.get(model) {
+            Some(d) => d.clone(),
             None => {
-                let d = self.demand_bytes(graph);
-                self.demand_cache.insert(model.to_owned(), d);
+                let d = self.stage_demands(graph);
+                self.demand_cache.insert(model.to_owned(), d.clone());
                 d
             }
         };
         let budget = self.device.usable_ram_bytes();
+        let total: usize = demands.iter().sum();
         // A zero-demand model (empty graph) would be admitted without
         // bound while `capacity::concurrent_capacity` reports 0 for it;
         // keep the two surfaces agreeing by refusing it outright.
-        if demand == 0 {
+        if total == 0 {
             return Err(RejectReason::EmptyModel);
         }
-        if demand > budget {
+        let max_stage = *demands.iter().max().expect("non-empty demands");
+        if max_stage > budget {
             return Err(RejectReason::TooLargeForDevice {
-                needed: demand + self.device.runtime_overhead_bytes,
+                needed: max_stage + self.device.runtime_overhead_bytes,
                 available: self.device.ram_bytes,
             });
         }
-        // Already resident somewhere: route to the least-loaded host.
-        if let Some((w, _)) = self
-            .workers
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l.resident.iter().any(|m| m == model))
-            .min_by_key(|(i, l)| (l.assigned, *i))
-        {
-            self.workers[w].assigned += 1;
-            return Ok(w);
+        if demands.len() > self.workers.len() {
+            return Err(RejectReason::NoCapacity { needed: total });
         }
-        // Otherwise commit the arena on the least-loaded worker that
-        // still has room.
-        if let Some((w, _)) = self
-            .workers
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l.committed + demand <= budget)
-            .min_by_key(|(i, l)| (l.assigned, *i))
-        {
+        // Already resident: route to the entry (stage-0) worker, which
+        // drives the pipeline — the arenas are already paid for.
+        if let Some(placement) = self.placements.get(model) {
+            let entry = placement[0];
+            self.workers[entry].assigned += 1;
+            return Ok(entry);
+        }
+        // Place every stage on a distinct least-loaded worker with room
+        // before committing anything, so a partial fit never leaks
+        // commitments.
+        let mut chosen: Vec<usize> = Vec::with_capacity(demands.len());
+        for demand in &demands {
+            let Some((w, _)) = self
+                .workers
+                .iter()
+                .enumerate()
+                .filter(|(w, l)| !chosen.contains(w) && l.committed + demand <= budget)
+                .min_by_key(|(w, l)| (l.assigned, *w))
+            else {
+                return Err(RejectReason::NoCapacity { needed: total });
+            };
+            chosen.push(w);
+        }
+        for (&w, &demand) in chosen.iter().zip(&demands) {
             let ledger = &mut self.workers[w];
             ledger.committed += demand;
             ledger.resident.push(model.to_owned());
-            ledger.assigned += 1;
-            return Ok(w);
         }
-        Err(RejectReason::NoCapacity { needed: demand })
+        self.placements.insert(model.to_owned(), chosen.clone());
+        let entry = chosen[0];
+        self.workers[entry].assigned += 1;
+        Ok(entry)
     }
 
     /// Bytes committed on a worker.
@@ -165,9 +227,16 @@ impl AdmissionController {
         self.workers[worker].committed
     }
 
-    /// Total distinct model residencies across the fleet.
+    /// Total stage residencies across the fleet (one per model under
+    /// the single-device policies, one per pipeline stage under split).
     pub fn resident_models(&self) -> usize {
         self.workers.iter().map(|l| l.resident.len()).sum()
+    }
+
+    /// The worker indices hosting a resident model's stages (entry
+    /// worker first), when it is resident.
+    pub fn placement(&self, model: &str) -> Option<&[usize]> {
+        self.placements.get(model).map(Vec::as_slice)
     }
 
     /// Number of workers.
@@ -271,5 +340,72 @@ mod tests {
         // A different model lands on the other (less loaded) worker.
         let w2 = ac.admit("vww-s5-b", &g).unwrap();
         assert_ne!(w2, w0);
+    }
+
+    #[test]
+    fn split_admits_against_aggregate_ram_across_distinct_workers() {
+        // hires-split-only OOMs every single device but partitions into
+        // stages that each fit; a 4-worker fleet must admit it by
+        // committing one stage per worker.
+        let g = single("hires-split-only");
+        let split = PlannerKind::VmcuSplit {
+            devices: 4,
+            scheme: IbScheme::RowBuffer,
+        };
+        let mut ac = AdmissionController::new(Device::stm32_f411re(), split, 4);
+        let entry = ac.admit("hires", &g).unwrap();
+        let placement = ac.placement("hires").unwrap().to_vec();
+        assert_eq!(placement[0], entry, "requests pin to the entry worker");
+        assert!(placement.len() >= 2, "the model must actually be split");
+        let mut distinct = placement.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(
+            distinct.len(),
+            placement.len(),
+            "stages on distinct workers"
+        );
+        assert_eq!(ac.resident_models(), placement.len());
+        // Every placed stage committed SRAM on its worker.
+        for &w in &placement {
+            assert!(ac.committed_bytes(w) > 0);
+        }
+        // Repeat requests reuse the pipeline without committing more.
+        let committed: Vec<_> = (0..4).map(|w| ac.committed_bytes(w)).collect();
+        assert_eq!(ac.admit("hires", &g).unwrap(), entry);
+        assert_eq!(
+            (0..4).map(|w| ac.committed_bytes(w)).collect::<Vec<_>>(),
+            committed
+        );
+    }
+
+    #[test]
+    fn split_needs_enough_workers_for_its_stages() {
+        // The same model on a single-worker fleet: each stage fits a
+        // device, but there are not enough devices to host the pipeline.
+        let g = single("hires-split-only");
+        let split = PlannerKind::VmcuSplit {
+            devices: 4,
+            scheme: IbScheme::RowBuffer,
+        };
+        let mut ac = AdmissionController::new(Device::stm32_f411re(), split, 1);
+        match ac.admit("hires", &g) {
+            Err(RejectReason::NoCapacity { needed }) => {
+                assert!(needed > Device::stm32_f411re().usable_ram_bytes());
+            }
+            other => panic!("expected NoCapacity, got {other:?}"),
+        }
+        assert_eq!(ac.resident_models(), 0, "a failed placement leaks nothing");
+        // And under every single-device policy the model is simply too
+        // large, regardless of fleet width.
+        let mut ac = AdmissionController::new(
+            Device::stm32_f411re(),
+            PlannerKind::Vmcu(IbScheme::RowBuffer),
+            8,
+        );
+        assert!(matches!(
+            ac.admit("hires", &g),
+            Err(RejectReason::TooLargeForDevice { .. })
+        ));
     }
 }

@@ -145,10 +145,11 @@ pub struct Fleet {
     /// One deployment per catalog model that fits the device under the
     /// fleet's policy — shared by every worker.
     deployments: HashMap<String, Deployment>,
-    /// Peak-demand price per catalog model, harvested from the cached
-    /// deployment plans (or from the typed deploy rejection), so
-    /// admission never replans.
-    prices: Vec<(String, usize)>,
+    /// Per-stage demand prices per catalog model, harvested from the
+    /// cached deployment plans (or from the typed deploy rejection), so
+    /// admission never replans. Single-element under every single-device
+    /// policy; one entry per pipeline stage under the split policy.
+    prices: Vec<(String, Vec<usize>)>,
     /// Deploy-phase accounting, reported with every batch.
     planning: PlanningStats,
 }
@@ -171,7 +172,14 @@ impl Fleet {
             let weights = model.graph.random_weights(model_weight_seed(model.name));
             match engine.deploy(&model.graph, &weights) {
                 Ok(dep) => {
-                    prices.push((model.name.to_owned(), dep.peak_demand_bytes()));
+                    // Split deployments price as their per-stage demand
+                    // vector (admission places each stage on its own
+                    // device); everything else prices at its peak.
+                    let stages = match dep.split_plan() {
+                        Some(split) => split.stage_demands(),
+                        None => vec![dep.peak_demand_bytes()],
+                    };
+                    prices.push((model.name.to_owned(), stages));
                     deployments.insert(model.name.to_owned(), dep);
                 }
                 // The typed rejection already carries the planned demand
@@ -180,7 +188,7 @@ impl Fleet {
                 Err(EngineError::DoesNotFit { needed, .. }) => {
                     prices.push((
                         model.name.to_owned(),
-                        needed.saturating_sub(config.device.runtime_overhead_bytes),
+                        vec![needed.saturating_sub(config.device.runtime_overhead_bytes)],
                     ));
                 }
                 // Anything else (unstageable weights, flash overflow) is
@@ -230,7 +238,7 @@ impl Fleet {
 
         // Phase 1: deterministic admission + dispatch, priced from the
         // cached deployment plans.
-        let mut controller = AdmissionController::with_priced_models(
+        let mut controller = AdmissionController::with_priced_stage_demands(
             self.config.device.clone(),
             self.config.planner,
             self.config.workers,

@@ -35,6 +35,7 @@ pub mod cost;
 pub mod counters;
 pub mod device;
 pub mod energy;
+pub mod link;
 pub mod machine;
 pub mod memory;
 
@@ -42,5 +43,6 @@ pub use cost::{CostModel, SimdCapability};
 pub use counters::Counters;
 pub use device::{Core, Device, PlatformSummary, TABLE1_PLATFORMS};
 pub use energy::EnergyModel;
+pub use link::LinkModel;
 pub use machine::{ExecSummary, Machine};
 pub use memory::{Flash, MemError, Ram};

@@ -1,0 +1,118 @@
+//! Inter-device link cost model for split (multi-MCU) inference.
+//!
+//! When a model is partitioned layer-wise across networked MCUs, every
+//! cut edge ships an activation tensor over a board-to-board link (UART,
+//! SPI, or a low-power radio). Like [`crate::cost::CostModel`] and the
+//! Flash-programming charge, the link is priced **deterministically in
+//! integers** — fixed per-transfer setup latency, integer bytes/µs
+//! bandwidth, and a ×100 fixed-point energy-per-byte coefficient — so a
+//! split pipeline's simulated time and energy are bit-reproducible
+//! across hosts, which the CI bench gate depends on.
+
+/// Deterministic cost model for one board-to-board link.
+///
+/// A transfer of `n` bytes costs
+/// `latency_us + ceil(n / bytes_per_us)` microseconds of simulated time
+/// and `ceil(n * energy_per_byte_x100 / 100)` microjoules of energy —
+/// all integer arithmetic, mirroring `flash_write_cost`'s `div_ceil`
+/// discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkModel {
+    /// Fixed per-transfer setup cost (packetization, DMA setup, link
+    /// turnaround) in microseconds.
+    pub latency_us: u64,
+    /// Sustained link bandwidth in bytes per microsecond (must be ≥ 1).
+    pub bytes_per_us: u64,
+    /// Transfer energy in hundredths of a microjoule per byte (×100
+    /// fixed point, like the cost model's cycle coefficients).
+    pub energy_per_byte_x100: u64,
+}
+
+impl LinkModel {
+    /// An 8 Mbit/s serial link (SPI-class): 1 byte/µs sustained, 150 µs
+    /// per-transfer setup, 0.15 µJ/byte. The default link every split
+    /// deployment prices transfers with.
+    #[must_use]
+    pub const fn serial_8mbps() -> Self {
+        Self {
+            latency_us: 150,
+            bytes_per_us: 1,
+            energy_per_byte_x100: 15,
+        }
+    }
+
+    /// Simulated wall time to move `bytes` across the link, in
+    /// microseconds: fixed setup plus `ceil(bytes / bandwidth)`.
+    #[must_use]
+    pub const fn transfer_us(&self, bytes: u64) -> u64 {
+        self.latency_us + bytes.div_ceil(self.bytes_per_us)
+    }
+
+    /// Same transfer priced in milliseconds (derived from the integer
+    /// microsecond count, so still bit-reproducible).
+    #[must_use]
+    pub fn transfer_ms(&self, bytes: u64) -> f64 {
+        self.transfer_us(bytes) as f64 / 1e3
+    }
+
+    /// Energy to move `bytes`, in whole microjoules
+    /// (`ceil(bytes * coeff / 100)`).
+    #[must_use]
+    pub const fn transfer_energy_uj(&self, bytes: u64) -> u64 {
+        (bytes * self.energy_per_byte_x100).div_ceil(100)
+    }
+
+    /// Same energy in millijoules (derived from the integer microjoule
+    /// count).
+    #[must_use]
+    pub fn transfer_energy_mj(&self, bytes: u64) -> f64 {
+        self.transfer_energy_uj(bytes) as f64 / 1e3
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        Self::serial_8mbps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_cost_is_integer_and_monotone() {
+        let link = LinkModel::serial_8mbps();
+        assert_eq!(link.transfer_us(0), 150);
+        assert_eq!(link.transfer_us(1), 151);
+        assert_eq!(link.transfer_us(25_600), 150 + 25_600);
+        assert!(link.transfer_us(25_601) > link.transfer_us(25_600));
+    }
+
+    #[test]
+    fn bandwidth_division_rounds_up() {
+        let link = LinkModel {
+            latency_us: 10,
+            bytes_per_us: 4,
+            energy_per_byte_x100: 100,
+        };
+        assert_eq!(link.transfer_us(1), 11);
+        assert_eq!(link.transfer_us(4), 11);
+        assert_eq!(link.transfer_us(5), 12);
+    }
+
+    #[test]
+    fn energy_uses_fixed_point_ceiling() {
+        let link = LinkModel::serial_8mbps();
+        // 0.15 µJ/byte: 1 byte rounds up to a whole microjoule.
+        assert_eq!(link.transfer_energy_uj(1), 1);
+        assert_eq!(link.transfer_energy_uj(100), 15);
+        assert_eq!(link.transfer_energy_mj(100), 0.015);
+    }
+
+    #[test]
+    fn millisecond_view_matches_the_integer_count() {
+        let link = LinkModel::default();
+        assert_eq!(link.transfer_ms(850), link.transfer_us(850) as f64 / 1e3);
+    }
+}

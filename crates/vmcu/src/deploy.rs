@@ -31,7 +31,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use vmcu_graph::{Graph, LayerWeights};
 use vmcu_plan::planner::MemoryPlanner;
-use vmcu_plan::{ChainPlan, FusionPlan, MemoryPlan, PatchPlan};
+use vmcu_plan::{ChainPlan, FusionPlan, MemoryPlan, PatchPlan, SplitPlan};
 use vmcu_sim::{Device, Machine};
 use vmcu_tensor::Tensor;
 
@@ -50,6 +50,8 @@ pub struct PlanSet {
     pub patch: Option<PatchPlan>,
     /// The §4 whole-network chain plan (vMCU policy).
     pub chain: Option<ChainPlan>,
+    /// The multi-device partition (split policy).
+    pub split: Option<SplitPlan>,
 }
 
 struct DeployInner {
@@ -195,6 +197,11 @@ impl Deployment {
     /// The memoized §4 chain plan (vMCU policy only).
     pub fn chain_plan(&self) -> Option<&ChainPlan> {
         self.inner.plans.chain.as_ref()
+    }
+
+    /// The memoized multi-device partition (split policy only).
+    pub fn split_plan(&self) -> Option<&SplitPlan> {
+        self.inner.plans.split.as_ref()
     }
 
     /// Peak SRAM this model commits on its device (activations +

@@ -14,16 +14,16 @@
 use crate::deploy::Deployment;
 use crate::error::EngineError;
 use crate::exec::{
-    stage_layer, Executor, FusedExecutor, HmcosExecutor, PatchedExecutor, TinyEngineExecutor,
-    VmcuExecutor,
+    stage_layer, Executor, FusedExecutor, HmcosExecutor, PatchedExecutor, SplitExecutor,
+    TinyEngineExecutor, VmcuExecutor,
 };
 use vmcu_graph::{Graph, LayerDesc, LayerWeights};
 use vmcu_kernels::IbScheme;
 use vmcu_plan::chain::ChainPlan;
 use vmcu_plan::planner::MemoryPlanner;
 use vmcu_plan::{
-    FusedPlanner, HmcosPlanner, LayerPlan, MemoryPlan, PatchedPlanner, TinyEnginePlanner,
-    VmcuPlanner,
+    FusedPlanner, HmcosPlanner, LayerPlan, MemoryPlan, PatchedPlanner, SplitPlanner,
+    TinyEnginePlanner, VmcuPlanner,
 };
 use vmcu_sim::{Device, ExecSummary, Machine};
 use vmcu_tensor::Tensor;
@@ -78,6 +78,21 @@ pub enum PlannerKind {
     /// HMCOS scheduling (planned with HMCOS policy; executed with the
     /// baseline kernels — HMCOS contributes no kernels of its own).
     Hmcos,
+    /// Split inference across up to `devices` networked MCUs: the graph
+    /// is cut layer-wise into contiguous per-device stages minimizing
+    /// the max per-device peak (each stage planned by the fusion pass),
+    /// and the pipelined executor streams the boundary activations
+    /// stage-to-stage with every transfer priced by the deterministic
+    /// `vmcu_sim::LinkModel` — the policy for models no *single* device
+    /// can hold.
+    VmcuSplit {
+        /// Maximum number of networked devices to cut across (2–8;
+        /// clamped by the partitioner).
+        devices: u8,
+        /// Workspace scheme for fused inverted-bottleneck singletons
+        /// inside each stage.
+        scheme: IbScheme,
+    },
 }
 
 impl PlannerKind {
@@ -89,6 +104,7 @@ impl PlannerKind {
             PlannerKind::VmcuPatched(_) => "vMCU-patched",
             PlannerKind::TinyEngine => "TinyEngine",
             PlannerKind::Hmcos => "HMCOS",
+            PlannerKind::VmcuSplit { .. } => "vMCU-split",
         }
     }
 
@@ -106,6 +122,10 @@ impl PlannerKind {
             }),
             PlannerKind::TinyEngine => Box::new(TinyEnginePlanner),
             PlannerKind::Hmcos => Box::new(HmcosPlanner),
+            PlannerKind::VmcuSplit { devices, scheme } => Box::new(SplitPlanner {
+                devices: *devices,
+                scheme: *scheme,
+            }),
         }
     }
 
@@ -118,6 +138,11 @@ impl PlannerKind {
             PlannerKind::VmcuPatched(scheme) => Box::new(PatchedExecutor { scheme: *scheme }),
             PlannerKind::TinyEngine => Box::new(TinyEngineExecutor),
             PlannerKind::Hmcos => Box::new(HmcosExecutor),
+            PlannerKind::VmcuSplit { devices, scheme } => Box::new(SplitExecutor {
+                devices: *devices,
+                scheme: *scheme,
+                link: vmcu_sim::LinkModel::default(),
+            }),
         }
     }
 }

@@ -95,6 +95,7 @@ impl Executor for FusedExecutor {
             fusion: Some(fusion),
             patch: None,
             chain: None,
+            split: None,
         }
     }
 

@@ -26,6 +26,7 @@
 pub mod fused;
 pub mod hmcos;
 pub mod patched;
+pub mod split;
 pub mod tinyengine;
 pub mod vmcu;
 
@@ -40,6 +41,7 @@ use vmcu_tensor::Tensor;
 pub use fused::FusedExecutor;
 pub use hmcos::HmcosExecutor;
 pub use patched::PatchedExecutor;
+pub use split::SplitExecutor;
 pub use tinyengine::TinyEngineExecutor;
 pub use vmcu::VmcuExecutor;
 
@@ -180,6 +182,7 @@ pub trait Executor: std::fmt::Debug + Send + Sync {
             fusion: None,
             patch: None,
             chain: None,
+            split: None,
         }
     }
 

@@ -45,6 +45,7 @@ impl Executor for PatchedExecutor {
             fusion: None,
             patch: Some(pplan),
             chain: None,
+            split: None,
         }
     }
 

@@ -110,6 +110,7 @@ impl Executor for VmcuExecutor {
             fusion: None,
             patch: None,
             chain: Some(vmcu_plan::plan_chain(graph, self.scheme)),
+            split: None,
         }
     }
 

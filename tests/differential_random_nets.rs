@@ -39,6 +39,20 @@ fn check_seed(seed: u64) {
         PlannerKind::VmcuFused(IbScheme::RowBuffer),
         PlannerKind::VmcuPatched(IbScheme::RowBuffer),
         PlannerKind::TinyEngine,
+        // The multi-device pipeline at every supported width: cutting a
+        // net across 2, 4, or 8 devices must not move a single bit.
+        PlannerKind::VmcuSplit {
+            devices: 2,
+            scheme: IbScheme::RowBuffer,
+        },
+        PlannerKind::VmcuSplit {
+            devices: 4,
+            scheme: IbScheme::RowBuffer,
+        },
+        PlannerKind::VmcuSplit {
+            devices: 8,
+            scheme: IbScheme::RowBuffer,
+        },
     ] {
         let report = Engine::new(device.clone())
             .planner(kind)

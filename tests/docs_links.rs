@@ -198,6 +198,57 @@ fn serving_handbook_cross_links_are_bidirectional() {
 }
 
 #[test]
+fn split_handbook_cross_links_are_bidirectional() {
+    // README ↔ ARCHITECTURE ↔ PLANNERS ↔ SPLIT: the split pipeline
+    // handbook must be reachable from all three entry points, and must
+    // link back to all three.
+    let root = repo_root();
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap();
+    let arch = std::fs::read_to_string(root.join("docs/ARCHITECTURE.md")).unwrap();
+    let planners = std::fs::read_to_string(root.join("docs/PLANNERS.md")).unwrap();
+    let split = std::fs::read_to_string(root.join("docs/SPLIT.md")).unwrap();
+    assert!(
+        readme.contains("docs/SPLIT.md"),
+        "README must link the split handbook"
+    );
+    assert!(
+        arch.contains("SPLIT.md"),
+        "ARCHITECTURE must link the split handbook"
+    );
+    assert!(
+        planners.contains("SPLIT.md"),
+        "PLANNERS must link the split handbook"
+    );
+    assert!(
+        split.contains("ARCHITECTURE.md")
+            && split.contains("PLANNERS.md")
+            && split.contains("../README.md"),
+        "the split handbook must link back to ARCHITECTURE, PLANNERS, and the README"
+    );
+    // The spec the split tests lean on: one section per mechanism.
+    // Whole-line matches so renames cannot hide.
+    for heading in [
+        "## The partitioner",
+        "## Link-model semantics",
+        "## Execution and reporting",
+        "## Serving against aggregate RAM",
+        "## Worked example: `hires-split-only`",
+        "## Verifying the claims",
+    ] {
+        assert!(
+            split.lines().any(|l| l == heading),
+            "SPLIT.md must keep the `{heading}` section"
+        );
+    }
+    // And the planner handbook must keep its per-policy section for the
+    // split policy alongside the original five.
+    assert!(
+        planners.lines().any(|l| l == "## vMCU-split"),
+        "PLANNERS.md must keep the `## vMCU-split` section"
+    );
+}
+
+#[test]
 fn handbook_cross_links_are_bidirectional() {
     // README ↔ ARCHITECTURE ↔ PLANNERS: the planner handbook must be
     // reachable from both entry points, and must link back to both.
