@@ -5,11 +5,14 @@
 //!
 //! * **`planners`** — the legacy batch rows: the same seeded request
 //!   batch offered to an N-device 128 KB fleet under vMCU, vMCU-fused,
-//!   vMCU-patched, TinyEngine, HMCOS, and vMCU-split planning
-//!   (requests/sec, admission rate, p50/p99 latency). The split rows
-//!   exercise the multi-device pipeline: the `hires-split-only` model
-//!   OOMs every single device and is served only by the split fleet —
-//!   checked deterministically every run.
+//!   vMCU-patched, TinyEngine, HMCOS, vMCU-split, and vMCU-reorder
+//!   planning (requests/sec, admission rate, p50/p99 latency). The
+//!   split rows exercise the multi-device pipeline: the
+//!   `hires-split-only` model OOMs every single device and is served
+//!   only by the split fleet — checked deterministically every run.
+//!   The reorder check (`reorder_peak_never_worse`) verifies the DAG
+//!   order search's ≤-contract on the branchy zoo and that
+//!   `branchy-oom-net` deploys only under the reorder policy.
 //! * **`online`** — sustained online runs ([`Fleet::run_online`]): a
 //!   seeded million-request arrival stream through per-device EDF
 //!   queues with deadline shedding and LRU model hot-swap. Every
@@ -221,6 +224,10 @@ fn main() {
                 scheme: IbScheme::RowBuffer,
             },
         ),
+        (
+            "vMCU-reorder",
+            PlannerKind::VmcuReorder(IbScheme::RowBuffer),
+        ),
     ];
     let mut rows = Vec::new();
     let mut per_planner = Vec::new();
@@ -390,6 +397,49 @@ fn main() {
             format!(
                 "hires-split-only on 2x {}: vMCU rejected {}, vMCU-split completed {}",
                 device.name, single.stats.rejected, split.stats.completed
+            ),
+        ));
+    }
+    if !args.online_only {
+        // The reorder tentpole, deterministically: on every branchy zoo
+        // DAG the searched execution order's liveness-priced peak is
+        // never worse than the default topological order's (the
+        // ≤-fallback contract), and the branchy-oom-net model — which
+        // the default order cannot fit on the 128 KB device — deploys
+        // under the reorder policy.
+        let planner = VmcuPlanner::default();
+        let zoo_plans: Vec<(String, vmcu::vmcu_plan::OrderPlan)> = vmcu_graph::zoo::branchy_zoo()
+            .into_iter()
+            .map(|g| {
+                let plan = vmcu::vmcu_plan::plan_order(&planner, &g);
+                (g.name, plan)
+            })
+            .collect();
+        let never_worse = zoo_plans
+            .iter()
+            .all(|(_, p)| p.peak_bytes <= p.default_peak_bytes);
+        let oom = vmcu_graph::zoo::branchy_oom_net();
+        let oom_weights = oom.random_weights(args.seed);
+        let default_oom = Engine::new(device.clone())
+            .planner(PlannerKind::Vmcu(IbScheme::RowBuffer))
+            .deploy(&oom, &oom_weights)
+            .is_err();
+        let reorder_fits = Engine::new(device.clone())
+            .planner(PlannerKind::VmcuReorder(IbScheme::RowBuffer))
+            .deploy(&oom, &oom_weights)
+            .is_ok();
+        checks.push((
+            "reorder_peak_never_worse".to_owned(),
+            never_worse && default_oom && reorder_fits,
+            format!(
+                "searched vs default peak per DAG: {:?}; branchy-oom-net on {}: default OOM {}, reordered fits {}",
+                zoo_plans
+                    .iter()
+                    .map(|(n, p)| format!("{n} {} <= {}", p.peak_bytes, p.default_peak_bytes))
+                    .collect::<Vec<_>>(),
+                device.name,
+                default_oom,
+                reorder_fits
             ),
         ));
     }

@@ -4,47 +4,59 @@
 //! tensors — no simulator, no memory planning. This is the ground truth
 //! every planned/simulated execution is compared against.
 
-use crate::graph::Graph;
+use crate::graph::{Graph, NodeInput};
 use crate::layer::{LayerDesc, LayerWeights};
 use vmcu_kernels::fused_ib::ib_reference;
 use vmcu_tensor::{reference, Tensor};
 
 /// Runs the graph on `input`, returning every intermediate activation
-/// (the last entry is the graph output).
+/// (the last entry is the graph output). Each node gathers its inputs
+/// from earlier activations (or the graph input), so branchy DAGs run
+/// exactly as chains do.
 ///
 /// # Panics
 ///
 /// Panics if `weights` does not match the graph or shapes mismatch
-/// (construction via [`Graph::linear`] and [`Graph::random_weights`]
-/// guarantees both).
+/// (construction via [`Graph::linear`]/[`Graph::dag`] and
+/// [`Graph::random_weights`] guarantees both).
 pub fn run_reference(
     graph: &Graph,
     weights: &[LayerWeights],
     input: &Tensor<i8>,
 ) -> Vec<Tensor<i8>> {
     assert_eq!(weights.len(), graph.len(), "weights/layers mismatch");
-    let mut acts = Vec::with_capacity(graph.len());
-    let mut cur = input.clone();
-    for (layer, w) in graph.layers().iter().zip(weights) {
-        cur = match (layer, w) {
+    let mut acts: Vec<Tensor<i8>> = Vec::with_capacity(graph.len());
+    for (i, (layer, w)) in graph.layers().iter().zip(weights).enumerate() {
+        let ins: Vec<&Tensor<i8>> = graph
+            .node_inputs(i)
+            .iter()
+            .map(|edge| match edge {
+                NodeInput::GraphInput => input,
+                NodeInput::Node(j) => &acts[*j],
+            })
+            .collect();
+        let cur = &ins[0];
+        let out = match (layer, w) {
             (LayerDesc::Pointwise(p), LayerWeights::Pointwise(wt)) => {
-                reference::pointwise(&cur, wt, None, 1, p.rq, p.clamp)
+                reference::pointwise(cur, wt, None, 1, p.rq, p.clamp)
             }
             (LayerDesc::Conv2d(p), LayerWeights::Conv2d(wt)) => {
-                reference::conv2d(&cur, wt, None, p.stride, p.pad, p.rq, p.clamp)
+                reference::conv2d(cur, wt, None, p.stride, p.pad, p.rq, p.clamp)
             }
             (LayerDesc::Depthwise(p), LayerWeights::Depthwise(wt)) => {
-                reference::depthwise(&cur, wt, None, p.stride, p.pad, p.rq, p.clamp)
+                reference::depthwise(cur, wt, None, p.stride, p.pad, p.rq, p.clamp)
             }
             (LayerDesc::Dense(p), LayerWeights::Dense(wt)) => {
-                reference::dense(&cur, wt, None, p.rq, p.clamp)
+                reference::dense(cur, wt, None, p.rq, p.clamp)
             }
             (LayerDesc::Ib(p), LayerWeights::Ib { w1, wdw, w2 }) => {
-                ib_reference(p, &cur, w1, wdw, w2)
+                ib_reference(p, cur, w1, wdw, w2)
             }
+            (LayerDesc::Add(_), LayerWeights::None) => reference::add(ins[0], ins[1]),
+            (LayerDesc::Concat(_), LayerWeights::None) => reference::concat(ins[0], ins[1]),
             (l, w) => panic!("layer/weights kind mismatch: {l:?} vs {w:?}"),
         };
-        acts.push(cur.clone());
+        acts.push(out);
     }
     acts
 }

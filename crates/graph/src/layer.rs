@@ -2,9 +2,12 @@
 //!
 //! A [`LayerDesc`] is the graph-level view of one kernel invocation; it
 //! wraps the parameter blocks from `vmcu-kernels` so planners, executors,
-//! and the facade all agree on geometry and quantization.
+//! and the facade all agree on geometry and quantization. Merge layers
+//! (residual add, channel concat) take two inputs and carry no weights.
 
-use vmcu_kernels::params::{Conv2dParams, DepthwiseParams, FcParams, IbParams, PointwiseParams};
+use vmcu_kernels::params::{
+    AddParams, ConcatParams, Conv2dParams, DepthwiseParams, FcParams, IbParams, PointwiseParams,
+};
 use vmcu_tensor::{random, Tensor};
 
 /// One layer of a model graph.
@@ -20,6 +23,10 @@ pub enum LayerDesc {
     Dense(FcParams),
     /// Fused inverted-bottleneck module.
     Ib(IbParams),
+    /// Elementwise residual add (two same-shape inputs, no weights).
+    Add(AddParams),
+    /// Channel concatenation (two inputs, no weights).
+    Concat(ConcatParams),
 }
 
 impl LayerDesc {
@@ -31,10 +38,25 @@ impl LayerDesc {
             LayerDesc::Depthwise(_) => "depthwise",
             LayerDesc::Dense(_) => "dense",
             LayerDesc::Ib(_) => "inverted-bottleneck",
+            LayerDesc::Add(_) => "add",
+            LayerDesc::Concat(_) => "concat",
         }
     }
 
-    /// Input activation bytes.
+    /// Number of input tensors (2 for merges, 1 otherwise).
+    pub fn arity(&self) -> usize {
+        match self {
+            LayerDesc::Add(_) | LayerDesc::Concat(_) => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether this is a branch-merging layer.
+    pub fn is_merge(&self) -> bool {
+        self.arity() == 2
+    }
+
+    /// Input activation bytes (summed over all inputs for merges).
     pub fn in_bytes(&self) -> usize {
         match self {
             LayerDesc::Pointwise(p) => p.in_bytes(),
@@ -42,6 +64,8 @@ impl LayerDesc {
             LayerDesc::Depthwise(p) => p.in_bytes(),
             LayerDesc::Dense(p) => p.in_bytes(),
             LayerDesc::Ib(p) => p.in_bytes(),
+            LayerDesc::Add(p) => p.in_bytes(),
+            LayerDesc::Concat(p) => p.in_bytes(),
         }
     }
 
@@ -53,10 +77,13 @@ impl LayerDesc {
             LayerDesc::Depthwise(p) => p.out_bytes(),
             LayerDesc::Dense(p) => p.out_bytes(),
             LayerDesc::Ib(p) => p.out_bytes(),
+            LayerDesc::Add(p) => p.out_bytes(),
+            LayerDesc::Concat(p) => p.out_bytes(),
         }
     }
 
-    /// Input tensor shape.
+    /// Input tensor shape (first input for merges; see
+    /// [`LayerDesc::in_shapes`] for all of them).
     pub fn in_shape(&self) -> Vec<usize> {
         match self {
             LayerDesc::Pointwise(p) => vec![p.h, p.w, p.c],
@@ -64,6 +91,19 @@ impl LayerDesc {
             LayerDesc::Depthwise(p) => vec![p.h, p.w, p.c],
             LayerDesc::Dense(p) => vec![p.m, p.k],
             LayerDesc::Ib(p) => vec![p.hw, p.hw, p.c_in],
+            LayerDesc::Add(p) => vec![p.h, p.w, p.c],
+            LayerDesc::Concat(p) => vec![p.h, p.w, p.c_a],
+        }
+    }
+
+    /// Expected shape of every input, in slot order.
+    pub fn in_shapes(&self) -> Vec<Vec<usize>> {
+        match self {
+            LayerDesc::Add(p) => vec![vec![p.h, p.w, p.c], vec![p.h, p.w, p.c]],
+            LayerDesc::Concat(p) => {
+                vec![vec![p.h, p.w, p.c_a], vec![p.h, p.w, p.c_b]]
+            }
+            _ => vec![self.in_shape()],
         }
     }
 
@@ -75,6 +115,8 @@ impl LayerDesc {
             LayerDesc::Depthwise(p) => vec![p.out_h(), p.out_w(), p.c],
             LayerDesc::Dense(p) => vec![p.m, p.n],
             LayerDesc::Ib(p) => vec![p.hw2(), p.hw2(), p.c_out],
+            LayerDesc::Add(p) => vec![p.h, p.w, p.c],
+            LayerDesc::Concat(p) => vec![p.h, p.w, p.c_a + p.c_b],
         }
     }
 
@@ -86,6 +128,7 @@ impl LayerDesc {
             LayerDesc::Depthwise(p) => p.r * p.s * p.c,
             LayerDesc::Dense(p) => p.weight_bytes(),
             LayerDesc::Ib(p) => p.c_in * p.c_mid + p.rs * p.rs * p.c_mid + p.c_mid * p.c_out,
+            LayerDesc::Add(_) | LayerDesc::Concat(_) => 0,
         }
     }
 }
@@ -111,6 +154,8 @@ pub enum LayerWeights {
         /// Project weights.
         w2: Tensor<i8>,
     },
+    /// No weights (merge layers).
+    None,
 }
 
 impl LayerWeights {
@@ -132,6 +177,7 @@ impl LayerWeights {
                 wdw: random::tensor_i8(&[p.rs, p.rs, p.c_mid], seed.wrapping_add(1)),
                 w2: random::tensor_i8(&[p.c_mid, p.c_out], seed.wrapping_add(2)),
             },
+            LayerDesc::Add(_) | LayerDesc::Concat(_) => LayerWeights::None,
         }
     }
 
@@ -143,6 +189,7 @@ impl LayerWeights {
             | LayerWeights::Depthwise(t)
             | LayerWeights::Dense(t) => t.len(),
             LayerWeights::Ib { w1, wdw, w2 } => w1.len() + wdw.len() + w2.len(),
+            LayerWeights::None => 0,
         }
     }
 }
@@ -160,6 +207,7 @@ mod tests {
         assert_eq!(l.in_shape(), vec![8, 8, 16]);
         assert_eq!(l.out_shape(), vec![8, 8, 24]);
         assert_eq!(l.weight_bytes(), 16 * 24);
+        assert_eq!(l.arity(), 1);
     }
 
     #[test]
@@ -176,5 +224,21 @@ mod tests {
         let l = LayerDesc::Dense(FcParams::new(4, 8, 8, Requant::identity()));
         assert_eq!(LayerWeights::random(&l, 9), LayerWeights::random(&l, 9));
         assert_ne!(LayerWeights::random(&l, 9), LayerWeights::random(&l, 10));
+    }
+
+    #[test]
+    fn merge_layers_have_two_inputs_and_no_weights() {
+        let add = LayerDesc::Add(AddParams::new(8, 8, 4));
+        assert_eq!(add.arity(), 2);
+        assert!(add.is_merge());
+        assert_eq!(add.weight_bytes(), 0);
+        assert_eq!(add.in_bytes(), 2 * 8 * 8 * 4);
+        assert_eq!(add.out_shape(), vec![8, 8, 4]);
+        assert_eq!(LayerWeights::random(&add, 1), LayerWeights::None);
+
+        let cat = LayerDesc::Concat(ConcatParams::new(8, 8, 6, 10));
+        assert_eq!(cat.in_shapes(), vec![vec![8, 8, 6], vec![8, 8, 10]]);
+        assert_eq!(cat.out_shape(), vec![8, 8, 16]);
+        assert_eq!(cat.out_bytes(), 8 * 8 * 16);
     }
 }

@@ -1,6 +1,7 @@
 //! # vmcu-graph — model graphs and the evaluation model zoo
 //!
-//! Linear DNN [graphs](graph::Graph) over the kernel parameter blocks, a
+//! DNN [graphs](graph::Graph) — linear chains and branchy DAGs with
+//! explicit multi-input edges — over the kernel parameter blocks, a
 //! [reference executor](exec) (oracle), and the [zoo] containing
 //! every workload of the paper's evaluation: the nine Figure 7/8
 //! single-layer cases and all Table 2 inverted-bottleneck modules of
@@ -26,5 +27,5 @@ pub mod graph;
 pub mod layer;
 pub mod zoo;
 
-pub use graph::{Graph, ShapeMismatchError};
+pub use graph::{Graph, GraphBuildError, NodeInput, ShapeMismatchError};
 pub use layer::{LayerDesc, LayerWeights};

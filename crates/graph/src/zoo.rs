@@ -11,11 +11,11 @@
 //! * [`fleet_catalog`] — the named deployable models a `vmcu-serve`
 //!   request stream draws from.
 
-use crate::graph::Graph;
+use crate::graph::{Graph, NodeInput};
 use crate::layer::LayerDesc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vmcu_kernels::params::{DepthwiseParams, IbParams, PointwiseParams};
+use vmcu_kernels::params::{AddParams, ConcatParams, DepthwiseParams, IbParams, PointwiseParams};
 use vmcu_tensor::Requant;
 
 /// A named module configuration from Table 2.
@@ -372,6 +372,251 @@ pub fn random_linear_net(seed: u64, layers: usize) -> Graph {
     Graph::linear(format!("random-{seed}"), out).expect("generator chains shapes")
 }
 
+/// An MBv2-style residual block as an explicit DAG: expand → depthwise →
+/// project, with the block input carried around the branch into an
+/// elementwise [`LayerDesc::Add`]. The graph input stays live until the
+/// merge — the canonical last-consumer liveness case.
+pub fn mbv2_residual_dag() -> Graph {
+    let rq = Requant::from_scale(1.0 / 64.0, 0);
+    let mut expand = PointwiseParams::new(12, 12, 16, 48, rq);
+    expand.clamp = (0, 127);
+    let mut dw = DepthwiseParams::new(12, 12, 48, 3, 3, 1, 1, rq);
+    dw.clamp = (0, 127);
+    let project = PointwiseParams::new(12, 12, 48, 16, rq);
+    Graph::dag(
+        "mbv2-residual-dag",
+        vec![
+            (LayerDesc::Pointwise(expand), vec![NodeInput::GraphInput]),
+            (LayerDesc::Depthwise(dw), vec![NodeInput::Node(0)]),
+            (LayerDesc::Pointwise(project), vec![NodeInput::Node(1)]),
+            (
+                LayerDesc::Add(AddParams::new(12, 12, 16)),
+                vec![NodeInput::Node(2), NodeInput::GraphInput],
+            ),
+        ],
+    )
+    .expect("residual block shapes merge")
+}
+
+/// A two-head output net: a shared trunk feeding two pointwise heads
+/// whose outputs are channel-concatenated into the single graph output.
+/// The trunk tensor has two consumers — the multi-successor liveness
+/// case.
+pub fn two_head_net() -> Graph {
+    let rq = Requant::from_scale(1.0 / 64.0, 0);
+    let mut trunk = PointwiseParams::new(12, 12, 8, 16, rq);
+    trunk.clamp = (0, 127);
+    let head_a = PointwiseParams::new(12, 12, 16, 6, rq);
+    let head_b = PointwiseParams::new(12, 12, 16, 10, rq);
+    Graph::dag(
+        "two-head-net",
+        vec![
+            (LayerDesc::Pointwise(trunk), vec![NodeInput::GraphInput]),
+            (LayerDesc::Pointwise(head_a), vec![NodeInput::Node(0)]),
+            (LayerDesc::Pointwise(head_b), vec![NodeInput::Node(0)]),
+            (
+                LayerDesc::Concat(ConcatParams::new(12, 12, 6, 10)),
+                vec![NodeInput::Node(1), NodeInput::Node(2)],
+            ),
+        ],
+    )
+    .expect("head shapes concat")
+}
+
+/// The reorder-only model: two independent fat branches off the input,
+/// each expanded to a ~70 KB tensor and then reduced to a sliver, merged
+/// by a residual add. The *default* node order interleaves the branches
+/// (expand A, expand B, reduce A, reduce B), so both fat tensors are
+/// co-resident and the peak exceeds a 128 KB device under **every**
+/// planner. Executing one branch to completion before starting the other
+/// (`PlannerKind::VmcuReorder`'s searched order) keeps a single fat
+/// tensor live at a time and the model fits with room to spare.
+pub fn branchy_oom_net() -> Graph {
+    let rq = Requant::from_scale(1.0 / 64.0, 0);
+    let mut expand_a = PointwiseParams::new(30, 30, 16, 80, rq);
+    expand_a.clamp = (0, 127);
+    let mut expand_b = expand_a;
+    expand_b.clamp = (0, 126); // distinct branch semantics
+    let reduce = PointwiseParams::new(30, 30, 80, 4, rq);
+    Graph::dag(
+        "branchy-oom-net",
+        vec![
+            (LayerDesc::Pointwise(expand_a), vec![NodeInput::GraphInput]),
+            (LayerDesc::Pointwise(expand_b), vec![NodeInput::GraphInput]),
+            (LayerDesc::Pointwise(reduce), vec![NodeInput::Node(0)]),
+            (LayerDesc::Pointwise(reduce), vec![NodeInput::Node(1)]),
+            (
+                LayerDesc::Add(AddParams::new(30, 30, 4)),
+                vec![NodeInput::Node(2), NodeInput::Node(3)],
+            ),
+        ],
+    )
+    .expect("branch shapes merge")
+}
+
+/// The branchy zoo: the DAG models exercised by the reorder planner's
+/// benches and end-to-end tests.
+pub fn branchy_zoo() -> Vec<Graph> {
+    vec![mbv2_residual_dag(), two_head_net(), branchy_oom_net()]
+}
+
+/// A random branchy DAG for differential testing: a pool of pointwise /
+/// stride-1 depthwise nodes at a fixed spatial size, with random skip
+/// edges flowing into [`LayerDesc::Add`] / [`LayerDesc::Concat`] merges,
+/// closed off so every node feeds the single sink. Deterministic per
+/// seed.
+pub fn random_dag_net(seed: u64, body_nodes: usize) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rq = Requant::from_scale(1.0 / 64.0, 0);
+    let hw = [6usize, 8, 10][rng.gen_range(0..3)];
+    let c0 = [4usize, 8][rng.gen_range(0..2)];
+    let mut nodes: Vec<(LayerDesc, Vec<NodeInput>)> = Vec::new();
+    // Output channels per produced tensor, and whether it has a consumer.
+    let mut ch: Vec<usize> = Vec::new();
+    let mut consumed: Vec<bool> = Vec::new();
+
+    let push = |nodes: &mut Vec<(LayerDesc, Vec<NodeInput>)>,
+                ch: &mut Vec<usize>,
+                consumed: &mut Vec<bool>,
+                layer: LayerDesc,
+                ins: Vec<NodeInput>| {
+        for edge in &ins {
+            if let NodeInput::Node(j) = edge {
+                consumed[*j] = true;
+            }
+        }
+        ch.push(layer.out_shape()[2]);
+        consumed.push(false);
+        nodes.push((layer, ins));
+    };
+
+    // Node 0 always consumes the graph input.
+    let k0 = [4usize, 6, 8][rng.gen_range(0..3)];
+    push(
+        &mut nodes,
+        &mut ch,
+        &mut consumed,
+        LayerDesc::Pointwise(PointwiseParams::new(hw, hw, c0, k0, rq)),
+        vec![NodeInput::GraphInput],
+    );
+
+    for _ in 0..body_nodes {
+        let n = nodes.len();
+        // Prefer extending an unconsumed tensor so branches stay narrow.
+        let src = (0..n)
+            .filter(|&i| !consumed[i])
+            .min_by_key(|&i| i)
+            .filter(|_| rng.gen_bool(0.7))
+            .unwrap_or_else(|| rng.gen_range(0..n));
+        match rng.gen_range(0..4) {
+            // Residual add with an earlier same-channel tensor.
+            0 => {
+                let mates: Vec<usize> = (0..n).filter(|&j| j != src && ch[j] == ch[src]).collect();
+                if let Some(&mate) = mates.first() {
+                    let layer = LayerDesc::Add(AddParams::new(hw, hw, ch[src]));
+                    push(
+                        &mut nodes,
+                        &mut ch,
+                        &mut consumed,
+                        layer,
+                        vec![NodeInput::Node(src), NodeInput::Node(mate)],
+                    );
+                    continue;
+                }
+                let k = [4usize, 6, 8, 12][rng.gen_range(0..4)];
+                let layer = LayerDesc::Pointwise(PointwiseParams::new(hw, hw, ch[src], k, rq));
+                push(
+                    &mut nodes,
+                    &mut ch,
+                    &mut consumed,
+                    layer,
+                    vec![NodeInput::Node(src)],
+                );
+            }
+            // Channel concat with any earlier tensor (bounded width).
+            1 => {
+                let mates: Vec<usize> = (0..n)
+                    .filter(|&j| j != src && ch[j] + ch[src] <= 24)
+                    .collect();
+                if let Some(&mate) = mates.last() {
+                    let layer = LayerDesc::Concat(ConcatParams::new(hw, hw, ch[src], ch[mate]));
+                    push(
+                        &mut nodes,
+                        &mut ch,
+                        &mut consumed,
+                        layer,
+                        vec![NodeInput::Node(src), NodeInput::Node(mate)],
+                    );
+                    continue;
+                }
+                let k = [4usize, 6][rng.gen_range(0..2)];
+                let layer = LayerDesc::Pointwise(PointwiseParams::new(hw, hw, ch[src], k, rq));
+                push(
+                    &mut nodes,
+                    &mut ch,
+                    &mut consumed,
+                    layer,
+                    vec![NodeInput::Node(src)],
+                );
+            }
+            // Stride-1 depthwise keeps shape.
+            2 => {
+                let layer =
+                    LayerDesc::Depthwise(DepthwiseParams::new(hw, hw, ch[src], 3, 3, 1, 1, rq));
+                push(
+                    &mut nodes,
+                    &mut ch,
+                    &mut consumed,
+                    layer,
+                    vec![NodeInput::Node(src)],
+                );
+            }
+            // Pointwise — sometimes forking off an already-consumed
+            // tensor (a skip edge / second consumer).
+            _ => {
+                let fork = if n > 1 && rng.gen_bool(0.4) {
+                    rng.gen_range(0..n)
+                } else {
+                    src
+                };
+                let k = [4usize, 6, 8, 12][rng.gen_range(0..4)];
+                let layer = LayerDesc::Pointwise(PointwiseParams::new(hw, hw, ch[fork], k, rq));
+                push(
+                    &mut nodes,
+                    &mut ch,
+                    &mut consumed,
+                    layer,
+                    vec![NodeInput::Node(fork)],
+                );
+            }
+        }
+    }
+
+    // Close the DAG: merge leftover unconsumed tensors pairwise until a
+    // single sink remains (the last node is always unconsumed, so the
+    // final merge is the sink).
+    loop {
+        let open: Vec<usize> = (0..nodes.len()).filter(|&i| !consumed[i]).collect();
+        let (Some(&u), Some(&v)) = (open.first(), open.get(1)) else {
+            break;
+        };
+        let layer = if ch[u] == ch[v] {
+            LayerDesc::Add(AddParams::new(hw, hw, ch[u]))
+        } else {
+            LayerDesc::Concat(ConcatParams::new(hw, hw, ch[u], ch[v]))
+        };
+        push(
+            &mut nodes,
+            &mut ch,
+            &mut consumed,
+            layer,
+            vec![NodeInput::Node(u), NodeInput::Node(v)],
+        );
+    }
+
+    Graph::dag(format!("random-dag-{seed}"), nodes).expect("generator builds valid DAGs")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,5 +694,45 @@ mod tests {
         let g = demo_linear_net();
         assert_eq!(g.in_shape(), vec![12, 12, 4]);
         assert_eq!(g.out_shape(), vec![6, 6, 32]);
+    }
+
+    #[test]
+    fn branchy_zoo_models_are_dags() {
+        for g in branchy_zoo() {
+            assert!(!g.is_chain(), "{} must branch", g.name);
+            assert!(g.layers().iter().any(LayerDesc::is_merge));
+        }
+        assert_eq!(mbv2_residual_dag().out_shape(), vec![12, 12, 16]);
+        assert_eq!(two_head_net().out_shape(), vec![12, 12, 16]);
+        assert_eq!(branchy_oom_net().out_shape(), vec![30, 30, 4]);
+    }
+
+    #[test]
+    fn random_dags_build_for_many_seeds() {
+        for seed in 0..100 {
+            let g = random_dag_net(seed, 5);
+            assert!(!g.is_empty(), "seed {seed}");
+            assert!(!g.in_shape().is_empty());
+            // The sink is the last node: everything else is consumed.
+            let mut consumed = vec![false; g.len()];
+            for ins in g.inputs() {
+                for edge in ins {
+                    if let crate::graph::NodeInput::Node(j) = edge {
+                        consumed[*j] = true;
+                    }
+                }
+            }
+            assert!(consumed[..g.len() - 1].iter().all(|&c| c), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_dags_are_deterministic_and_branchy_somewhere() {
+        assert_eq!(random_dag_net(3, 6), random_dag_net(3, 6));
+        // Across a seed range the generator must actually emit merges.
+        assert!((0..20).any(|s| random_dag_net(s, 6)
+            .layers()
+            .iter()
+            .any(LayerDesc::is_merge)));
     }
 }

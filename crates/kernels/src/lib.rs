@@ -14,6 +14,9 @@
 //!   both workspace schemes;
 //! * [`fused_chain`] — the generalized multi-layer fused chain kernel
 //!   (line-buffer rings per intermediate, one pool window end to end);
+//! * [`merge`] — branch-merging kernels (elementwise residual add,
+//!   channel concat) that free operand slices as they are consumed so
+//!   the fused output overlaps the dying inputs;
 //! * [`im2col`] — im2col + matmul lowering for conv2d/fc: receptive
 //!   fields gathered into staging RAM (RAM-to-RAM copy traffic), then a
 //!   branch-free GEMM through the lane-blocked `Dot` micro-kernel;
@@ -40,6 +43,7 @@ pub mod fused_chain;
 pub mod fused_ib;
 pub mod im2col;
 pub mod intrinsics;
+pub mod merge;
 pub mod params;
 pub mod patched;
 pub mod pointwise;
@@ -49,5 +53,8 @@ pub mod trace;
 pub use fused_chain::{ChainOp, FusedChain};
 pub use fused_ib::{IbFlash, IbScheme};
 pub use im2col::{run_conv2d_im2col, run_fc_im2col};
-pub use params::{Conv2dParams, DepthwiseParams, FcParams, IbParams, PointwiseParams};
+pub use merge::{run_add, run_concat};
+pub use params::{
+    AddParams, ConcatParams, Conv2dParams, DepthwiseParams, FcParams, IbParams, PointwiseParams,
+};
 pub use patched::{PatchGrid, PatchedFront};

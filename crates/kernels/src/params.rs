@@ -429,6 +429,96 @@ impl IbParams {
     }
 }
 
+/// Elementwise residual add `A[H,W,C] + B[H,W,C] → Out[H,W,C]` with int8
+/// saturation. The two operands are staged consecutively in the pool
+/// (`A` at the base, `B` right behind it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AddParams {
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    /// Channels (both operands and the output).
+    pub c: usize,
+    /// Segment size in elements.
+    pub seg: usize,
+}
+
+impl AddParams {
+    /// Creates parameters; the segment is one channel vector (§5.3's
+    /// `min(C, K)` rule with `K = C`).
+    pub fn new(h: usize, w: usize, c: usize) -> Self {
+        Self { h, w, c, seg: c }
+    }
+
+    /// Bytes of one operand (and of the output).
+    pub fn tensor_bytes(&self) -> usize {
+        self.h * self.w * self.c
+    }
+
+    /// Input size in bytes — both operands.
+    pub fn in_bytes(&self) -> usize {
+        2 * self.tensor_bytes()
+    }
+
+    /// Output size in bytes.
+    pub fn out_bytes(&self) -> usize {
+        self.tensor_bytes()
+    }
+}
+
+/// Channel concatenation `A[H,W,Ca] ⧺ B[H,W,Cb] → Out[H,W,Ca+Cb]`.
+/// Operands are staged consecutively (`A` then `B`); the output
+/// interleaves their channel vectors per pixel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConcatParams {
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    /// Channels of the first operand.
+    pub c_a: usize,
+    /// Channels of the second operand.
+    pub c_b: usize,
+}
+
+impl ConcatParams {
+    /// Creates parameters.
+    pub fn new(h: usize, w: usize, c_a: usize, c_b: usize) -> Self {
+        Self { h, w, c_a, c_b }
+    }
+
+    /// Spatial positions.
+    pub fn pixels(&self) -> usize {
+        self.h * self.w
+    }
+
+    /// Bytes of the first operand.
+    pub fn a_bytes(&self) -> usize {
+        self.pixels() * self.c_a
+    }
+
+    /// Bytes of the second operand.
+    pub fn b_bytes(&self) -> usize {
+        self.pixels() * self.c_b
+    }
+
+    /// Input size in bytes — both operands.
+    pub fn in_bytes(&self) -> usize {
+        self.a_bytes() + self.b_bytes()
+    }
+
+    /// Output size in bytes.
+    pub fn out_bytes(&self) -> usize {
+        self.pixels() * (self.c_a + self.c_b)
+    }
+
+    /// Segment size in elements: one output pixel's channel vector.
+    pub fn seg(&self) -> usize {
+        self.c_a + self.c_b
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

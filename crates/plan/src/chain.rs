@@ -12,6 +12,7 @@ use vmcu_kernels::conv2d::conv2d_exec_distance;
 use vmcu_kernels::depthwise::depthwise_exec_distance;
 use vmcu_kernels::fc::fc_exec_distance;
 use vmcu_kernels::fused_ib::{ib_exec_distance, ib_workspace_bytes};
+use vmcu_kernels::merge::{add_exec_distance, concat_exec_distance};
 use vmcu_kernels::pointwise::pointwise_exec_distance;
 use vmcu_kernels::IbScheme;
 
@@ -46,6 +47,10 @@ fn layer_distance(layer: &LayerDesc, scheme: IbScheme) -> (i64, usize) {
         LayerDesc::Depthwise(p) => (depthwise_exec_distance(p), 0),
         LayerDesc::Dense(p) => (fc_exec_distance(p), 0),
         LayerDesc::Ib(p) => (ib_exec_distance(p, scheme), ib_workspace_bytes(p, scheme)),
+        // Merges never appear on a linear chain (arity 2), but the
+        // kernels publish executable distances, so the match stays total.
+        LayerDesc::Add(p) => (add_exec_distance(p), 0),
+        LayerDesc::Concat(p) => (concat_exec_distance(p), 0),
     }
 }
 

@@ -65,6 +65,8 @@ pub fn chain_op(layer: &LayerDesc) -> Option<ChainOp> {
         LayerDesc::Conv2d(p) => Some(ChainOp::Conv2d(*p)),
         LayerDesc::Dense(p) => Some(ChainOp::Dense(*p)),
         LayerDesc::Ib(_) => None,
+        // Merges take two inputs; a fused chain threads exactly one.
+        LayerDesc::Add(_) | LayerDesc::Concat(_) => None,
     }
 }
 
@@ -295,6 +297,18 @@ pub fn fuse_graph(graph: &Graph, scheme: IbScheme) -> FusionPlan {
     };
     let mut nodes = Vec::new();
     let layers = graph.layers();
+    // Fusion threads one tensor through one window — a chain pass. On a
+    // branchy DAG every node stays single; the DAG-aware planner default
+    // and the order search own the branch accounting.
+    if !graph.is_chain() {
+        return FusionPlan {
+            nodes: layers
+                .iter()
+                .enumerate()
+                .map(|(i, l)| single_node(i, l))
+                .collect(),
+        };
+    }
     let mut i = 0;
     while i < layers.len() {
         // Collect the maximal fusable run starting at i.
@@ -393,10 +407,21 @@ impl MemoryPlanner for FusedPlanner {
     }
 
     fn model_demand_bytes(&self, graph: &Graph) -> usize {
+        if !graph.is_chain() {
+            // No fusion on DAGs: price the default order with held-tensor
+            // liveness, exactly like the per-layer vMCU planner.
+            crate::telemetry::record_plan_call();
+            let order: Vec<usize> = (0..graph.len()).collect();
+            return crate::order::peak_for_order(self, graph, &order);
+        }
         fuse_graph(graph, self.scheme).peak_demand_bytes()
     }
 
     fn plan_model(&self, graph: &Graph, device: &Device) -> MemoryPlan {
+        if !graph.is_chain() {
+            let order: Vec<usize> = (0..graph.len()).collect();
+            return crate::order::plan_model_for_order(self, graph, device, &order);
+        }
         self.plan_model_from(&fuse_graph(graph, self.scheme), graph, device)
     }
 }

@@ -42,6 +42,9 @@ impl MemoryPlanner for HmcosPlanner {
                 let add = if p.has_residual() { a + 2 * d } else { 0 };
                 (expand.max(dw).max(project).max(add), 0)
             }
+            // No in-place: both operands and the output live together.
+            LayerDesc::Add(p) => (p.in_bytes() + p.out_bytes(), 0),
+            LayerDesc::Concat(p) => (p.in_bytes() + p.out_bytes(), 0),
         }
     }
 }

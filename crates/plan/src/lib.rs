@@ -21,6 +21,10 @@
 //! * [`lowering`] — per-device kernel lowering selection: direct
 //!   segment-aware kernels vs the im2col + lane-blocked matmul path,
 //!   decided analytically from the device's `CostModel`;
+//! * [`order`] — execution-order search on branchy DAGs and the
+//!   [`ReorderPlanner`]: per-node vMCU windows priced with last-consumer
+//!   liveness, executed in the searched minimum-peak topological order,
+//!   structurally never worse than the default order;
 //! * [`patch`] — patch-based front-stage planning and the
 //!   [`PatchedPlanner`]: high-resolution front layers execute as spatial
 //!   patches whose receptive-field slabs, not whole tensors, set the
@@ -58,6 +62,7 @@ pub mod fusion;
 pub mod headroom;
 pub mod hmcos_planner;
 pub mod lowering;
+pub mod order;
 pub mod patch;
 pub mod planner;
 pub mod split;
@@ -70,6 +75,7 @@ pub use chain::{plan_chain, ChainPlan};
 pub use fusion::{fuse_graph, FusedPlanner, FusionNode, FusionPlan};
 pub use hmcos_planner::HmcosPlanner;
 pub use lowering::{select_conv2d_lowering, select_fc_lowering, LoweringChoice, LoweringKind};
+pub use order::{plan_order, OrderPlan, ReorderPlanner};
 pub use patch::{PatchPlan, PatchedPlanner};
 pub use planner::{LayerPlan, MemoryPlan, MemoryPlanner};
 pub use split::{plan_split, SplitPlan, SplitPlanner, SplitStage};

@@ -44,6 +44,8 @@ pub fn patch_op(layer: &LayerDesc) -> Option<ChainOp> {
         LayerDesc::Depthwise(p) => Some(ChainOp::Depthwise(*p)),
         LayerDesc::Conv2d(p) => Some(ChainOp::Conv2d(*p)),
         LayerDesc::Dense(_) | LayerDesc::Ib(_) => None,
+        // Merges take two inputs; a patched front threads exactly one.
+        LayerDesc::Add(_) | LayerDesc::Concat(_) => None,
     }
 }
 
@@ -205,7 +207,13 @@ pub fn plan(graph: &Graph, scheme: IbScheme, max_overhead: f64) -> PatchPlan {
         halo_overhead: 0.0,
         tail: fuse_graph(graph, scheme),
     };
-    let front_len = patchable_prefix(graph);
+    // Patching slices a *chain* prefix; on a branchy DAG the tail slice
+    // below would not be a valid graph, so the plan stays unpatched.
+    let front_len = if graph.is_chain() {
+        patchable_prefix(graph)
+    } else {
+        0
+    };
     if front_len == 0 {
         return fallback;
     }
@@ -347,10 +355,21 @@ impl MemoryPlanner for PatchedPlanner {
     }
 
     fn model_demand_bytes(&self, graph: &Graph) -> usize {
+        if !graph.is_chain() {
+            // No patching on DAGs: price the default order with
+            // held-tensor liveness, like the per-layer vMCU planner.
+            crate::telemetry::record_plan_call();
+            let order: Vec<usize> = (0..graph.len()).collect();
+            return crate::order::peak_for_order(self, graph, &order);
+        }
         self.patch_plan(graph).peak_demand_bytes()
     }
 
     fn plan_model(&self, graph: &Graph, device: &Device) -> MemoryPlan {
+        if !graph.is_chain() {
+            let order: Vec<usize> = (0..graph.len()).collect();
+            return crate::order::plan_model_for_order(self, graph, device, &order);
+        }
         self.plan_model_from(&self.patch_plan(graph), graph, device)
     }
 }

@@ -90,8 +90,16 @@ pub trait MemoryPlanner: Send + Sync {
 
     /// Peak SRAM demand of a whole model (activations + workspace at the
     /// bottleneck, no runtime overhead). The default is the per-layer
-    /// maximum; graph-aware planners (the fusion pass) override it.
+    /// maximum on chains; on branchy DAGs it prices the default
+    /// topological order with last-consumer liveness, so held branch
+    /// tensors are charged beside every window they outlive. Graph-aware
+    /// planners (fusion, reorder) override it.
     fn model_demand_bytes(&self, graph: &Graph) -> usize {
+        if !graph.is_chain() {
+            crate::telemetry::record_plan_call();
+            let order: Vec<usize> = (0..graph.len()).collect();
+            return crate::order::peak_for_order(self, graph, &order);
+        }
         crate::telemetry::record_plan_call();
         graph
             .layers()
@@ -105,9 +113,14 @@ pub trait MemoryPlanner: Send + Sync {
     }
 
     /// Plans a whole model for a device. The default plans layer by
-    /// layer; graph-aware planners (the fusion pass) override it with
-    /// one plan entry per execution node.
+    /// layer on chains and prices the default topological order with
+    /// last-consumer liveness on DAGs; graph-aware planners (fusion,
+    /// reorder) override it with one plan entry per execution node.
     fn plan_model(&self, graph: &Graph, device: &Device) -> MemoryPlan {
+        if !graph.is_chain() {
+            let order: Vec<usize> = (0..graph.len()).collect();
+            return crate::order::plan_model_for_order(self, graph, device, &order);
+        }
         self.plan(&crate::capacity::named_graph_layers(graph), device)
     }
 

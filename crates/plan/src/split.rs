@@ -141,6 +141,25 @@ pub fn plan_split(graph: &Graph, devices: u8, scheme: IbScheme) -> SplitPlan {
     if n == 0 {
         return SplitPlan { stages: Vec::new() };
     }
+    // Split stages are contiguous *chain* slices; a branchy DAG does not
+    // partition that way, so it stays whole on one device priced at its
+    // DAG-aware default-order peak — splitting offers no relief here.
+    if !graph.is_chain() {
+        let fusion = fuse_graph(graph, scheme);
+        let order: Vec<usize> = (0..n).collect();
+        let demand_bytes = crate::order::peak_for_order(&VmcuPlanner { scheme }, graph, &order);
+        return SplitPlan {
+            stages: vec![SplitStage {
+                device: 0,
+                start: 0,
+                end: n,
+                graph: graph.clone(),
+                fusion,
+                demand_bytes,
+                cut_bytes: 0,
+            }],
+        };
+    }
     let max_stages = (devices.clamp(1, 8) as usize).min(n);
 
     // Fused peak demand of every contiguous layer range.
@@ -295,6 +314,13 @@ impl MemoryPlanner for SplitPlanner {
     }
 
     fn plan_model(&self, graph: &Graph, device: &Device) -> MemoryPlan {
+        if !graph.is_chain() {
+            // One unsplit stage (see `plan_split`): report the DAG-aware
+            // default-order rows so the plan's bottleneck matches
+            // `model_demand_bytes`.
+            let order: Vec<usize> = (0..graph.len()).collect();
+            return crate::order::plan_model_for_order(self, graph, device, &order);
+        }
         self.plan_model_from(&plan_split(graph, self.devices, self.scheme), device)
     }
 }

@@ -68,6 +68,10 @@ impl MemoryPlanner for TinyEnginePlanner {
                 let peak = expand.max(dw).max(project).max(add);
                 (peak, 0)
             }
+            // In-place residual add: output overwrites one operand.
+            LayerDesc::Add(p) => (p.in_bytes(), 0),
+            // Concat copies into a fresh tensor: all three live.
+            LayerDesc::Concat(p) => (p.in_bytes() + p.out_bytes(), 0),
         }
     }
 }

@@ -11,6 +11,7 @@ use vmcu_kernels::conv2d::conv2d_exec_footprint;
 use vmcu_kernels::depthwise::depthwise_exec_footprint;
 use vmcu_kernels::fc::fc_exec_footprint;
 use vmcu_kernels::fused_ib::{ib_exec_footprint, ib_workspace_bytes};
+use vmcu_kernels::merge::{add_exec_footprint, concat_exec_footprint};
 use vmcu_kernels::pointwise::pointwise_exec_footprint;
 use vmcu_kernels::IbScheme;
 
@@ -44,6 +45,11 @@ impl MemoryPlanner for VmcuPlanner {
                 ib_exec_footprint(p, self.scheme),
                 ib_workspace_bytes(p, self.scheme),
             ),
+            // Merges overlap output onto the first operand's segments:
+            // the add window is exactly the two inputs, the concat window
+            // saves one branch's worth over disjoint in+out.
+            LayerDesc::Add(p) => (add_exec_footprint(p), 0),
+            LayerDesc::Concat(p) => (concat_exec_footprint(p), 0),
         }
     }
 }

@@ -212,6 +212,25 @@ pub fn add(a: &Tensor<i8>, b: &Tensor<i8>) -> Tensor<i8> {
     Tensor::from_vec(a.shape(), data)
 }
 
+/// Channel concatenation: `A[H,W,Ca] ⧺ B[H,W,Cb] → Out[H,W,Ca+Cb]`.
+///
+/// # Panics
+///
+/// Panics if the spatial shapes differ or either tensor is not rank 3.
+pub fn concat(a: &Tensor<i8>, b: &Tensor<i8>) -> Tensor<i8> {
+    assert_eq!(a.shape().len(), 3, "concat expects [H,W,C] operands");
+    assert_eq!(b.shape().len(), 3, "concat expects [H,W,C] operands");
+    assert_eq!(a.shape()[..2], b.shape()[..2], "concat spatial mismatch");
+    let (h, w) = (a.shape()[0], a.shape()[1]);
+    let (ca, cb) = (a.shape()[2], b.shape()[2]);
+    let mut data = Vec::with_capacity(h * w * (ca + cb));
+    for px in 0..h * w {
+        data.extend_from_slice(&a.data()[px * ca..(px + 1) * ca]);
+        data.extend_from_slice(&b.data()[px * cb..(px + 1) * cb]);
+    }
+    Tensor::from_vec(&[h, w, ca + cb], data)
+}
+
 /// Global average pooling: `In[H,W,C] → Out[1,1,C]` with round-to-nearest.
 pub fn global_avg_pool(input: &Tensor<i8>) -> Tensor<i8> {
     let (h, w, c) = (input.shape()[0], input.shape()[1], input.shape()[2]);

@@ -31,7 +31,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use vmcu_graph::{Graph, LayerWeights};
 use vmcu_plan::planner::MemoryPlanner;
-use vmcu_plan::{ChainPlan, FusionPlan, MemoryPlan, PatchPlan, SplitPlan};
+use vmcu_plan::{ChainPlan, FusionPlan, MemoryPlan, OrderPlan, PatchPlan, SplitPlan};
 use vmcu_sim::{Device, Machine};
 use vmcu_tensor::Tensor;
 
@@ -48,10 +48,12 @@ pub struct PlanSet {
     pub fusion: Option<FusionPlan>,
     /// The patch plan (patched policy).
     pub patch: Option<PatchPlan>,
-    /// The §4 whole-network chain plan (vMCU policy).
+    /// The §4 whole-network chain plan (vMCU policy, chain graphs only).
     pub chain: Option<ChainPlan>,
-    /// The multi-device partition (split policy).
+    /// The multi-device partition (split policy, chain graphs only).
     pub split: Option<SplitPlan>,
+    /// The searched execution order (reorder policy).
+    pub order: Option<OrderPlan>,
 }
 
 struct DeployInner {
@@ -202,6 +204,11 @@ impl Deployment {
     /// The memoized multi-device partition (split policy only).
     pub fn split_plan(&self) -> Option<&SplitPlan> {
         self.inner.plans.split.as_ref()
+    }
+
+    /// The memoized execution-order search result (reorder policy only).
+    pub fn order_plan(&self) -> Option<&OrderPlan> {
+        self.inner.plans.order.as_ref()
     }
 
     /// Peak SRAM this model commits on its device (activations +

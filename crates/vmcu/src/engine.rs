@@ -14,16 +14,16 @@
 use crate::deploy::Deployment;
 use crate::error::EngineError;
 use crate::exec::{
-    stage_layer, Executor, FusedExecutor, HmcosExecutor, PatchedExecutor, SplitExecutor,
-    TinyEngineExecutor, VmcuExecutor,
+    stage_layer, Executor, FusedExecutor, HmcosExecutor, PatchedExecutor, ReorderExecutor,
+    SplitExecutor, TinyEngineExecutor, VmcuExecutor,
 };
 use vmcu_graph::{Graph, LayerDesc, LayerWeights};
 use vmcu_kernels::IbScheme;
 use vmcu_plan::chain::ChainPlan;
 use vmcu_plan::planner::MemoryPlanner;
 use vmcu_plan::{
-    FusedPlanner, HmcosPlanner, LayerPlan, MemoryPlan, PatchedPlanner, SplitPlanner,
-    TinyEnginePlanner, VmcuPlanner,
+    FusedPlanner, HmcosPlanner, LayerPlan, MemoryPlan, PatchedPlanner, ReorderPlanner,
+    SplitPlanner, TinyEnginePlanner, VmcuPlanner,
 };
 use vmcu_sim::{Device, ExecSummary, Machine};
 use vmcu_tensor::Tensor;
@@ -93,6 +93,14 @@ pub enum PlannerKind {
         /// inside each stage.
         scheme: IbScheme,
     },
+    /// vMCU segment-level management **plus** execution-order search on
+    /// branchy DAGs: nodes run in the searched minimum-peak topological
+    /// order (exhaustive up to 14 nodes, greedy memory-aware beyond),
+    /// with every tensor held only until its last consumer. The searched
+    /// order is structurally never worse than the default one — the
+    /// policy for branchy models whose default interleaving holds two
+    /// fat branches co-resident.
+    VmcuReorder(IbScheme),
 }
 
 impl PlannerKind {
@@ -105,6 +113,7 @@ impl PlannerKind {
             PlannerKind::TinyEngine => "TinyEngine",
             PlannerKind::Hmcos => "HMCOS",
             PlannerKind::VmcuSplit { .. } => "vMCU-split",
+            PlannerKind::VmcuReorder(_) => "vMCU-reorder",
         }
     }
 
@@ -126,6 +135,7 @@ impl PlannerKind {
                 devices: *devices,
                 scheme: *scheme,
             }),
+            PlannerKind::VmcuReorder(scheme) => Box::new(ReorderPlanner::new(*scheme)),
         }
     }
 
@@ -143,6 +153,7 @@ impl PlannerKind {
                 scheme: *scheme,
                 link: vmcu_sim::LinkModel::default(),
             }),
+            PlannerKind::VmcuReorder(scheme) => Box::new(ReorderExecutor { scheme: *scheme }),
         }
     }
 }

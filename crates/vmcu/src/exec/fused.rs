@@ -3,7 +3,7 @@
 //! rings); singleton nodes run through the shared vMCU layer body.
 
 use super::vmcu::exec_layer_vmcu;
-use super::{ExecCtx, Executor, StagedLayer};
+use super::{exec_merge, infer_in_order, ExecCtx, Executor, MergeMode, StagedLayer};
 use crate::engine::{InferenceReport, LayerReport};
 use crate::error::EngineError;
 use vmcu_graph::LayerDesc;
@@ -79,10 +79,23 @@ impl Executor for FusedExecutor {
 
     fn prepare(
         &self,
-        _planner: &dyn vmcu_plan::MemoryPlanner,
+        planner: &dyn vmcu_plan::MemoryPlanner,
         graph: &vmcu_graph::Graph,
         device: &vmcu_sim::Device,
     ) -> crate::deploy::PlanSet {
+        // Fused chains thread exactly one activation stream; on a branchy
+        // DAG the pass degrades to all-singles, so the executor drops the
+        // fusion plan and walks the graph node by node instead.
+        if !graph.is_chain() {
+            return crate::deploy::PlanSet {
+                memory: vmcu_plan::plan_graph(planner, graph, device),
+                fusion: None,
+                patch: None,
+                chain: None,
+                split: None,
+                order: None,
+            };
+        }
         // One fusion pass serves both the memoized execution plan and
         // the memory plan it is priced by.
         let fusion = vmcu_plan::fuse_graph(graph, self.scheme);
@@ -96,6 +109,7 @@ impl Executor for FusedExecutor {
             patch: None,
             chain: None,
             split: None,
+            order: None,
         }
     }
 
@@ -109,17 +123,29 @@ impl Executor for FusedExecutor {
         exec_layer_vmcu(m, layer, staged, input, self.scheme)
     }
 
+    fn exec_node(
+        &self,
+        m: &mut Machine,
+        layer: &LayerDesc,
+        staged: StagedLayer,
+        inputs: &[&Tensor<i8>],
+    ) -> Result<Tensor<i8>, EngineError> {
+        match inputs {
+            [single] => self.exec_layer(m, layer, staged, single),
+            _ => exec_merge(m, layer, inputs, MergeMode::Overlap),
+        }
+    }
+
     fn infer(
         &self,
         ctx: &ExecCtx<'_>,
         m: &mut Machine,
         input: &Tensor<i8>,
     ) -> Result<InferenceReport, EngineError> {
-        let fusion = ctx
-            .plans
-            .fusion
-            .as_ref()
-            .expect("fused deployments memoize the fusion plan");
+        // DAG deployments carry no fusion plan: walk node by node.
+        let Some(fusion) = ctx.plans.fusion.as_ref() else {
+            return infer_in_order(self, ctx, m, input);
+        };
         let mut layers = Vec::with_capacity(fusion.nodes.len());
         let output = run_fusion_nodes(self.scheme, ctx, m, &fusion.nodes, 0, input, &mut layers)?;
         Ok(InferenceReport { output, layers })

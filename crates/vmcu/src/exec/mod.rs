@@ -26,6 +26,7 @@
 pub mod fused;
 pub mod hmcos;
 pub mod patched;
+pub mod reorder;
 pub mod split;
 pub mod tinyengine;
 pub mod vmcu;
@@ -33,14 +34,17 @@ pub mod vmcu;
 use crate::deploy::PlanSet;
 use crate::engine::{InferenceReport, LayerReport};
 use crate::error::EngineError;
-use vmcu_graph::{Graph, LayerDesc, LayerWeights};
+use vmcu_graph::{Graph, LayerDesc, LayerWeights, NodeInput};
+use vmcu_kernels::merge::{add_exec_distance, concat_exec_distance, run_add, run_concat};
 use vmcu_plan::{ChainPlan, LayerPlan};
+use vmcu_pool::SegmentPool;
 use vmcu_sim::{Device, Machine};
 use vmcu_tensor::Tensor;
 
 pub use fused::FusedExecutor;
 pub use hmcos::HmcosExecutor;
 pub use patched::PatchedExecutor;
+pub use reorder::ReorderExecutor;
 pub use split::SplitExecutor;
 pub use tinyengine::TinyEngineExecutor;
 pub use vmcu::VmcuExecutor;
@@ -59,16 +63,23 @@ pub enum StagedLayer {
         /// Project (1×1) weights.
         w2: usize,
     },
+    /// No weight image — merge layers (add, concat) carry no weights.
+    None,
 }
 
 impl StagedLayer {
     /// The single image address, or a typed error for layers staged as
-    /// multiple images (`executor` names the policy in the error).
+    /// multiple images or none (`executor` names the policy in the
+    /// error).
     pub fn single(&self, executor: &'static str) -> Result<usize, EngineError> {
         match self {
             StagedLayer::Single(addr) => Ok(*addr),
             StagedLayer::Ib { .. } => Err(EngineError::Unsupported {
                 kind: "inverted-bottleneck",
+                executor,
+            }),
+            StagedLayer::None => Err(EngineError::Unsupported {
+                kind: "merge",
                 executor,
             }),
         }
@@ -101,6 +112,7 @@ pub fn stage_layer(
             wdw: m.host_program_flash(&wdw.as_bytes())?,
             w2: m.host_program_flash(&w2.as_bytes())?,
         }),
+        (LayerDesc::Add(_) | LayerDesc::Concat(_), LayerWeights::None) => Ok(StagedLayer::None),
         _ => Err(EngineError::Unsupported {
             kind: layer.kind(),
             executor: "staging",
@@ -158,6 +170,132 @@ impl ExecCtx<'_> {
     }
 }
 
+/// How a merge kernel lays its output relative to its operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeMode {
+    /// Segment-level overlap: the output lands at `−d` where `d` is the
+    /// kernel's executable distance, so it reuses the dying operand
+    /// slots (vMCU policies).
+    Overlap,
+    /// Disjoint output after both operands (tensor-level baselines;
+    /// HMCOS, and TinyEngine's concat).
+    Disjoint,
+}
+
+/// Shared merge-layer body: stages both operands consecutively in one
+/// pool (`A` at logical 0, `B` right after), runs the segment-aware
+/// merge kernel, and reads the output back. The window matches the
+/// planners' pricing for each mode, so executed peaks equal planned
+/// peaks byte for byte.
+pub fn exec_merge(
+    m: &mut Machine,
+    layer: &LayerDesc,
+    inputs: &[&Tensor<i8>],
+    mode: MergeMode,
+) -> Result<Tensor<i8>, EngineError> {
+    let [a, b] = inputs else {
+        return Err(EngineError::Unsupported {
+            kind: layer.kind(),
+            executor: "merge",
+        });
+    };
+    match layer {
+        LayerDesc::Add(p) => {
+            let (d, window) = match mode {
+                MergeMode::Overlap => {
+                    let d = add_exec_distance(p);
+                    let w = (p.in_bytes() as i64 + d.max(0)).max(p.out_bytes() as i64);
+                    (d, w as usize)
+                }
+                MergeMode::Disjoint => (-(p.in_bytes() as i64), p.in_bytes() + p.out_bytes()),
+            };
+            let mut pool = SegmentPool::new(m, 0, window, p.seg)?;
+            pool.host_fill_live(m, 0, &a.as_bytes())?;
+            pool.host_fill_live(m, p.tensor_bytes() as i64, &b.as_bytes())?;
+            run_add(m, &mut pool, p, 0, -d)?;
+            let out = pool.host_read(m, -d, p.out_bytes())?;
+            Ok(Tensor::from_bytes(&[p.h, p.w, p.c], &out))
+        }
+        LayerDesc::Concat(p) => {
+            let (d, window) = match mode {
+                MergeMode::Overlap => {
+                    let d = concat_exec_distance(p);
+                    let w = (p.in_bytes() as i64 + d.max(0)).max(p.out_bytes() as i64);
+                    (d, w as usize)
+                }
+                MergeMode::Disjoint => (-(p.in_bytes() as i64), p.in_bytes() + p.out_bytes()),
+            };
+            let mut pool = SegmentPool::new(m, 0, window, p.seg())?;
+            pool.host_fill_live(m, 0, &a.as_bytes())?;
+            pool.host_fill_live(m, p.a_bytes() as i64, &b.as_bytes())?;
+            run_concat(m, &mut pool, p, 0, -d)?;
+            let out = pool.host_read(m, -d, p.out_bytes())?;
+            Ok(Tensor::from_bytes(&[p.h, p.w, p.c_a + p.c_b], &out))
+        }
+        _ => Err(EngineError::Unsupported {
+            kind: layer.kind(),
+            executor: "merge",
+        }),
+    }
+}
+
+/// Walks a deployed graph in `order` (default index order when `None`),
+/// holding every produced activation host-side until its last consumer —
+/// the execution mirror of the planners' last-consumer liveness pricing.
+/// The memoized plan rows are consumed **by step** (row `k` prices the
+/// `k`-th executed node), which is the identity mapping for default-order
+/// plans and the searched order for reorder plans.
+pub fn infer_in_order<E: Executor + ?Sized>(
+    executor: &E,
+    ctx: &ExecCtx<'_>,
+    m: &mut Machine,
+    input: &Tensor<i8>,
+) -> Result<InferenceReport, EngineError> {
+    let n = ctx.graph.len();
+    let default_order: Vec<usize>;
+    let order: &[usize] = match &ctx.plans.order {
+        Some(plan) => &plan.order,
+        None => {
+            default_order = (0..n).collect();
+            &default_order
+        }
+    };
+    let mut layers = Vec::with_capacity(n);
+    let mut acts: Vec<Option<Tensor<i8>>> = vec![None; n];
+    for (step, &v) in order.iter().enumerate() {
+        let plan = ctx.node_plan(step)?;
+        let layer = &ctx.graph.layers()[v];
+        let inputs: Vec<&Tensor<i8>> = ctx
+            .graph
+            .node_inputs(v)
+            .iter()
+            .map(|edge| match edge {
+                NodeInput::GraphInput => input,
+                NodeInput::Node(j) => acts[*j]
+                    .as_ref()
+                    .expect("topological order runs producers first"),
+            })
+            .collect();
+        // Between-node reset: RAM to boot state (bit-identical to the
+        // historical reset-per-layer path); counters keep accumulating —
+        // reports use deltas.
+        m.ram.clear();
+        let before = m.snapshot();
+        let out = executor.exec_node(m, layer, ctx.staged[v], &inputs)?;
+        let exec = m.summarize_since(&before);
+        layers.push(LayerReport {
+            name: plan.name.clone(),
+            plan,
+            exec,
+        });
+        acts[v] = Some(out);
+    }
+    let output = acts[n - 1]
+        .take()
+        .expect("the last node is the graph output");
+    Ok(InferenceReport { output, layers })
+}
+
 /// A policy's execution half: runs deployed graphs and single layers
 /// against pre-staged weights, with **zero planning work** — every plan
 /// artifact it needs was memoized at deploy time and arrives via
@@ -183,6 +321,7 @@ pub trait Executor: std::fmt::Debug + Send + Sync {
             patch: None,
             chain: None,
             split: None,
+            order: None,
         }
     }
 
@@ -202,43 +341,47 @@ pub trait Executor: std::fmt::Debug + Send + Sync {
         input: &Tensor<i8>,
     ) -> Result<Tensor<i8>, EngineError>;
 
-    /// Executes the whole deployed graph for one input. The default walks
-    /// the graph layer by layer — one pool per layer, activations
-    /// re-staged by the host between layers — consuming the memoized
-    /// per-layer plan entries; graph-aware policies (fusion, patching)
-    /// override it.
+    /// Executes one graph node given **all** of its input tensors in
+    /// slot order — the arity-aware generalization of
+    /// [`exec_layer`](Executor::exec_layer). The default delegates
+    /// single-input layers to `exec_layer` and runs merges through the
+    /// shared [`exec_merge`] body with disjoint operands (the
+    /// tensor-level baseline layout); segment-level policies override
+    /// merges to the overlapped layout.
     ///
     /// # Errors
     ///
-    /// Propagates the first per-layer failure.
+    /// Same contract as [`exec_layer`](Executor::exec_layer).
+    fn exec_node(
+        &self,
+        m: &mut Machine,
+        layer: &LayerDesc,
+        staged: StagedLayer,
+        inputs: &[&Tensor<i8>],
+    ) -> Result<Tensor<i8>, EngineError> {
+        match inputs {
+            [single] => self.exec_layer(m, layer, staged, single),
+            _ => exec_merge(m, layer, inputs, MergeMode::Disjoint),
+        }
+    }
+
+    /// Executes the whole deployed graph for one input. The default walks
+    /// the nodes in the deployed execution order (the searched order for
+    /// reorder plans, index order otherwise) — one pool per node,
+    /// activations held host-side until their last consumer — consuming
+    /// the memoized per-step plan entries; graph-aware policies (fusion,
+    /// patching) override it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-node failure.
     fn infer(
         &self,
         ctx: &ExecCtx<'_>,
         m: &mut Machine,
         input: &Tensor<i8>,
     ) -> Result<InferenceReport, EngineError> {
-        let mut layers = Vec::with_capacity(ctx.graph.len());
-        let mut cur = input.clone();
-        for (i, layer) in ctx.graph.layers().iter().enumerate() {
-            let plan = ctx.node_plan(i)?;
-            // Between-layer reset: RAM to boot state (bit-identical to
-            // the historical reset-per-layer path); counters keep
-            // accumulating — reports use deltas.
-            m.ram.clear();
-            let before = m.snapshot();
-            let out = self.exec_layer(m, layer, ctx.staged[i], &cur)?;
-            let exec = m.summarize_since(&before);
-            layers.push(LayerReport {
-                name: plan.name.clone(),
-                plan,
-                exec,
-            });
-            cur = out;
-        }
-        Ok(InferenceReport {
-            output: cur,
-            layers,
-        })
+        infer_in_order(self, ctx, m, input)
     }
 
     /// Executes the deployed graph chained through one circular pool

@@ -4,7 +4,7 @@
 
 use super::fused::run_fusion_nodes;
 use super::vmcu::exec_layer_vmcu;
-use super::{ExecCtx, Executor, StagedLayer};
+use super::{exec_merge, infer_in_order, ExecCtx, Executor, MergeMode, StagedLayer};
 use crate::engine::{InferenceReport, LayerReport};
 use crate::error::EngineError;
 use vmcu_graph::LayerDesc;
@@ -28,10 +28,23 @@ impl Executor for PatchedExecutor {
 
     fn prepare(
         &self,
-        _planner: &dyn vmcu_plan::MemoryPlanner,
+        planner: &dyn vmcu_plan::MemoryPlanner,
         graph: &vmcu_graph::Graph,
         device: &vmcu_sim::Device,
     ) -> crate::deploy::PlanSet {
+        // Patch grids tile a straight spatial front; on a branchy DAG
+        // there is no patchable prefix, so the executor drops the patch
+        // plan and walks the graph node by node instead.
+        if !graph.is_chain() {
+            return crate::deploy::PlanSet {
+                memory: vmcu_plan::plan_graph(planner, graph, device),
+                fusion: None,
+                patch: None,
+                chain: None,
+                split: None,
+                order: None,
+            };
+        }
         // One grid search serves both the memoized execution plan and
         // the memory plan it is priced by.
         let patch_planner = vmcu_plan::PatchedPlanner {
@@ -46,6 +59,7 @@ impl Executor for PatchedExecutor {
             patch: Some(pplan),
             chain: None,
             split: None,
+            order: None,
         }
     }
 
@@ -59,17 +73,29 @@ impl Executor for PatchedExecutor {
         exec_layer_vmcu(m, layer, staged, input, self.scheme)
     }
 
+    fn exec_node(
+        &self,
+        m: &mut Machine,
+        layer: &LayerDesc,
+        staged: StagedLayer,
+        inputs: &[&Tensor<i8>],
+    ) -> Result<Tensor<i8>, EngineError> {
+        match inputs {
+            [single] => self.exec_layer(m, layer, staged, single),
+            _ => exec_merge(m, layer, inputs, MergeMode::Overlap),
+        }
+    }
+
     fn infer(
         &self,
         ctx: &ExecCtx<'_>,
         m: &mut Machine,
         input: &Tensor<i8>,
     ) -> Result<InferenceReport, EngineError> {
-        let pplan = ctx
-            .plans
-            .patch
-            .as_ref()
-            .expect("patched deployments memoize the patch plan");
+        // DAG deployments carry no patch plan: walk node by node.
+        let Some(pplan) = ctx.plans.patch.as_ref() else {
+            return infer_in_order(self, ctx, m, input);
+        };
         let mut layers = Vec::with_capacity(pplan.tail.nodes.len() + 1);
         let mut cur = input.clone();
         let mut plan_offset = 0;

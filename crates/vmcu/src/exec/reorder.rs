@@ -1,0 +1,79 @@
+//! The reorder executor: vMCU segment-level kernels executed in the
+//! searched minimum-peak topological order.
+//!
+//! Branchy DAGs give the *scheduler* a lever the paper's linear chains
+//! never expose (§8.4): the default node order can hold two fat branch
+//! tensors co-resident, while another valid order retires one branch
+//! before starting the next. `prepare` memoizes the
+//! [`OrderPlan`](vmcu_plan::OrderPlan) searched by
+//! [`vmcu_plan::plan_order`] — structurally never worse than the default
+//! order — and a memory plan whose rows follow the searched order, so
+//! the default order-aware graph walk
+//! ([`infer_in_order`](super::infer_in_order)) consumes plan rows by
+//! execution step with no remapping. On chain graphs the search returns
+//! the identity order and this policy degenerates to plain vMCU.
+
+use super::vmcu::exec_layer_vmcu;
+use super::{exec_merge, Executor, MergeMode, StagedLayer};
+use crate::error::EngineError;
+use vmcu_graph::LayerDesc;
+use vmcu_kernels::IbScheme;
+use vmcu_sim::Machine;
+use vmcu_tensor::Tensor;
+
+/// Segment-level execution in the searched minimum-peak node order.
+#[derive(Debug, Clone, Copy)]
+pub struct ReorderExecutor {
+    /// Workspace scheme for fused inverted bottlenecks.
+    pub scheme: IbScheme,
+}
+
+impl Executor for ReorderExecutor {
+    fn name(&self) -> &'static str {
+        "vMCU-reorder"
+    }
+
+    fn prepare(
+        &self,
+        planner: &dyn vmcu_plan::MemoryPlanner,
+        graph: &vmcu_graph::Graph,
+        device: &vmcu_sim::Device,
+    ) -> crate::deploy::PlanSet {
+        // One order search serves both the memoized execution schedule
+        // and the memory plan it is priced by (rows in execution order,
+        // so the plan's bottleneck *is* the searched peak).
+        let order = vmcu_plan::plan_order(planner, graph);
+        let memory = vmcu_plan::order::plan_model_for_order(planner, graph, device, &order.order);
+        crate::deploy::PlanSet {
+            memory,
+            fusion: None,
+            patch: None,
+            chain: None,
+            split: None,
+            order: Some(order),
+        }
+    }
+
+    fn exec_layer(
+        &self,
+        m: &mut Machine,
+        layer: &LayerDesc,
+        staged: StagedLayer,
+        input: &Tensor<i8>,
+    ) -> Result<Tensor<i8>, EngineError> {
+        exec_layer_vmcu(m, layer, staged, input, self.scheme)
+    }
+
+    fn exec_node(
+        &self,
+        m: &mut Machine,
+        layer: &LayerDesc,
+        staged: StagedLayer,
+        inputs: &[&Tensor<i8>],
+    ) -> Result<Tensor<i8>, EngineError> {
+        match inputs {
+            [single] => self.exec_layer(m, layer, staged, single),
+            _ => exec_merge(m, layer, inputs, MergeMode::Overlap),
+        }
+    }
+}

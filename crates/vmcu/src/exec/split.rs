@@ -16,7 +16,7 @@
 
 use super::fused::run_fusion_nodes;
 use super::vmcu::exec_layer_vmcu;
-use super::{ExecCtx, Executor, StagedLayer};
+use super::{exec_merge, infer_in_order, ExecCtx, Executor, MergeMode, StagedLayer};
 use crate::engine::{InferenceReport, LayerReport};
 use crate::error::EngineError;
 use vmcu_graph::LayerDesc;
@@ -44,10 +44,23 @@ impl Executor for SplitExecutor {
 
     fn prepare(
         &self,
-        _planner: &dyn vmcu_plan::MemoryPlanner,
+        planner: &dyn vmcu_plan::MemoryPlanner,
         graph: &vmcu_graph::Graph,
         device: &vmcu_sim::Device,
     ) -> crate::deploy::PlanSet {
+        // Layer-wise cuts partition a chain; on a branchy DAG the
+        // partitioner degrades to one whole-graph stage, so the executor
+        // drops the split plan and walks the graph on a single device.
+        if !graph.is_chain() {
+            return crate::deploy::PlanSet {
+                memory: vmcu_plan::plan_graph(planner, graph, device),
+                fusion: None,
+                patch: None,
+                chain: None,
+                split: None,
+                order: None,
+            };
+        }
         // One partitioning pass serves both the memoized execution plan
         // (stage sub-graphs + per-stage fusion plans) and the memory
         // plan it is priced by — stage nodes and link entries in
@@ -64,6 +77,7 @@ impl Executor for SplitExecutor {
             patch: None,
             chain: None,
             split: Some(split),
+            order: None,
         }
     }
 
@@ -77,17 +91,30 @@ impl Executor for SplitExecutor {
         exec_layer_vmcu(m, layer, staged, input, self.scheme)
     }
 
+    fn exec_node(
+        &self,
+        m: &mut Machine,
+        layer: &LayerDesc,
+        staged: StagedLayer,
+        inputs: &[&Tensor<i8>],
+    ) -> Result<Tensor<i8>, EngineError> {
+        match inputs {
+            [single] => self.exec_layer(m, layer, staged, single),
+            _ => exec_merge(m, layer, inputs, MergeMode::Overlap),
+        }
+    }
+
     fn infer(
         &self,
         ctx: &ExecCtx<'_>,
         m: &mut Machine,
         input: &Tensor<i8>,
     ) -> Result<InferenceReport, EngineError> {
-        let split = ctx
-            .plans
-            .split
-            .as_ref()
-            .expect("split deployments memoize the partition");
+        // DAG deployments carry no partition (it degrades to one stage):
+        // walk the whole graph on a single device.
+        let Some(split) = ctx.plans.split.as_ref() else {
+            return infer_in_order(self, ctx, m, input);
+        };
         let mut layers = Vec::with_capacity(ctx.plans.memory.layers.len());
         let mut cur = input.clone();
         let mut node = 0;

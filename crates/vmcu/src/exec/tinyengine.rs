@@ -1,7 +1,7 @@
 //! The TinyEngine executor: tensor-level baseline kernels (in-place
 //! depthwise, im2col staging) — the paper's strongest baseline.
 
-use super::{Executor, StagedLayer};
+use super::{exec_merge, Executor, MergeMode, StagedLayer};
 use crate::error::EngineError;
 use vmcu_graph::LayerDesc;
 use vmcu_kernels::tinyengine::{
@@ -80,10 +80,14 @@ pub(crate) fn exec_layer_baseline(
             let out = m.host_read_ram(layout.d, p.out_bytes())?;
             Ok(Tensor::from_bytes(&[p.hw2(), p.hw2(), p.c_out], &out))
         }
-        LayerDesc::Conv2d(_) => Err(EngineError::Unsupported {
-            kind: layer.kind(),
-            executor,
-        }),
+        // Merges take two inputs; they run through `Executor::exec_node`,
+        // never the single-input layer body.
+        LayerDesc::Conv2d(_) | LayerDesc::Add(_) | LayerDesc::Concat(_) => {
+            Err(EngineError::Unsupported {
+                kind: layer.kind(),
+                executor,
+            })
+        }
     }
 }
 
@@ -100,5 +104,22 @@ impl Executor for TinyEngineExecutor {
         input: &Tensor<i8>,
     ) -> Result<Tensor<i8>, EngineError> {
         exec_layer_baseline(m, layer, staged, input, self.name())
+    }
+
+    /// TinyEngine adds in place (one operand slot doubles as the output —
+    /// the overlapped layout at distance 0) but materializes concat
+    /// outputs disjoint from both operands.
+    fn exec_node(
+        &self,
+        m: &mut Machine,
+        layer: &LayerDesc,
+        staged: StagedLayer,
+        inputs: &[&Tensor<i8>],
+    ) -> Result<Tensor<i8>, EngineError> {
+        match (layer, inputs) {
+            (_, [single]) => self.exec_layer(m, layer, staged, single),
+            (LayerDesc::Add(_), _) => exec_merge(m, layer, inputs, MergeMode::Overlap),
+            _ => exec_merge(m, layer, inputs, MergeMode::Disjoint),
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! The vMCU executor: segment-level kernels, one circular pool per
 //! layer — plus the §4 whole-network chained mode.
 
-use super::{ExecCtx, Executor, StagedLayer};
+use super::{exec_merge, ExecCtx, Executor, MergeMode, StagedLayer};
 use crate::engine::{InferenceReport, LayerReport};
 use crate::error::EngineError;
 use vmcu_graph::LayerDesc;
@@ -91,6 +91,12 @@ pub(crate) fn exec_layer_vmcu(
             let out = pool.host_read(m, -d, p.out_bytes())?;
             Ok(Tensor::from_bytes(&[p.hw2(), p.hw2(), p.c_out], &out))
         }
+        // Merges take two inputs; they run through `Executor::exec_node`,
+        // never the single-input layer body.
+        LayerDesc::Add(_) | LayerDesc::Concat(_) => Err(EngineError::Unsupported {
+            kind: layer.kind(),
+            executor: "vMCU",
+        }),
     }
 }
 
@@ -109,8 +115,13 @@ impl Executor for VmcuExecutor {
             memory: vmcu_plan::plan_graph(planner, graph, device),
             fusion: None,
             patch: None,
-            chain: Some(vmcu_plan::plan_chain(graph, self.scheme)),
+            // The §4 chain deployment model threads one circular window
+            // through consecutive layers — only defined on chains.
+            chain: graph
+                .is_chain()
+                .then(|| vmcu_plan::plan_chain(graph, self.scheme)),
             split: None,
+            order: None,
         }
     }
 
@@ -124,21 +135,36 @@ impl Executor for VmcuExecutor {
         exec_layer_vmcu(m, layer, staged, input, self.scheme)
     }
 
+    fn exec_node(
+        &self,
+        m: &mut Machine,
+        layer: &LayerDesc,
+        staged: StagedLayer,
+        inputs: &[&Tensor<i8>],
+    ) -> Result<Tensor<i8>, EngineError> {
+        match inputs {
+            [single] => self.exec_layer(m, layer, staged, single),
+            _ => exec_merge(m, layer, inputs, MergeMode::Overlap),
+        }
+    }
+
     /// Chained whole-network execution: each layer's input pointer is the
     /// previous layer's output pointer, the whole network flows through
     /// one circular pool window of `max(per-layer span)` bytes (§4's
-    /// multi-layer deployment model).
+    /// multi-layer deployment model). Chain graphs only — branchy DAGs
+    /// report a typed [`EngineError::Unsupported`].
     fn infer_chained(
         &self,
         ctx: &ExecCtx<'_>,
         m: &mut Machine,
         input: &Tensor<i8>,
     ) -> Result<(InferenceReport, ChainPlan), EngineError> {
-        let plan = ctx
-            .plans
-            .chain
-            .clone()
-            .expect("vMCU deployments memoize the chain plan");
+        let Some(plan) = ctx.plans.chain.clone() else {
+            return Err(EngineError::Unsupported {
+                kind: "chained DAG",
+                executor: self.name(),
+            });
+        };
         let graph = ctx.graph;
         let needed = plan.total_bytes() + ctx.device.runtime_overhead_bytes;
         if needed > ctx.device.ram_bytes {
@@ -188,6 +214,14 @@ impl Executor for VmcuExecutor {
                     };
                     let flash = IbFlash { w1, wdw, w2 };
                     run_fused_ib(m, &mut pool, p, self.scheme, b_in, b_out, &flash, ws_base)?;
+                }
+                // Unreachable behind the chain gate (merges take two
+                // inputs), kept total for the type system.
+                LayerDesc::Add(_) | LayerDesc::Concat(_) => {
+                    return Err(EngineError::Unsupported {
+                        kind: layer.kind(),
+                        executor: self.name(),
+                    })
                 }
             }
             let exec = m.summarize_since(&before);

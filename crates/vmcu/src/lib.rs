@@ -86,8 +86,8 @@ pub mod prelude {
     pub use vmcu_graph::{Graph, LayerDesc, LayerWeights};
     pub use vmcu_kernels::{IbParams, IbScheme, PointwiseParams};
     pub use vmcu_plan::{
-        FusedPlanner, HmcosPlanner, MemoryPlanner, PatchedPlanner, SplitPlanner, TinyEnginePlanner,
-        VmcuPlanner,
+        FusedPlanner, HmcosPlanner, MemoryPlanner, PatchedPlanner, ReorderPlanner, SplitPlanner,
+        TinyEnginePlanner, VmcuPlanner,
     };
     pub use vmcu_sim::Device;
     pub use vmcu_tensor::{Requant, Tensor};

@@ -1,5 +1,6 @@
 //! Differential fuzzing across executors: randomly generated linear
-//! networks must produce bit-identical outputs under every policy
+//! networks and branchy DAGs (random skip edges flowing into add/concat
+//! merges) must produce bit-identical outputs under every policy
 //! (re-staged and chained), all matching the reference executor. This is
 //! the widest-coverage correctness net in the repository.
 
@@ -75,6 +76,60 @@ fn check_seed(seed: u64) {
         "VMCU_TEST_SEED={seed} reproduces: chained execution diverges"
     );
     assert!(plan.window > 0);
+}
+
+/// The branchy-DAG side of the net: every planner that can walk a DAG
+/// (including the policies that drop their chain-only plan and fall back
+/// to the order-aware graph walk) must agree bit for bit with the
+/// reference executor, and the chain-only single-window path must fail
+/// with a typed error instead of silently mis-executing.
+fn check_dag_seed(seed: u64) {
+    let g = zoo::random_dag_net(seed, 6);
+    let weights = g.random_weights(seed ^ 0xABCD);
+    let input = random::tensor_i8(&g.in_shape(), seed ^ 0x1234);
+    let expected = exec::run_reference(&g, &weights, &input);
+    let expected = expected.last().unwrap();
+    let device = Device::stm32_f767zi();
+
+    for kind in [
+        PlannerKind::Vmcu(IbScheme::RowBuffer),
+        PlannerKind::Vmcu(IbScheme::SlidingWindow),
+        PlannerKind::VmcuFused(IbScheme::RowBuffer),
+        PlannerKind::VmcuPatched(IbScheme::RowBuffer),
+        PlannerKind::TinyEngine,
+        PlannerKind::Hmcos,
+        // Split degrades to a single whole-graph stage on a DAG — the
+        // fallback walk must still be bit-exact.
+        PlannerKind::VmcuSplit {
+            devices: 4,
+            scheme: IbScheme::RowBuffer,
+        },
+        PlannerKind::VmcuReorder(IbScheme::RowBuffer),
+        PlannerKind::VmcuReorder(IbScheme::SlidingWindow),
+    ] {
+        let report = Engine::new(device.clone())
+            .planner(kind)
+            .deploy(&g, &weights)
+            .and_then(|d| d.session().infer(&input))
+            .unwrap_or_else(|e| panic!("VMCU_TEST_SEED={seed} reproduces: {kind:?} failed: {e}"));
+        assert_eq!(
+            &report.output, expected,
+            "VMCU_TEST_SEED={seed} reproduces: {kind:?} diverges from reference on a DAG"
+        );
+    }
+
+    // Chained single-window execution is a chain-only contract.
+    if !g.is_chain() {
+        let err = Engine::new(device)
+            .deploy(&g, &weights)
+            .and_then(|d| d.session().infer_chained(&input))
+            .map(|_| ())
+            .expect_err("chained execution must reject a branchy DAG");
+        assert!(
+            matches!(err, EngineError::Unsupported { .. }),
+            "VMCU_TEST_SEED={seed} reproduces: expected Unsupported, got {err}"
+        );
+    }
 }
 
 /// Tiny splitmix-style generator so conv shapes derive deterministically
@@ -189,5 +244,21 @@ fn random_networks_agree_more_seeds() {
     let base = base_seed();
     for seed in base + 12..base + 24 {
         check_seed(seed);
+    }
+}
+
+#[test]
+fn random_dags_agree_across_all_executors() {
+    let base = base_seed();
+    for seed in base..base + 12 {
+        check_dag_seed(seed);
+    }
+}
+
+#[test]
+fn random_dags_agree_more_seeds() {
+    let base = base_seed();
+    for seed in base + 12..base + 24 {
+        check_dag_seed(seed);
     }
 }

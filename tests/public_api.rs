@@ -28,6 +28,7 @@ const PRELUDE_SNAPSHOT: &[&str] = &[
     "vmcu_plan::HmcosPlanner",
     "vmcu_plan::MemoryPlanner",
     "vmcu_plan::PatchedPlanner",
+    "vmcu_plan::ReorderPlanner",
     "vmcu_plan::SplitPlanner",
     "vmcu_plan::TinyEnginePlanner",
     "vmcu_plan::VmcuPlanner",

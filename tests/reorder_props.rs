@@ -1,0 +1,136 @@
+//! Property tests for the execution-order search: on random branchy
+//! DAGs the searched order is always a valid topological order, its
+//! liveness-priced peak is never worse than the default (index) order,
+//! the deployed reorder plan's rows are byte-identical to the search's
+//! per-step pricing, and on chain graphs the search degenerates to the
+//! identity plan.
+
+use proptest::prelude::*;
+use vmcu::prelude::*;
+use vmcu::vmcu_graph::{zoo, NodeInput};
+use vmcu::vmcu_plan::order::{peak_for_order, price_order};
+use vmcu::vmcu_plan::plan_order;
+use vmcu::vmcu_tensor::random;
+
+fn planner() -> VmcuPlanner {
+    VmcuPlanner::default()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The acceptance property: across ≥100 seeded random DAGs the
+    /// searched order's peak is never worse than the default topological
+    /// order — the ≤-fallback contract, checked against an independent
+    /// re-pricing of both orders.
+    #[test]
+    fn reordered_peak_is_never_worse_than_default(
+        seed in 0u64..1_000_000,
+        body in 1usize..9,
+    ) {
+        let g = zoo::random_dag_net(seed, body);
+        let plan = plan_order(&planner(), &g);
+        prop_assert!(
+            plan.peak_bytes <= plan.default_peak_bytes,
+            "searched peak {} exceeds default peak {}",
+            plan.peak_bytes,
+            plan.default_peak_bytes
+        );
+        // Both recorded peaks match an independent re-pricing.
+        let ident: Vec<usize> = (0..g.len()).collect();
+        prop_assert_eq!(plan.default_peak_bytes, peak_for_order(&planner(), &g, &ident));
+        prop_assert_eq!(plan.peak_bytes, peak_for_order(&planner(), &g, &plan.order));
+        prop_assert_eq!(
+            plan.peak_bytes,
+            plan.step_demand_bytes.iter().copied().max().unwrap_or(0)
+        );
+    }
+
+    /// Every searched order is a permutation of the nodes in valid
+    /// topological order: each node executes after all of its inputs.
+    #[test]
+    fn searched_order_is_a_valid_topological_order(
+        seed in 0u64..1_000_000,
+        body in 1usize..9,
+    ) {
+        let g = zoo::random_dag_net(seed, body);
+        let plan = plan_order(&planner(), &g);
+        prop_assert_eq!(plan.order.len(), g.len());
+        let mut pos = vec![usize::MAX; g.len()];
+        for (step, &v) in plan.order.iter().enumerate() {
+            prop_assert!(v < g.len(), "order names node {v} out of range");
+            prop_assert_eq!(pos[v], usize::MAX);
+            pos[v] = step;
+        }
+        for (v, ins) in g.inputs().iter().enumerate() {
+            for edge in ins {
+                if let NodeInput::Node(j) = edge {
+                    prop_assert!(
+                        pos[*j] < pos[v],
+                        "node {v} executes at step {} before its input {} at step {}",
+                        pos[v], j, pos[*j]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Deploying under `PlannerKind::VmcuReorder` memoizes exactly the
+    /// searched plan: the report's rows follow the searched order and
+    /// carry the search's per-step demand byte for byte, so the executed
+    /// bottleneck *is* the searched peak (plus the fixed runtime
+    /// overhead) — and the output still matches every other policy.
+    #[test]
+    fn deployed_reorder_rows_match_the_searched_pricing(
+        seed in 0u64..1_000_000,
+        body in 1usize..7,
+    ) {
+        let g = zoo::random_dag_net(seed, body);
+        let plan = plan_order(&planner(), &g);
+        let priced = price_order(&planner(), &g, &plan.order);
+        let device = Device::stm32_f767zi();
+        let weights = g.random_weights(seed ^ 0xABCD);
+        let input = random::tensor_i8(&g.in_shape(), seed ^ 0x1234);
+        let report = Engine::new(device.clone())
+            .planner(PlannerKind::VmcuReorder(IbScheme::RowBuffer))
+            .deploy(&g, &weights)
+            .and_then(|d| d.session().infer(&input))
+            .unwrap_or_else(|e| panic!("seed {seed} reproduces: reorder deploy failed: {e}"));
+        prop_assert_eq!(report.layers.len(), g.len());
+        for (step, (row, &(act, ws))) in report.layers.iter().zip(&priced).enumerate() {
+            prop_assert_eq!(
+                row.plan.activation_bytes + row.plan.workspace_bytes,
+                plan.step_demand_bytes[step]
+            );
+            prop_assert_eq!(row.plan.activation_bytes, act);
+            prop_assert_eq!(row.plan.workspace_bytes, ws);
+        }
+        prop_assert_eq!(
+            report.peak_ram_bytes(),
+            plan.peak_bytes + device.runtime_overhead_bytes
+        );
+        // Bit-exactness against the default-order vMCU walk.
+        let base = Engine::new(device)
+            .planner(PlannerKind::Vmcu(IbScheme::RowBuffer))
+            .deploy(&g, &weights)
+            .and_then(|d| d.session().infer(&input))
+            .unwrap_or_else(|e| panic!("seed {seed} reproduces: vMCU deploy failed: {e}"));
+        prop_assert_eq!(report.output, base.output);
+    }
+
+    /// Chains have nothing to reorder: the search returns the identity
+    /// order with an unchanged peak (§8.4 — no scheduling slack on
+    /// linear nets).
+    #[test]
+    fn chains_reorder_to_the_identity_plan(
+        seed in 0u64..1_000_000,
+        layers in 1usize..8,
+    ) {
+        let g = zoo::random_linear_net(seed, layers);
+        let plan = plan_order(&planner(), &g);
+        let ident: Vec<usize> = (0..g.len()).collect();
+        prop_assert_eq!(&plan.order, &ident);
+        prop_assert_eq!(plan.peak_bytes, plan.default_peak_bytes);
+        prop_assert!(!plan.improved());
+    }
+}
