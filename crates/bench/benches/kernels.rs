@@ -22,7 +22,7 @@ fn bench_pointwise(c: &mut Criterion) {
             engine
                 .run_layer(&case.name, black_box(&layer), &w, &input)
                 .unwrap()
-        })
+        });
     });
     g.bench_function("tinyengine", |b| {
         let engine = Engine::new(dev.clone()).planner(PlannerKind::TinyEngine);
@@ -30,7 +30,7 @@ fn bench_pointwise(c: &mut Criterion) {
             engine
                 .run_layer(&case.name, black_box(&layer), &w, &input)
                 .unwrap()
-        })
+        });
     });
     g.finish();
 }
@@ -50,7 +50,7 @@ fn bench_fused_ib(c: &mut Criterion) {
                 engine
                     .run_layer(m.name, black_box(&layer), &w, &input)
                     .unwrap()
-            })
+            });
         });
     }
     g.finish();

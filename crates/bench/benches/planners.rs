@@ -15,13 +15,13 @@ fn bench_planning(c: &mut Criterion) {
     let mut g = c.benchmark_group("plan-imagenet-17-modules");
     g.bench_function("vmcu", |b| {
         let p = VmcuPlanner::default();
-        b.iter(|| p.plan(black_box(&layers), &device))
+        b.iter(|| p.plan(black_box(&layers), &device));
     });
     g.bench_function("tinyengine", |b| {
-        b.iter(|| TinyEnginePlanner.plan(black_box(&layers), &device))
+        b.iter(|| TinyEnginePlanner.plan(black_box(&layers), &device));
     });
     g.bench_function("hmcos", |b| {
-        b.iter(|| HmcosPlanner.plan(black_box(&layers), &device))
+        b.iter(|| HmcosPlanner.plan(black_box(&layers), &device));
     });
     g.finish();
 }
@@ -33,7 +33,7 @@ fn bench_headroom(c: &mut Criterion) {
     let budget = tinyengine_budget(&p);
     g.bench_function("image-scale-S1", |b| {
         let planner = VmcuPlanner::default();
-        b.iter(|| max_image_scale(black_box(&p), &planner, budget))
+        b.iter(|| max_image_scale(black_box(&p), &planner, budget));
     });
     g.finish();
 }

@@ -30,7 +30,7 @@ fn bench_dot_tile(c: &mut Criterion) {
                 dot_tile_u8(&mut m, black_box(&a), black_box(&b_mat), 16, &mut acc, true);
             }
             acc
-        })
+        });
     });
     g.finish();
 }
@@ -66,7 +66,7 @@ fn bench_fused_chain_rows(c: &mut Criterion) {
             run_fused_chain(&mut m, &mut pool, &chain, 0, -d, &flash, window).unwrap();
             black_box(m.counters.cycles);
             let _ = chain_workspace_bytes(&chain);
-        })
+        });
     });
     g.finish();
 }

@@ -33,10 +33,10 @@ fn bench_conv_problems(c: &mut Criterion) {
     let mut g = c.benchmark_group("solver-conv");
     let p = FootprintProblem::conv2d(20, 20, 16, 16, 3, 3, 1, 1);
     g.bench_function("enumerate-conv-20x20", |b| {
-        b.iter(|| enumerate::min_distance(black_box(&p)))
+        b.iter(|| enumerate::min_distance(black_box(&p)));
     });
     g.bench_function("analytic-conv-20x20", |b| {
-        b.iter(|| analytic::min_distance(black_box(&p)))
+        b.iter(|| analytic::min_distance(black_box(&p)));
     });
     g.finish();
 }

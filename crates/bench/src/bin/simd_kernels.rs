@@ -83,7 +83,7 @@ fn run_conv(device: &Device, lanes: Option<u64>) -> ConvRun {
     match lanes {
         None => run_conv2d(&mut m, &mut pool, &p, 0, -dist, w_base, None).unwrap(),
         Some(l) => {
-            run_conv2d_im2col(&mut m, &mut pool, &p, 0, -dist, w_base, None, window, l).unwrap()
+            run_conv2d_im2col(&mut m, &mut pool, &p, 0, -dist, w_base, None, window, l).unwrap();
         }
     }
     let wall_ns = t0.elapsed().as_nanos();

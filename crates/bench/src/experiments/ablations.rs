@@ -12,6 +12,11 @@ use vmcu::vmcu_tensor::random;
 
 /// PixelWindow (paper's 11-segment workspace, recompute) vs RowBuffer
 /// (R-row ring, compute-once): memory and latency per VWW module.
+///
+/// # Panics
+///
+/// Panics if a VWW module fails to deploy under either scheme — that
+/// would falsify the ablation.
 pub fn ablation_ib_scheme() -> ExpResult {
     let device = Device::stm32_f411re();
     let mut t = Table::new(&[
@@ -86,6 +91,11 @@ pub fn ablation_ib_scheme() -> ExpResult {
 }
 
 /// §5.3: segment size vs footprint and latency for a pointwise layer.
+///
+/// # Panics
+///
+/// Panics if the fixed case fails to deploy on the F767ZI at some
+/// segment size — that would falsify the ablation.
 pub fn ablation_segment_size() -> ExpResult {
     let device = Device::stm32_f767zi();
     let case = zoo::fig7_cases()[5].clone(); // H/W20,C48,K24 — modest size

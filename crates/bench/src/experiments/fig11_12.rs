@@ -34,8 +34,8 @@ fn scaling(
             4.5,
         ));
     }
-    let lo = scales.iter().cloned().fold(f64::INFINITY, f64::min);
-    let hi = scales.iter().cloned().fold(0.0f64, f64::max);
+    let lo = scales.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = scales.iter().copied().fold(0.0f64, f64::max);
     checks.push(Check::in_range(
         format!("min scale near paper {:.2}x", paper_band.0),
         lo,

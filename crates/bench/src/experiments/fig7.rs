@@ -67,8 +67,8 @@ pub fn fig7() -> ExpResult {
         "all fit 128 KB",
     ));
     let band = (
-        reductions.iter().cloned().fold(f64::INFINITY, f64::min),
-        reductions.iter().cloned().fold(0.0f64, f64::max),
+        reductions.iter().copied().fold(f64::INFINITY, f64::min),
+        reductions.iter().copied().fold(0.0f64, f64::max),
     );
     checks.push(Check::in_range(
         "min reduction near 12%",

@@ -12,6 +12,11 @@ use vmcu::vmcu_graph::zoo;
 use vmcu::vmcu_tensor::random;
 
 /// Regenerates Figure 8.
+///
+/// # Panics
+///
+/// Panics if a Figure 7 case fails to deploy on the F767ZI or the two
+/// executors disagree bit-exact — both would falsify the experiment.
 pub fn fig8() -> ExpResult {
     let device = Device::stm32_f767zi();
     let mut t = Table::new(&[
@@ -66,8 +71,8 @@ pub fn fig8() -> ExpResult {
     }
     let span = |v: &[f64]| {
         (
-            v.iter().cloned().fold(f64::INFINITY, f64::min),
-            v.iter().cloned().fold(0.0f64, f64::max),
+            v.iter().copied().fold(f64::INFINITY, f64::min),
+            v.iter().copied().fold(0.0f64, f64::max),
         )
     };
     let (e_lo, e_hi) = span(&e_cuts);

@@ -12,6 +12,11 @@ pub const PAPER_VMCU_MS: [f64; 8] = [37.0, 37.0, 33.0, 28.0, 22.0, 20.0, 34.0, 2
 pub const PAPER_TE_MS: [f64; 8] = [37.0, 37.0, 35.0, 29.0, 24.0, 19.0, 36.0, 28.0];
 
 /// Regenerates Table 3 on STM32-F411RE.
+///
+/// # Panics
+///
+/// Panics if a VWW module fails to deploy on the F411RE or the two
+/// executors disagree bit-exact — both would falsify the experiment.
 pub fn table3() -> ExpResult {
     let device = Device::stm32_f411re();
     let mut t = Table::new(&[

@@ -39,19 +39,19 @@ static inline int32_t vmcu_wrap(int64_t addr) {
 static inline void vmcu_ram_load(int8_t *dst, int64_t addr, int32_t len) {
   int32_t p = vmcu_wrap(addr);
   int32_t first = VMCU_MIN(len, vmcu_pool_len - p);
-  memcpy(dst, vmcu_pool_base + p, first);
-  if (first < len) memcpy(dst + first, vmcu_pool_base, len - first);
+  memcpy(dst, vmcu_pool_base + p, (size_t)first);
+  if (first < len) memcpy(dst + first, vmcu_pool_base, (size_t)(len - first));
 }
 
 static inline void vmcu_ram_store(const int8_t *src, int64_t addr, int32_t len) {
   int32_t p = vmcu_wrap(addr);
   int32_t first = VMCU_MIN(len, vmcu_pool_len - p);
-  memcpy(vmcu_pool_base + p, src, first);
-  if (first < len) memcpy(vmcu_pool_base, src + first, len - first);
+  memcpy(vmcu_pool_base + p, src, (size_t)first);
+  if (first < len) memcpy(vmcu_pool_base, src + first, (size_t)(len - first));
 }
 
 static inline void vmcu_flash_load(int8_t *dst, int64_t addr, int32_t len) {
-  memcpy(dst, vmcu_flash_base + addr, len);
+  memcpy(dst, vmcu_flash_base + addr, (size_t)len);
 }
 "#;
 

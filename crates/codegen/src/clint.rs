@@ -1,0 +1,689 @@
+//! A mini static lint over the emitted C.
+//!
+//! [`cgen`](crate::cgen) emits kernels whose buffer accesses are all
+//! either direct indexing (`acc[(k) + _i]`) or pointer-offset calls into
+//! the runtime helpers (`vmcu_dot(acc + 4, ...)`). Both carry enough
+//! text-level structure to audit without a C parser: buffer declarations
+//! give capacities, `const int64_t k = 3;` bindings from full unrolling
+//! give an environment of known constants, and every helper has a fixed
+//! access footprint (a `vmcu_dot` with `ki`/`ni` reads `ki` bytes of `a`,
+//! `ki*ni` of `b` and writes `ni` words of `acc`).
+//!
+//! [`lint_c`] replays those accesses and flags any whose resolved offset
+//! plus footprint escapes the declared capacity. The analysis is
+//! deliberately conservative: an offset containing a symbol with no
+//! constant binding in scope is skipped, never guessed — the lint has no
+//! false positives by construction, so the compile test can require a
+//! clean report before invoking the C compiler.
+
+use std::fmt;
+
+/// One out-of-bounds (or malformed) access found in emitted C.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CLintFinding {
+    /// 1-based line number in the linted source.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for CLintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// A declared buffer in some scope: element count and element width.
+#[derive(Debug, Clone, Copy)]
+struct Buf {
+    elems: i64,
+    elem_bytes: i64,
+}
+
+impl Buf {
+    fn bytes(self) -> i64 {
+        self.elems * self.elem_bytes
+    }
+}
+
+// ---- tiny constant-expression evaluator -----------------------------------
+
+/// Evaluates an emitted-C integer expression (`+`, `-`, `*`, parens,
+/// `VMCU_MIN`/`VMCU_MAX`, integer literals, identifiers) against an
+/// environment of known constants. Returns `None` for anything it cannot
+/// prove constant — unknown identifiers, division, function calls.
+fn eval_expr(src: &str, env: &dyn Fn(&str) -> Option<i64>) -> Option<i64> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser {
+        tokens: &tokens,
+        pos: 0,
+        env,
+    };
+    let v = p.expr()?;
+    if p.pos == tokens.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Num(i64),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn tokenize(src: &str) -> Option<Vec<Tok>> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' => i += 1,
+            '+' => {
+                out.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                out.push(Tok::Num(src[start..i].parse().ok()?));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Tok::Ident(src[start..i].to_owned()));
+            }
+            // Division, shifts, casts, anything else: not handled — bail.
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Tok],
+    pos: usize,
+    env: &'a dyn Fn(&str) -> Option<i64>,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn expr(&mut self) -> Option<i64> {
+        let mut acc = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.pos += 1;
+                    acc += self.term()?;
+                }
+                Some(Tok::Minus) => {
+                    self.pos += 1;
+                    acc -= self.term()?;
+                }
+                _ => return Some(acc),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Option<i64> {
+        let mut acc = self.atom()?;
+        while matches!(self.peek(), Some(Tok::Star)) {
+            self.pos += 1;
+            acc *= self.atom()?;
+        }
+        Some(acc)
+    }
+
+    fn atom(&mut self) -> Option<i64> {
+        match self.tokens.get(self.pos)?.clone() {
+            Tok::Num(v) => {
+                self.pos += 1;
+                Some(v)
+            }
+            Tok::Minus => {
+                self.pos += 1;
+                Some(-self.atom()?)
+            }
+            Tok::LParen => {
+                self.pos += 1;
+                let v = self.expr()?;
+                matches!(self.peek(), Some(Tok::RParen)).then(|| self.pos += 1)?;
+                Some(v)
+            }
+            Tok::Ident(name) => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(Tok::LParen)) {
+                    // VMCU_MIN / VMCU_MAX calls; anything else is opaque.
+                    self.pos += 1;
+                    let a = self.expr()?;
+                    matches!(self.peek(), Some(Tok::Comma)).then(|| self.pos += 1)?;
+                    let b = self.expr()?;
+                    matches!(self.peek(), Some(Tok::RParen)).then(|| self.pos += 1)?;
+                    match name.as_str() {
+                        "VMCU_MIN" => Some(a.min(b)),
+                        "VMCU_MAX" => Some(a.max(b)),
+                        _ => None,
+                    }
+                } else {
+                    (self.env)(&name)
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+// ---- line-level parsing helpers -------------------------------------------
+
+/// Splits `args` at top-level commas (not inside parens or brackets).
+fn split_args(args: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (i, c) in args.char_indices() {
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(args[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(args[start..].trim());
+    out
+}
+
+/// Parses a pointer argument of the form `[(cast)] name + offset` (the
+/// shape every helper call uses), returning the buffer name and offset
+/// expression. A bare `name` means offset `0`.
+fn parse_ptr_arg(arg: &str) -> Option<(&str, &str)> {
+    let mut rest = arg.trim();
+    // Strip leading casts like `(int8_t *)` / `(const int8_t *)`.
+    while rest.starts_with('(') {
+        let close = rest.find(')')?;
+        if !rest[1..close].contains('*') {
+            break; // parenthesized expression, not a cast
+        }
+        rest = rest[close + 1..].trim_start();
+    }
+    let name_end = rest
+        .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .unwrap_or(rest.len());
+    let name = &rest[..name_end];
+    if name.is_empty() {
+        return None;
+    }
+    let after = rest[name_end..].trim_start();
+    if after.is_empty() {
+        Some((name, "0"))
+    } else {
+        after.strip_prefix('+').map(|off| (name, off.trim()))
+    }
+}
+
+/// Extracts the argument list of the first call to `func` on `line`.
+fn call_args<'a>(line: &'a str, func: &str) -> Option<&'a str> {
+    let start = line.find(&format!("{func}("))? + func.len() + 1;
+    let mut depth = 1i32;
+    for (i, c) in line[start..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&line[start..start + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+// ---- the lint itself ------------------------------------------------------
+
+struct Scope {
+    bufs: Vec<(String, Buf)>,
+    consts: Vec<(String, i64)>,
+}
+
+struct Linter {
+    scopes: Vec<Scope>,
+    findings: Vec<CLintFinding>,
+}
+
+impl Linter {
+    fn lookup_buf(&self, name: &str) -> Option<Buf> {
+        self.scopes.iter().rev().find_map(|s| {
+            s.bufs
+                .iter()
+                .rev()
+                .find(|(n, _)| n == name)
+                .map(|&(_, b)| b)
+        })
+    }
+
+    fn lookup_const(&self, name: &str) -> Option<i64> {
+        self.scopes.iter().rev().find_map(|s| {
+            s.consts
+                .iter()
+                .rev()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+        })
+    }
+
+    fn flag(&mut self, line: usize, message: String) {
+        self.findings.push(CLintFinding { line, message });
+    }
+
+    /// Checks one access spanning `span = (offset, length)` units into
+    /// `name` (`cap` = capacity in the same units).
+    fn check_span(
+        &mut self,
+        line_no: usize,
+        what: &str,
+        name: &str,
+        span: (Option<i64>, Option<i64>),
+        cap: i64,
+        unit: &str,
+    ) {
+        let (Some(off), Some(len)) = span else {
+            return; // symbolic — conservative skip
+        };
+        if off < 0 || off + len > cap {
+            self.flag(
+                line_no,
+                format!(
+                    "{what}: access of {len} {unit}(s) at offset {off} into `{name}` \
+                     exceeds its {cap} {unit}(s)"
+                ),
+            );
+        }
+    }
+}
+
+/// Lints emitted C (a single kernel or a whole library) for buffer
+/// accesses provably out of bounds of their declarations. Returns one
+/// finding per bad access; an empty result means every *resolvable*
+/// access is in bounds (symbolic offsets are skipped, not validated).
+pub fn lint_c(src: &str) -> Vec<CLintFinding> {
+    let mut l = Linter {
+        scopes: vec![Scope {
+            bufs: Vec::new(),
+            consts: Vec::new(),
+        }],
+        findings: Vec::new(),
+    };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+
+        // Scope exit first: a bare `}` (possibly with trailing text) pops.
+        if line.starts_with('}') && l.scopes.len() > 1 {
+            l.scopes.pop();
+        }
+
+        lint_line(&mut l, line_no, line);
+
+        // Scope entry: net unmatched `{` on the line opens a scope. The
+        // emitter never puts `{` and its matching `}` on different nesting
+        // paths within one line, so counting is exact.
+        let opens = raw.matches('{').count();
+        let closes = raw.matches('}').count() - usize::from(line.starts_with('}'));
+        for _ in closes..opens {
+            l.scopes.push(Scope {
+                bufs: Vec::new(),
+                consts: Vec::new(),
+            });
+        }
+        for _ in opens..closes {
+            if l.scopes.len() > 1 {
+                l.scopes.pop();
+            }
+        }
+    }
+    l.findings
+}
+
+fn const_env(l: &Linter) -> impl Fn(&str) -> Option<i64> + '_ {
+    move |n| l.lookup_const(n)
+}
+
+/// Environment for index expressions inside a `for _i` one-liner: `_i`
+/// is bound to its maximal value (last iteration).
+fn index_env(l: &Linter, i_bound: Option<i64>) -> impl Fn(&str) -> Option<i64> + '_ {
+    move |n| {
+        if n == "_i" {
+            i_bound.map(|b| b - 1)
+        } else {
+            l.lookup_const(n)
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn lint_line(l: &mut Linter, line_no: usize, line: &str) {
+    // Buffer declarations: `int8_t name[N];` / `int32_t name[N];`. A
+    // declaration line carries no access, so it is consumed whole — the
+    // index scanner below must not mistake `name[N]` for an access.
+    for (ty, elem_bytes) in [("int8_t ", 1i64), ("int32_t ", 4i64)] {
+        if let Some(rest) = line.strip_prefix(ty) {
+            if let Some((name, tail)) = rest.split_once('[') {
+                if let Some((len, after)) = tail.split_once(']') {
+                    if after.trim() == ";" {
+                        if let Ok(elems) = len.trim().parse::<i64>() {
+                            let name = name.trim().to_owned();
+                            l.scopes
+                                .last_mut()
+                                .expect("scope stack never empty")
+                                .bufs
+                                .push((name, Buf { elems, elem_bytes }));
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Constant bindings: `const int64_t k = 3;` and `int64_t t = <expr>;`.
+    for prefix in ["const int64_t ", "int64_t "] {
+        if let Some(rest) = line.strip_prefix(prefix) {
+            if let Some((name, val)) = rest.split_once('=') {
+                let name = name.trim();
+                if let Some(expr) = val.trim().strip_suffix(';') {
+                    if let Some(v) = eval_expr(expr, &|n| l.lookup_const(n)) {
+                        l.scopes
+                            .last_mut()
+                            .expect("scope stack never empty")
+                            .consts
+                            .push((name.to_owned(), v));
+                    }
+                }
+                break; // `const int64_t` must not also match `int64_t`
+            }
+        }
+    }
+
+    // A `for (int32_t _i = 0; _i < N; ++_i) ...` one-liner bounds `_i`:
+    // the worst-case index uses `_i = N - 1` (offsets are affine with
+    // non-negative `_i` coefficient, so the last iteration is maximal).
+    let mut i_bound: Option<i64> = None;
+    if let Some(rest) = line.strip_prefix("for (int32_t _i = 0; _i < ") {
+        if let Some((n, _)) = rest.split_once(';') {
+            i_bound = eval_expr(n, &const_env(l));
+        }
+    }
+
+    // Direct indexing: every `name[expr]` where `name` is a known buffer.
+    let mut rest = line;
+    while let Some(br) = rest.find('[') {
+        let head = &rest[..br];
+        let name_start = head
+            .rfind(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+            .map_or(0, |p| p + 1);
+        let name = &head[name_start..];
+        let mut depth = 1i32;
+        let mut end = None;
+        for (i, c) in rest[br + 1..].char_indices() {
+            match c {
+                '[' => depth += 1,
+                ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(br + 1 + i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(end) = end else { break };
+        if let Some(buf) = l.lookup_buf(name) {
+            let idx = eval_expr(&rest[br + 1..end], &index_env(l, i_bound));
+            l.check_span(line_no, "index", name, (idx, Some(1)), buf.elems, "element");
+        }
+        rest = &rest[end + 1..];
+    }
+
+    // Helper calls with known access footprints. Offsets on byte-typed
+    // pointers are in bytes; `vmcu_dot`'s `acc` and `vmcu_broadcast`'s
+    // `dst` are `int32_t *`, so those offsets are in words.
+    for func in ["vmcu_ram_load", "vmcu_ram_store", "vmcu_flash_load"] {
+        if let Some(args) = call_args(line, func) {
+            let args = split_args(args);
+            if args.len() == 3 {
+                if let Some((name, off)) = parse_ptr_arg(args[0]) {
+                    if let Some(buf) = l.lookup_buf(name) {
+                        let off = eval_expr(off, &const_env(l));
+                        let len = eval_expr(args[2], &const_env(l));
+                        l.check_span(line_no, func, name, (off, len), buf.bytes(), "byte");
+                    }
+                }
+            }
+        }
+    }
+    if let Some(args) = call_args(line, "vmcu_dot") {
+        let args = split_args(args);
+        if args.len() == 5 {
+            let ki = eval_expr(args[3], &const_env(l));
+            let ni = eval_expr(args[4], &const_env(l));
+            for (arg, len, unit_words) in [
+                (args[0], ni, true),                              // acc: ni words written
+                (args[1], ki, false),                             // a: ki bytes read
+                (args[2], ki.zip(ni).map(|(k, n)| k * n), false), // b: ki*ni bytes
+            ] {
+                if let Some((name, off)) = parse_ptr_arg(arg) {
+                    if let Some(buf) = l.lookup_buf(name) {
+                        let off = eval_expr(off, &const_env(l));
+                        let (cap, unit) = if unit_words {
+                            (buf.elems, "word")
+                        } else {
+                            (buf.bytes(), "byte")
+                        };
+                        l.check_span(line_no, "vmcu_dot", name, (off, len), cap, unit);
+                    }
+                }
+            }
+        }
+    }
+    if let Some(args) = call_args(line, "vmcu_broadcast") {
+        let args = split_args(args);
+        if args.len() == 3 {
+            if let Some((name, off)) = parse_ptr_arg(args[0]) {
+                if let Some(buf) = l.lookup_buf(name) {
+                    let off = eval_expr(off, &const_env(l));
+                    let len = eval_expr(args[2], &const_env(l));
+                    l.check_span(
+                        line_no,
+                        "vmcu_broadcast",
+                        name,
+                        (off, len),
+                        buf.elems,
+                        "word",
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_evaluator_handles_emitted_shapes() {
+        let env = |n: &str| (n == "k").then_some(3i64);
+        assert_eq!(eval_expr("(k * 4)", &env), Some(12));
+        assert_eq!(eval_expr("((k + 1) * 2) - 3", &env), Some(5));
+        assert_eq!(eval_expr("VMCU_MIN(k, 2)", &env), Some(2));
+        assert_eq!(eval_expr("-4 + k", &env), Some(-1));
+        assert_eq!(eval_expr("unknown + 1", &env), None);
+        assert_eq!(eval_expr("k / 2", &env), None); // division is opaque
+    }
+
+    #[test]
+    fn clean_kernel_lints_clean() {
+        let src = "\
+void f(int64_t in_base) {
+  int32_t acc[4];
+  int8_t a[8];
+  vmcu_ram_load((int8_t *)a + 0, in_base, 8);
+  {
+    const int64_t k = 1;
+    vmcu_dot(acc + 0, (const int8_t *)a + (k * 4), (const int8_t *)a + 0, 4, 1);
+  }
+  for (int32_t _i = 0; _i < 4; ++_i) acc[_i] = 0;
+  vmcu_broadcast(acc + 0, 7, 4);
+}
+";
+        assert_eq!(lint_c(src), Vec::new());
+    }
+
+    #[test]
+    fn out_of_bounds_helper_call_is_flagged() {
+        let src = "\
+int8_t a[4];
+vmcu_ram_load((int8_t *)a + 2, 0, 4);
+";
+        let f = lint_c(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("vmcu_ram_load"), "{}", f[0]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn out_of_bounds_index_is_flagged() {
+        let src = "int8_t a[4];\na[5] = 0;\n";
+        let f = lint_c(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`a`"));
+    }
+
+    #[test]
+    fn unrolled_constant_binding_resolves_offsets() {
+        // k = 6 pushes the dot's a-offset past the 8-byte buffer.
+        let src = "\
+int32_t acc[4];
+int8_t a[8];
+{
+  const int64_t k = 6;
+  vmcu_dot(acc + 0, (const int8_t *)a + k, (const int8_t *)a + 0, 4, 1);
+}
+";
+        let f = lint_c(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("vmcu_dot"), "{}", f[0]);
+    }
+
+    #[test]
+    fn scoped_binding_does_not_leak() {
+        // The same k-binding is out of scope at the second call: skipped.
+        let src = "\
+int8_t a[8];
+{
+  const int64_t k = 6;
+}
+vmcu_ram_load((int8_t *)a + k, 0, 8);
+";
+        assert_eq!(lint_c(src), Vec::new());
+    }
+
+    #[test]
+    fn symbolic_offsets_are_skipped() {
+        let src = "\
+int8_t a[4];
+vmcu_ram_load((int8_t *)a + in_base, 0, 4);
+a[n] = 0;
+";
+        assert_eq!(lint_c(src), Vec::new());
+    }
+
+    #[test]
+    fn i_loop_bound_checks_last_iteration() {
+        let src = "\
+int32_t acc[4];
+for (int32_t _i = 0; _i < 5; ++_i) acc[_i] = 0;
+";
+        let f = lint_c(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("offset 4"), "{}", f[0]);
+    }
+
+    #[test]
+    fn real_emitted_libraries_lint_clean() {
+        use crate::cgen::emit_library_with_lanes;
+        use crate::kernels_ir::{build_fc_kernel, FcIrSpec};
+        use vmcu_tensor::Requant;
+
+        let spec = FcIrSpec {
+            m: 6,
+            k: 8,
+            n: 8,
+            seg: 8,
+            rq: Requant::from_scale(1.0 / 64.0, 3),
+        };
+        for lanes in [1, 2, 4] {
+            let lib = emit_library_with_lanes(&[build_fc_kernel(&spec)], lanes);
+            let findings = lint_c(&lib);
+            assert!(
+                findings.is_empty(),
+                "lanes={lanes}: emitted library has lint findings:\n{}",
+                findings
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
+    }
+
+    #[test]
+    fn indexing_in_word_units_vs_bytes() {
+        // 4-word acc = 16 bytes: offset 3 words is fine, 4 is not.
+        let ok = "int32_t acc[4];\nvmcu_broadcast(acc + 3, 0, 1);\n";
+        let bad = "int32_t acc[4];\nvmcu_broadcast(acc + 4, 0, 1);\n";
+        assert_eq!(lint_c(ok), Vec::new());
+        assert_eq!(lint_c(bad).len(), 1);
+    }
+}

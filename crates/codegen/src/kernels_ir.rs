@@ -30,6 +30,10 @@ impl FcIrSpec {
     /// Minimal executable pointer distance `bIn − bOut` in bytes for the
     /// generated kernel (stores of row `m` precede the free of input row
     /// `m`, so the bound is `max_m (m·(N−K) + N)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero — a spec without rows has no distance.
     pub fn exec_distance(&self) -> i64 {
         (0..self.m as i64)
             .map(|m| m * (self.n as i64 - self.k as i64) + self.n as i64)

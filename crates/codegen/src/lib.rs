@@ -24,14 +24,13 @@
 //! assert!(lib.contains("__smlad"));
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 pub mod cgen;
+pub mod clint;
 pub mod interp;
 pub mod kernels_ir;
 
 pub use cgen::{emit_kernel, emit_library, emit_library_with_lanes, prelude, prelude_with_lanes};
+pub use clint::{lint_c, CLintFinding};
 pub use interp::{interpret, InterpError};
 
 /// Cycles per element the requantization epilogue historically charged on

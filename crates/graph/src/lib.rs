@@ -18,9 +18,6 @@
 //! assert_eq!(vww[0].params.in_bytes() + vww[0].params.mid_bytes(), 25_600);
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 pub mod exec;
 #[allow(clippy::module_inception)]
 pub mod graph;

@@ -115,6 +115,11 @@ pub fn fig7_cases() -> Vec<NamedPointwise> {
 
 /// A small shape-chained network (pointwise → IB → IB → pointwise) used
 /// by the end-to-end examples and integration tests.
+///
+/// # Panics
+///
+/// Panics if the baked-in layer shapes fail to chain — impossible for
+/// these constants.
 pub fn demo_linear_net() -> Graph {
     let rq = Requant::from_scale(1.0 / 64.0, 0);
     let mut ib1 = IbParams::new(12, 8, 24, 8, 3, (1, 1, 1));
@@ -142,6 +147,11 @@ pub fn demo_linear_net() -> Graph {
 /// (`vmcu_plan::fusion`) pipelines the chain through line-buffer rings
 /// and never materializes it — the zoo model demonstrating the paper's
 /// multi-layer claim.
+///
+/// # Panics
+///
+/// Panics if the baked-in layer shapes fail to chain — impossible for
+/// these constants.
 pub fn mbv2_block_unfused() -> Graph {
     let rq = Requant::from_scale(1.0 / 64.0, 0);
     let mut expand = PointwiseParams::new(20, 20, 16, 48, rq);
@@ -164,6 +174,11 @@ pub fn mbv2_block_unfused() -> Graph {
 /// exceeds the 128 KB device outright: layer-at-a-time planning cannot
 /// deploy it under **any** policy, the fused pipeline can — the "only
 /// fits fused" regime.
+///
+/// # Panics
+///
+/// Panics if the baked-in layer shapes fail to chain — impossible for
+/// these constants.
 pub fn wide_expand_chain() -> Graph {
     let rq = Requant::from_scale(1.0 / 64.0, 0);
     let mut expand = PointwiseParams::new(40, 40, 16, 96, rq);
@@ -190,6 +205,11 @@ pub fn wide_expand_chain() -> Graph {
 /// spatial front layers tile by tile, where only a tile's
 /// receptive-field slab is resident, and the model fits with room to
 /// spare — the "opens a new workload" model of the zoo.
+///
+/// # Panics
+///
+/// Panics if the baked-in layer shapes fail to chain — impossible for
+/// these constants.
 pub fn hires_front_stage() -> Graph {
     let rq = Requant::from_scale(1.0 / 64.0, 0);
     let mut dw1 = DepthwiseParams::new(96, 96, 16, 3, 3, 2, 1, rq);
@@ -227,6 +247,11 @@ pub fn hires_front_stage() -> Graph {
 /// chain between blocks — where the tensor is a narrow 25.6 KB — gives
 /// every stage a comfortable fused footprint. The model that motivates
 /// `PlannerKind::VmcuSplit`.
+///
+/// # Panics
+///
+/// Panics if the baked-in layer shapes fail to chain — impossible for
+/// these constants.
 pub fn hires_split_only() -> Graph {
     let rq = Requant::from_scale(1.0 / 64.0, 0);
     let mut front = IbParams::new(40, 16, 32, 16, 3, (1, 1, 1));
@@ -261,6 +286,11 @@ pub struct NamedGraph {
 /// interesting admission regimes at 128 KB: tiny always-fit modules
 /// (S5/S6), mid-size chains (the demo net), and the Figure 7 boundary
 /// cases that deploy under vMCU but not under tensor-level planning.
+///
+/// # Panics
+///
+/// Panics if any catalog entry's fixed shapes fail to chain —
+/// impossible for these constants.
 pub fn fleet_catalog() -> Vec<NamedGraph> {
     let fig7 = fig7_cases();
     let vww = mcunet_5fps_vww();
@@ -331,6 +361,11 @@ pub fn fleet_catalog() -> Vec<NamedGraph> {
 /// A random shape-chained linear network for differential testing: a mix
 /// of pointwise, depthwise, and inverted-bottleneck layers whose shapes
 /// compose. Deterministic per seed.
+///
+/// # Panics
+///
+/// Panics if the generator emits a non-chaining layer sequence; every
+/// transition above preserves the chain invariant, so it does not.
 pub fn random_linear_net(seed: u64, layers: usize) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
     let rq = Requant::from_scale(1.0 / 64.0, 0);
@@ -376,6 +411,11 @@ pub fn random_linear_net(seed: u64, layers: usize) -> Graph {
 /// project, with the block input carried around the branch into an
 /// elementwise [`LayerDesc::Add`]. The graph input stays live until the
 /// merge — the canonical last-consumer liveness case.
+///
+/// # Panics
+///
+/// Panics if the baked-in node shapes fail to merge — impossible for
+/// these constants.
 pub fn mbv2_residual_dag() -> Graph {
     let rq = Requant::from_scale(1.0 / 64.0, 0);
     let mut expand = PointwiseParams::new(12, 12, 16, 48, rq);
@@ -402,6 +442,11 @@ pub fn mbv2_residual_dag() -> Graph {
 /// whose outputs are channel-concatenated into the single graph output.
 /// The trunk tensor has two consumers — the multi-successor liveness
 /// case.
+///
+/// # Panics
+///
+/// Panics if the baked-in node shapes fail to merge — impossible for
+/// these constants.
 pub fn two_head_net() -> Graph {
     let rq = Requant::from_scale(1.0 / 64.0, 0);
     let mut trunk = PointwiseParams::new(12, 12, 8, 16, rq);
@@ -431,6 +476,11 @@ pub fn two_head_net() -> Graph {
 /// planner. Executing one branch to completion before starting the other
 /// (`PlannerKind::VmcuReorder`'s searched order) keeps a single fat
 /// tensor live at a time and the model fits with room to spare.
+///
+/// # Panics
+///
+/// Panics if the baked-in node shapes fail to merge — impossible for
+/// these constants.
 pub fn branchy_oom_net() -> Graph {
     let rq = Requant::from_scale(1.0 / 64.0, 0);
     let mut expand_a = PointwiseParams::new(30, 30, 16, 80, rq);
@@ -465,6 +515,11 @@ pub fn branchy_zoo() -> Vec<Graph> {
 /// edges flowing into [`LayerDesc::Add`] / [`LayerDesc::Concat`] merges,
 /// closed off so every node feeds the single sink. Deterministic per
 /// seed.
+///
+/// # Panics
+///
+/// Panics if the generator wires a shape-inconsistent DAG; the fixed
+/// spatial size and channel bookkeeping above rule that out.
 pub fn random_dag_net(seed: u64, body_nodes: usize) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
     let rq = Requant::from_scale(1.0 / 64.0, 0);

@@ -138,6 +138,10 @@ pub fn lex_lt(a: &[i64], b: &[i64]) -> bool {
 
 /// Returns `true` when `a <= b` in lexicographic order (the `j <= i`
 /// relation of constraint (1) in the paper).
+///
+/// # Panics
+///
+/// Panics if the two points have different dimensionality.
 pub fn lex_le(a: &[i64], b: &[i64]) -> bool {
     assert_eq!(a.len(), b.len(), "lex comparison of mismatched dims");
     a <= b

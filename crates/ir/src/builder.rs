@@ -71,6 +71,10 @@ impl KernelBuilder {
     }
 
     /// Emits a sequential loop `for var in (0..extent).step_by(step)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not positive.
     pub fn for_step(
         &mut self,
         var: impl Into<String>,

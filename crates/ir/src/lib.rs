@@ -37,9 +37,6 @@
 //! assert_eq!(domain.count(), 24);
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 pub mod affine;
 pub mod builder;
 pub mod expr;

@@ -207,11 +207,21 @@ impl FusedChain {
     }
 
     /// Chain input bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain is empty — construction requires at least
+    /// one operator.
     pub fn in_bytes(&self) -> usize {
         self.ops[0].in_rows() * self.ops[0].in_row_bytes()
     }
 
     /// Chain output bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain is empty — construction requires at least
+    /// one operator.
     pub fn out_bytes(&self) -> usize {
         let last = self.ops.last().expect("non-empty chain");
         last.out_rows() * last.out_row_bytes()
@@ -219,6 +229,10 @@ impl FusedChain {
 
     /// Ring capacity (in rows) for intermediate tensor `i` (`1 ≤ i < n`):
     /// the consumer's window height, clamped to the tensor height.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not an intermediate index (`1 ≤ i < n`).
     pub fn ring_rows(&self, i: usize) -> usize {
         assert!(i >= 1 && i < self.ops.len(), "intermediate index");
         let (r, _, _) = self.ops[i].row_window();
@@ -318,6 +332,11 @@ pub fn chain_schedule(chain: &FusedChain) -> Vec<ChainStep> {
 
 /// Dry-run store/free trace over the pool tensors (byte addresses
 /// relative to the chain input/output bases).
+///
+/// # Panics
+///
+/// Panics if the chain is empty — construction requires at least one
+/// operator.
 pub fn chain_exec_trace(chain: &FusedChain) -> Vec<ExecEvent> {
     let irb = chain.ops[0].in_row_bytes();
     let orb = chain.ops.last().expect("non-empty chain").out_row_bytes();

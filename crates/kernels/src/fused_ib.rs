@@ -95,6 +95,11 @@ fn free_upto(p: &IbParams, scheme: IbScheme, pi: usize) -> usize {
 
 /// The shared fused schedule: the kernel executes it, the trace mirrors
 /// it, and tests assert their agreement.
+///
+/// # Panics
+///
+/// Panics if the projection stride `s3` is not 1 (all Table 2 modules
+/// use a unit projection stride).
 pub fn ib_schedule(p: &IbParams, scheme: IbScheme) -> Vec<IbStep> {
     assert_eq!(p.s3, 1, "all Table 2 modules have a unit projection stride");
     let (h1, h2) = (p.hw1(), p.hw2());

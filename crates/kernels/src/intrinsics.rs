@@ -167,6 +167,10 @@ pub fn broadcast(m: &mut Machine, dst: &mut [i32], value: i32) {
 
 /// Requantizes a row of int32 accumulators to int8 with a fused
 /// activation clamp, charging the epilogue cost.
+///
+/// # Panics
+///
+/// Panics if `acc` and `out` have different lengths.
 pub fn requant_row(m: &mut Machine, acc: &[i32], rq: Requant, clamp: (i8, i8), out: &mut [u8]) {
     assert_eq!(acc.len(), out.len(), "requant row length mismatch");
     for (o, &a) in out.iter_mut().zip(acc) {

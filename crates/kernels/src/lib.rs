@@ -33,9 +33,6 @@
 //! every planner distance is validated empirically: kernels run clean at
 //! the planned offset and clobber deterministically one byte short of it.
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 pub mod conv2d;
 pub mod depthwise;
 pub mod fc;

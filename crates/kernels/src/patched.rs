@@ -338,6 +338,11 @@ impl PatchedFront {
     }
 
     /// Front output `(rows, cols, channels)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the front is empty — construction requires at least
+    /// one op.
     pub fn out_dims(&self) -> (usize, usize, usize) {
         out_dims(self.ops.last().expect("non-empty front"))
     }

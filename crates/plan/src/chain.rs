@@ -55,6 +55,11 @@ fn layer_distance(layer: &LayerDesc, scheme: IbScheme) -> (i64, usize) {
 }
 
 /// Plans a linear graph into one circular pool.
+///
+/// # Panics
+///
+/// Panics only if internal bookkeeping breaks (the running `bases`
+/// vector is seeded non-empty) — never for a well-formed graph.
 pub fn plan_chain(graph: &Graph, scheme: IbScheme) -> ChainPlan {
     crate::telemetry::record_plan_call();
     let mut bases = vec![0i64];

@@ -280,6 +280,11 @@ fn fused_group(start: usize, ops: Vec<ChainOp>) -> FusedGroup {
 /// continues after it (so a profitable sub-chain is found even when the
 /// whole run is not profitable). Everything else stays layer-at-a-time,
 /// and the result's layer ranges tile the graph.
+///
+/// # Panics
+///
+/// Panics only if internal bookkeeping breaks (a fused group built
+/// from a non-empty run) — never for a well-formed graph.
 pub fn fuse_graph(graph: &Graph, scheme: IbScheme) -> FusionPlan {
     crate::telemetry::record_plan_call();
     let single = VmcuPlanner { scheme };

@@ -52,9 +52,6 @@
 //! assert!(vm.bottleneck_bytes() < te.bottleneck_bytes());
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 pub mod arena;
 pub mod capacity;
 pub mod chain;

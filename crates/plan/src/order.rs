@@ -67,7 +67,7 @@ impl OrderPlan {
 fn tensor_bytes(graph: &Graph) -> Vec<usize> {
     let mut tb = Vec::with_capacity(graph.len() + 1);
     tb.push(graph.in_shape().iter().product());
-    tb.extend(graph.layers().iter().map(|l| l.out_bytes()));
+    tb.extend(graph.layers().iter().map(vmcu_graph::LayerDesc::out_bytes));
     tb
 }
 

@@ -198,6 +198,11 @@ fn offset_nodes(plan: &mut FusionPlan, off: usize) {
 /// let vmcu = peak_demand_bytes(&VmcuPlanner::default(), &g);
 /// assert!(p.peak_demand_bytes() * 2 < vmcu);
 /// ```
+///
+/// # Panics
+///
+/// Panics only if a layer inside the patchable prefix has no patch
+/// lowering — unreachable, since `patchable_prefix` selected it.
 pub fn plan(graph: &Graph, scheme: IbScheme, max_overhead: f64) -> PatchPlan {
     crate::telemetry::record_plan_call();
     let fallback = PatchPlan {

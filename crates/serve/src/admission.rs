@@ -161,6 +161,11 @@ impl AdmissionController {
     /// exceeds even an empty device; [`RejectReason::NoCapacity`] when
     /// the fleet's aggregate uncommitted SRAM (or worker count) cannot
     /// host every stage at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the demand vector is empty past the zero-demand
+    /// refusal above — unreachable.
     pub fn admit(&mut self, model: &str, graph: &Graph) -> Result<usize, RejectReason> {
         let demands = match self.demand_cache.get(model) {
             Some(d) => d.clone(),

@@ -232,6 +232,11 @@ impl Fleet {
     }
 
     /// Runs one batch of requests through admission and the worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread itself panics (its panic is
+    /// propagated on join).
     pub fn run_batch(&self, requests: &[RequestSpec]) -> FleetReport {
         let started = Instant::now();
         let plan_calls_before = vmcu_plan::telemetry::plan_calls();
@@ -361,6 +366,11 @@ impl Fleet {
     ///         + report.stats.failed,
     /// );
     /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.slo_ms` is not a positive finite latency, or if a
+    /// worker thread itself panics.
     pub fn run_online(&self, cfg: &OnlineConfig) -> OnlineReport {
         assert!(
             cfg.slo_ms.is_finite() && cfg.slo_ms > 0.0,

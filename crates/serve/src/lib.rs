@@ -66,9 +66,6 @@
 //! 128 KB get rejected by tensor-level planning — the paper's Figure 7
 //! deployability gap, measured as fleet throughput.
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 pub mod admission;
 pub mod arrivals;
 pub mod catalog;

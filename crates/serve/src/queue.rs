@@ -136,6 +136,10 @@ impl Router {
     }
 
     /// Routes one request for `model` to a device index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router was built with zero workers.
     pub fn route(&mut self, model: usize) -> usize {
         let home = model % self.assigned.len();
         let least = self

@@ -101,6 +101,10 @@ impl Outcome {
 /// A deterministic request stream: `n` requests drawn uniformly from the
 /// catalog, seeded so that every run (and every CI machine) offers the
 /// fleet the same load.
+///
+/// # Panics
+///
+/// Panics if the catalog is empty.
 pub fn random_stream(catalog: &[NamedGraph], n: usize, seed: u64) -> Vec<RequestSpec> {
     assert!(!catalog.is_empty(), "catalog must not be empty");
     let mut rng = StdRng::seed_from_u64(seed);

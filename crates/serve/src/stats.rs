@@ -269,6 +269,10 @@ impl OnlineStats {
 /// Nearest-rank percentile of unsorted integer-microsecond samples,
 /// reported in milliseconds (`q` in `[0, 1]`). Returns 0 for an empty
 /// sample. Integer sorting keeps the result bit-reproducible.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
 pub fn percentile_us(samples: &[u64], q: f64) -> f64 {
     assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
     if samples.is_empty() {
@@ -282,6 +286,10 @@ pub fn percentile_us(samples: &[u64], q: f64) -> f64 {
 
 /// Nearest-rank percentile of an unsorted sample (`q` in `[0, 1]`).
 /// Returns 0 for an empty sample.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
 pub fn percentile_ms(samples: &[f64], q: f64) -> f64 {
     assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
     if samples.is_empty() {

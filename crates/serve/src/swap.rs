@@ -84,6 +84,12 @@ impl ResidencyLedger {
 
     /// Makes `model` resident (or refreshes its recency if it already
     /// is), evicting least-recently-used models as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the eviction loop finds no resident model to
+    /// evict — unreachable, because a model larger than the budget is
+    /// refused with [`Admit::TooLarge`] before eviction starts.
     pub fn request(&mut self, model: usize, ram_bytes: usize, flash_bytes: usize) -> Admit {
         self.tick += 1;
         if let Some(r) = self.resident.iter_mut().find(|r| r.model == model) {

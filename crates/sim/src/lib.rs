@@ -28,9 +28,6 @@
 //! # Ok::<(), vmcu_sim::MemError>(())
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 pub mod cost;
 pub mod counters;
 pub mod device;

@@ -29,6 +29,17 @@ pub enum MemError {
         /// Flash capacity.
         capacity: usize,
     },
+    /// A store hit a byte the shadow liveness map says is still live.
+    ///
+    /// Only raised by builds with the `shadow` feature; the variant exists
+    /// unconditionally so downstream matches do not change shape with the
+    /// feature set.
+    ShadowClobber {
+        /// First live byte the store would overwrite.
+        addr: usize,
+        /// Number of live bytes inside the store range.
+        len: usize,
+    },
 }
 
 impl fmt::Display for MemError {
@@ -52,6 +63,10 @@ impl fmt::Display for MemError {
                 "flash access [{addr}, {}) exceeds capacity {capacity}",
                 addr + len
             ),
+            MemError::ShadowClobber { addr, len } => write!(
+                f,
+                "shadow liveness: store overwrites {len} live byte(s) starting at RAM {addr}"
+            ),
         }
     }
 }
@@ -59,9 +74,17 @@ impl fmt::Display for MemError {
 impl std::error::Error for MemError {}
 
 /// Simulated SRAM.
+///
+/// With the `shadow` feature, RAM additionally carries a per-byte
+/// liveness map mirrored from the segment pool: every store first checks
+/// that no target byte is still live, so an executor that drifts from its
+/// certified plan (double store, store before free) is caught at the
+/// memory layer even when pool-level checking is disabled.
 #[derive(Debug, Clone)]
 pub struct Ram {
     data: Vec<u8>,
+    #[cfg(feature = "shadow")]
+    live: Vec<bool>,
 }
 
 impl Ram {
@@ -69,6 +92,8 @@ impl Ram {
     pub fn new(capacity: usize) -> Self {
         Self {
             data: vec![0; capacity],
+            #[cfg(feature = "shadow")]
+            live: vec![false; capacity],
         }
     }
 
@@ -106,9 +131,13 @@ impl Ram {
     ///
     /// # Errors
     ///
-    /// Returns [`MemError::RamOutOfRange`] when the range exceeds capacity.
+    /// Returns [`MemError::RamOutOfRange`] when the range exceeds
+    /// capacity, or (under the `shadow` feature) [`MemError::ShadowClobber`]
+    /// when a target byte is still live in the shadow map.
     pub fn write(&mut self, addr: usize, bytes: &[u8]) -> Result<(), MemError> {
         self.check(addr, bytes.len())?;
+        #[cfg(feature = "shadow")]
+        self.shadow_check(addr, bytes.len())?;
         self.data[addr..addr + bytes.len()].copy_from_slice(bytes);
         Ok(())
     }
@@ -117,9 +146,13 @@ impl Ram {
     ///
     /// # Errors
     ///
-    /// Returns [`MemError::RamOutOfRange`] when the range exceeds capacity.
+    /// Returns [`MemError::RamOutOfRange`] when the range exceeds
+    /// capacity, or (under the `shadow` feature) [`MemError::ShadowClobber`]
+    /// when a target byte is still live in the shadow map.
     pub fn fill(&mut self, addr: usize, len: usize, value: u8) -> Result<(), MemError> {
         self.check(addr, len)?;
+        #[cfg(feature = "shadow")]
+        self.shadow_check(addr, len)?;
         self.data[addr..addr + len].fill(value);
         Ok(())
     }
@@ -129,6 +162,53 @@ impl Ram {
     /// long-lived worker reuse its simulated SRAM across inferences.
     pub fn clear(&mut self) {
         self.data.fill(0);
+        #[cfg(feature = "shadow")]
+        self.live.fill(false);
+    }
+
+    #[cfg(feature = "shadow")]
+    fn shadow_check(&self, addr: usize, len: usize) -> Result<(), MemError> {
+        let mut first = None;
+        let mut count = 0usize;
+        for (i, &l) in self.live[addr..addr + len].iter().enumerate() {
+            if l {
+                first.get_or_insert(addr + i);
+                count += 1;
+            }
+        }
+        match first {
+            Some(a) => Err(MemError::ShadowClobber {
+                addr: a,
+                len: count,
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Marks `[addr, addr + len)` live in the shadow map (pool mirror;
+    /// called after a pool store or host fill).
+    #[cfg(feature = "shadow")]
+    pub fn shadow_mark_live(&mut self, addr: usize, len: usize) {
+        let end = (addr + len).min(self.live.len());
+        for b in &mut self.live[addr.min(end)..end] {
+            *b = true;
+        }
+    }
+
+    /// Marks `[addr, addr + len)` dead in the shadow map (pool mirror;
+    /// called when the pool frees those bytes).
+    #[cfg(feature = "shadow")]
+    pub fn shadow_mark_dead(&mut self, addr: usize, len: usize) {
+        let end = (addr + len).min(self.live.len());
+        for b in &mut self.live[addr.min(end)..end] {
+            *b = false;
+        }
+    }
+
+    /// Number of bytes currently live in the shadow map.
+    #[cfg(feature = "shadow")]
+    pub fn shadow_live_bytes(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
     }
 }
 
@@ -292,6 +372,34 @@ mod tests {
     fn erased_flash_reads_ff() {
         let flash = Flash::new(4);
         assert_eq!(flash.read(0, 4).unwrap(), &[0xFF; 4]);
+    }
+
+    #[cfg(feature = "shadow")]
+    #[test]
+    fn shadow_catches_store_over_live_bytes() {
+        let mut ram = Ram::new(16);
+        ram.write(4, &[1, 2, 3, 4]).unwrap();
+        ram.shadow_mark_live(4, 4);
+        assert_eq!(ram.shadow_live_bytes(), 4);
+        // Overlapping store: bytes 6..8 are live.
+        assert_eq!(
+            ram.write(6, &[9, 9, 9]),
+            Err(MemError::ShadowClobber { addr: 6, len: 2 })
+        );
+        assert!(ram.fill(4, 2, 0).is_err());
+        // Freeing the bytes makes the store legal again.
+        ram.shadow_mark_dead(4, 4);
+        ram.write(6, &[9, 9, 9]).unwrap();
+    }
+
+    #[cfg(feature = "shadow")]
+    #[test]
+    fn shadow_map_resets_with_clear() {
+        let mut ram = Ram::new(8);
+        ram.shadow_mark_live(0, 8);
+        ram.clear();
+        assert_eq!(ram.shadow_live_bytes(), 0);
+        ram.write(0, &[1; 8]).unwrap();
     }
 
     #[test]

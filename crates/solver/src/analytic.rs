@@ -71,6 +71,11 @@ fn pair_max(extents: &[i64], write: &LinearAccess, read: &LinearAccess) -> i64 {
 }
 
 /// Computes `D* = min (bIn − bOut)` analytically.
+///
+/// # Panics
+///
+/// Panics if the problem has no reads or no writes —
+/// `FootprintProblem` construction guarantees both.
 pub fn min_distance(problem: &FootprintProblem) -> i64 {
     let extents = problem.domain.extents();
     problem

@@ -9,6 +9,10 @@ use crate::problem::{FootprintProblem, OffsetSolution};
 /// The paper derives `min(bIn − bOut)` for the constraint
 /// `(K−N)m − n + k ≥ bOut − bIn`; maximizing over the domain gives
 /// `N − 1` when `N ≤ K` and `(N−K)(M−1) + N − 1` when `N > K`.
+///
+/// # Panics
+///
+/// Panics if any dimension is less than 1.
 pub fn gemm_min_distance(m: i64, n: i64, k: i64) -> i64 {
     assert!(m >= 1 && n >= 1 && k >= 1, "GEMM dims must be >= 1");
     (n - 1) + 0.max((n - k) * (m - 1))

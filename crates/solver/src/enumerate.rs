@@ -30,9 +30,8 @@ pub fn min_distance(problem: &FootprintProblem) -> Option<i64> {
             let addr = w.eval(&point);
             prefix_max_write = Some(prefix_max_write.map_or(addr, |m| m.max(addr)));
         }
-        let max_w = match prefix_max_write {
-            Some(m) => m,
-            None => continue,
+        let Some(max_w) = prefix_max_write else {
+            continue;
         };
         for r in &problem.reads {
             if !r.is_real(&point) {

@@ -32,9 +32,6 @@
 //! assert_eq!(solution.footprint, 7);    // vs 6 + 4 = 10 disjoint
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 pub mod analytic;
 pub mod closed_form;
 pub mod enumerate;

@@ -19,9 +19,6 @@
 //! assert_eq!(out.shape(), &[8, 8, 8]);
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 pub mod quant;
 pub mod random;
 pub mod reference;

@@ -62,7 +62,7 @@ impl Requant {
 
     /// The real scale this requantization approximates.
     pub fn scale(&self) -> f64 {
-        self.mult as f64 / 2f64.powi(31 + self.shift)
+        f64::from(self.mult) / 2f64.powi(31 + self.shift)
     }
 
     /// An identity-ish rescale (scale 1.0, zero point 0) for tests.

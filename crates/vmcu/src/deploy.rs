@@ -287,6 +287,11 @@ impl Deployment {
     /// Creates a session: boots a machine for the device and stages the
     /// firmware image (all weights into Flash) once. Everything that can
     /// fail was validated at deploy time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if staging the firmware image fails — deploy-time
+    /// validation of layer kinds and flash capacity rules that out.
     pub fn session(&self) -> Session {
         let mut machine = Machine::new(self.inner.device.clone());
         let staged = stage_graph(&mut machine, self.inner.graph.layers(), &self.inner.weights)

@@ -245,6 +245,11 @@ pub fn exec_merge(
 /// The memoized plan rows are consumed **by step** (row `k` prices the
 /// `k`-th executed node), which is the identity mapping for default-order
 /// plans and the searched order for reorder plans.
+///
+/// # Panics
+///
+/// Panics if `order` is not topological (a node executes before one of
+/// its producers) — deploy-time validation rules that out.
 pub fn infer_in_order<E: Executor + ?Sized>(
     executor: &E,
     ctx: &ExecCtx<'_>,

@@ -33,8 +33,8 @@ fn main() {
     }
     let span = |v: &[f64]| {
         (
-            v.iter().cloned().fold(f64::INFINITY, f64::min),
-            v.iter().cloned().fold(0.0f64, f64::max),
+            v.iter().copied().fold(f64::INFINITY, f64::min),
+            v.iter().copied().fold(0.0f64, f64::max),
         )
     };
     let (i_lo, i_hi) = span(&img);

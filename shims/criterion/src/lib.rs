@@ -12,9 +12,6 @@
 //! are no statistical outlier analyses, plots, or baselines — swap the
 //! real criterion back in for those.
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -53,6 +50,10 @@ pub struct BenchmarkGroup<'a> {
 
 impl BenchmarkGroup<'_> {
     /// Sets how many timing samples to collect per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n > 0, "sample size must be positive");
         self.sample_size = n;
@@ -191,7 +192,7 @@ mod tests {
         g.sample_size(5);
         g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
         g.bench_with_input(BenchmarkId::new("sum", 16), &16u64, |b, &n| {
-            b.iter(|| (0..n).sum::<u64>())
+            b.iter(|| (0..n).sum::<u64>());
         });
         g.finish();
     }

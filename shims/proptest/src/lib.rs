@@ -15,9 +15,6 @@
 //! counterexample. Seeds derive deterministically from the test name, so
 //! failures reproduce exactly across runs.
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 use std::ops::{Range, RangeInclusive};
 
 /// Configuration accepted by `#![proptest_config(..)]`.
@@ -179,14 +176,21 @@ macro_rules! impl_range_strategy {
 
             fn generate(&self, rng: &mut TestRng) -> $t {
                 assert!(self.start < self.end, "cannot sample from an empty range");
-                rng.span(self.start as i128, self.end as i128 - 1) as $t
+                // Casts (not `From`) so the macro also covers usize/isize.
+                #[allow(clippy::cast_lossless)]
+                {
+                    rng.span(self.start as i128, self.end as i128 - 1) as $t
+                }
             }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
 
             fn generate(&self, rng: &mut TestRng) -> $t {
-                rng.span(*self.start() as i128, *self.end() as i128) as $t
+                #[allow(clippy::cast_lossless)]
+                {
+                    rng.span(*self.start() as i128, *self.end() as i128) as $t
+                }
             }
         }
     )*};

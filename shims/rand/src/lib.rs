@@ -12,9 +12,6 @@
 //! real `rand` back in only changes which pseudo-random values are drawn,
 //! never correctness.
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 use std::ops::{Range, RangeInclusive};
 
 /// Seedable generator constructors (stand-in for `rand::SeedableRng`).
@@ -77,7 +74,12 @@ macro_rules! impl_uniform_int {
                 v as $t
             }
             fn to_i128(self) -> i128 {
-                self as i128
+                // A cast (not `From`) so the macro also covers usize/isize,
+                // which have no platform-independent `From` into i128.
+                #[allow(clippy::cast_lossless)]
+                {
+                    self as i128
+                }
             }
         }
     )*};

@@ -6,8 +6,6 @@
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
-#![forbid(unsafe_code)]
-
 pub use vmcu;
 
 /// The README, included as rustdoc so its code blocks (the engine

@@ -2,11 +2,17 @@
 //! path) and runs it against the same inputs as the IR interpreter: the
 //! generated code must produce bit-identical results.
 //!
+//! Before the compiler ever runs, the emitted source must pass the
+//! static C lint (`vmcu_codegen::clint`) with zero findings, and the
+//! compile itself runs under `-Wall -Wextra -Wconversion -Werror` — the
+//! generated code has no excuse for warnings.
+//!
 //! Skipped silently when no `cc` is on PATH (e.g. minimal CI images).
 
 use std::io::Write;
 use std::process::Command;
 use vmcu::vmcu_codegen::cgen::emit_library;
+use vmcu::vmcu_codegen::clint::lint_c;
 use vmcu::vmcu_codegen::kernels_ir::{build_fc_kernel, FcIrSpec};
 use vmcu::vmcu_tensor::{random, reference, Requant, Tensor, NO_CLAMP};
 
@@ -14,8 +20,7 @@ fn have_cc() -> bool {
     Command::new("cc")
         .arg("--version")
         .output()
-        .map(|o| o.status.success())
-        .unwrap_or(false)
+        .is_ok_and(|o| o.status.success())
 }
 
 #[test]
@@ -36,6 +41,16 @@ fn generated_c_matches_reference_when_compiled() {
     let expected = reference::dense(&input, &weight, None, spec.rq, NO_CLAMP);
 
     let library = emit_library(&[build_fc_kernel(&spec)]);
+    let findings = lint_c(&library);
+    assert!(
+        findings.is_empty(),
+        "emitted C fails the static lint:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
     let d = spec.exec_distance();
     let window = spec.window_bytes();
 
@@ -84,7 +99,15 @@ int main(void) {{
     drop(f);
 
     let compile = Command::new("cc")
-        .args(["-O1", "-std=c11", "-o"])
+        .args([
+            "-O1",
+            "-std=c11",
+            "-Wall",
+            "-Wextra",
+            "-Wconversion",
+            "-Werror",
+            "-o",
+        ])
         .arg(&bin)
         .arg(&src)
         .output()

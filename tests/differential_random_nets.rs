@@ -179,7 +179,7 @@ fn im2col_lowering_matches_direct_kernel_on_random_convs() {
                 None => run_conv2d(&mut m, &mut pool, &p, 0, -dist, w_base, None).unwrap(),
                 Some(l) => {
                     run_conv2d_im2col(&mut m, &mut pool, &p, 0, -dist, w_base, None, window, l)
-                        .unwrap()
+                        .unwrap();
                 }
             }
             pool.host_read(&m, -dist, p.out_bytes()).unwrap()

